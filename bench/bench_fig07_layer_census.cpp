@@ -1,0 +1,33 @@
+// Fig. 7 reproduction: the network-layer census Mudi's Training Agent
+// extracts for each training task — the feature vector of the Interference
+// Modeler (conv, linear, activations, embeddings, encoder, decoder, flatten,
+// batch_normalization, fc, pooling, other_layers).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/workload/layers.h"
+#include "src/workload/models.h"
+
+int main() {
+  using namespace mudi;
+  std::vector<std::string> headers{"task"};
+  for (size_t i = 0; i < kNumLayerTypes; ++i) {
+    headers.push_back(LayerTypeName(static_cast<LayerType>(i)));
+  }
+  headers.push_back("total");
+  Table table(headers);
+  for (const auto& task : ModelZoo::TrainingTasks()) {
+    std::vector<std::string> row{task.name};
+    for (size_t i = 0; i < kNumLayerTypes; ++i) {
+      row.push_back(std::to_string(task.arch.count(static_cast<LayerType>(i))));
+    }
+    row.push_back(std::to_string(task.arch.total_layers()));
+    table.AddRow(row);
+  }
+  std::printf("== Fig. 7: identified network layers per training task ==\n%s\n",
+              table.ToString().c_str());
+  std::printf("Unpopular layers (Extraction, Fire, LSTM cells, GIN convs, LayerNorm, ...)\n"
+              "fold into other_layers to avoid overfitting to unseen tasks (§4.1.2).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 16 reproduction: Mudi's behaviour under bursty QPS — the ResNet50 +
+// YOLOv5 case study. At t=100 s the service's request rate bursts to 3×;
+// the Tuner adapts the batching size and GPU%, and the Memory Manager swaps
+// YOLOv5 memory to the host; at t=200 s the burst ends and resources are
+// reclaimed.
+//
+// Paper shape: batching size tracks the burst; training memory is swapped
+// out during the burst and restored after; SLO violations stay ~0.7%.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace mudi;
+
+  TrainingArrival yolo;
+  yolo.task_id = 0;
+  yolo.arrival_ms = 5.0 * kMsPerSecond;
+  yolo.type_index = 7;  // YOLOv5
+  yolo.work_full_gpu_ms = 1e9;  // runs for the whole case study
+
+  ExperimentOptions options;
+  options.num_nodes = 1;
+  options.gpus_per_node = 1;
+  options.num_services = 1;
+  options.service_offset = 0;  // ResNet50
+  options.horizon_ms = 300.0 * kMsPerSecond;
+  options.trace_override = {yolo};
+  options.trace_device_id = 0;
+  options.qps_factory = [](size_t, int) -> std::shared_ptr<const QpsProfile> {
+    auto base = std::make_shared<ConstantQps>(200.0);
+    return std::make_shared<BurstyQps>(
+        base, std::vector<BurstyQps::Burst>{{100.0 * kMsPerSecond, 200.0 * kMsPerSecond, 3.0}});
+  };
+
+  PerfOracle profiling_oracle(options.oracle_seed);
+  auto policy = MakePolicy("Mudi", profiling_oracle);
+  ClusterExperiment experiment(options, policy.get());
+  ExperimentResult result = experiment.Run();
+
+  Table table({"t (s)", "QPS", "batch", "GPU%", "swapped (MB)", "resident (MB)"});
+  size_t step = std::max<size_t>(1, result.device_series.size() / 30);
+  for (size_t i = 0; i < result.device_series.size(); i += step) {
+    const DeviceSeriesSample& s = result.device_series[i];
+    table.AddRow({Table::Num(s.time_ms / kMsPerSecond, 0), Table::Num(s.qps, 0),
+                  std::to_string(s.batch), Table::Pct(s.inference_fraction, 0),
+                  Table::Num(s.swapped_mb, 0), Table::Num(s.mem_resident_mb, 0)});
+  }
+  std::printf("== Fig. 16: Mudi under a 3x QPS burst (ResNet50 + YOLOv5) ==\n%s\n",
+              table.ToString().c_str());
+  std::printf("SLO violation rate during the run: %s\n",
+              Table::Pct(result.OverallSloViolationRate(), 2).c_str());
+  std::printf("swap events: %zu, total swapped: %.0f MB\n", result.swap_events,
+              result.swap_total_mb);
+  std::printf("Paper shape: batch/GPU%% rise with the burst at t=100s and relax at t=200s;\n"
+              "YOLOv5 memory swaps to host during the burst (avg transfer ~23 ms); SLO\n"
+              "violations stay near 0.7%%.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Micro-benchmarks of the hot substrate paths (google-benchmark): the
+// event engine, the performance oracle, piece-wise fitting, the GP
+// surrogate, and the interference learners. These bound how far the cluster
+// simulation scales (events/sec) and how cheap Mudi's decision math is.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/gpu/perf_oracle.h"
+#include "src/ml/gaussian_process.h"
+#include "src/ml/piecewise_linear.h"
+#include "src/ml/random_forest.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using namespace mudi;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAt(static_cast<double>(i), [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(10000)->Arg(100000);
+
+void BM_OracleInferenceLatency(benchmark::State& state) {
+  PerfOracle oracle(42);
+  const auto& service = ModelZoo::InferenceServices()[0];
+  const auto& task = ModelZoo::TrainingTasks()[0];
+  std::vector<ColocatedTraining> colocated{{&task, 0.5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle.InferenceBatchLatency(service, 64, 0.5, colocated).total_ms());
+  }
+}
+BENCHMARK(BM_OracleInferenceLatency);
+
+void BM_OracleTrainingIteration(benchmark::State& state) {
+  PerfOracle oracle(42);
+  const auto& service = ModelZoo::InferenceServices()[2];
+  const auto& task = ModelZoo::TrainingTasks()[1];
+  InferenceLoad load{&service, 64, 0.5, 200.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.TrainingIterationMs(task, 0.4, load, {}));
+  }
+}
+BENCHMARK(BM_OracleTrainingIteration);
+
+void BM_PiecewiseFit(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  PiecewiseLinearModel truth{-80.0, -4.0, 0.4, 50.0};
+  for (double g = 0.1; g <= 0.91; g += 0.1) {
+    x.push_back(g);
+    y.push_back(truth.Eval(g) * rng.LogNormalFactor(0.03));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitPiecewiseLinear(x, y));
+  }
+}
+BENCHMARK(BM_PiecewiseFit);
+
+void BM_GpPosteriorUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    GaussianProcess gp;
+    for (size_t i = 0; i < n; ++i) {
+      gp.AddObservation({static_cast<double>(i) / n}, static_cast<double>(i % 3));
+    }
+    benchmark::DoNotOptimize(gp.Predict({0.5}).mean);
+  }
+}
+BENCHMARK(BM_GpPosteriorUpdate)->Arg(10)->Arg(25);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(12);
+    for (auto& v : row) {
+      v = rng.Uniform();
+    }
+    y.push_back(row[0] * 3.0 + row[5]);
+    x.push_back(std::move(row));
+  }
+  RandomForestRegressor model;
+  model.Fit(x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(x[17]));
+  }
+}
+BENCHMARK(BM_RandomForestPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Tab. 4 reproduction: the fraction of time memory swapping is active per
+// inference service, and that overcapacity periods are absorbed without OOM.
+//
+// Scenario: each service's device runs two training tasks (Mudi-more mode)
+// whose combined working set exceeds device memory while both are resident —
+// the Memory Manager pages part of one task to the host for that overlap
+// window and restores it when the shorter task finishes.
+//
+// Paper values: ResNet50 16.08%, Inception 19.82%, GPT2 28.40%, BERT 15.53%,
+// RoBERTa 27.30%, YOLOS 33.43%.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace mudi;
+  Table table({"service", "swap-time fraction", "swap events", "swapped (GB)"});
+  for (size_t s = 0; s < ModelZoo::InferenceServices().size(); ++s) {
+    // Long-running BERT fine-tune + a VGG16 training that overlaps it for
+    // part of the horizon: together ~40 GB of training working set.
+    TrainingArrival bert;
+    bert.task_id = 0;
+    bert.arrival_ms = 5.0 * kMsPerSecond;
+    bert.type_index = 6;
+    bert.work_full_gpu_ms = 1e9;
+    TrainingArrival vgg;
+    vgg.task_id = 1;
+    vgg.arrival_ms = 60.0 * kMsPerSecond;
+    // VGG16 (~14 GB) overflows alongside BERT for most services; GPT2's
+    // large-batch service footprint leaves less room, so its overlap task is
+    // NCF (~4.6 GB) to stay within the placeable overcommit window.
+    vgg.type_index = ModelZoo::InferenceServices()[s].name == "GPT2" ? 3 : 0;
+    // Sized to run ~60-90 s at a partial share: the overcapacity window.
+    vgg.work_full_gpu_ms = 25.0 * kMsPerSecond;
+
+    ExperimentOptions options;
+    options.num_nodes = 1;
+    options.gpus_per_node = 1;
+    options.num_services = 1;
+    options.service_offset = s;
+    options.horizon_ms = 300.0 * kMsPerSecond;
+    options.trace_override = {bert, vgg};
+    options.qps_factory = [](size_t, int) -> std::shared_ptr<const QpsProfile> {
+      return std::make_shared<ConstantQps>(200.0);
+    };
+
+    PerfOracle profiling_oracle(options.oracle_seed);
+    auto policy = MakePolicy("Mudi-more", profiling_oracle);
+    ClusterExperiment experiment(options, policy.get());
+    ExperimentResult result = experiment.Run();
+
+    const std::string& name = ModelZoo::InferenceServices()[s].name;
+    table.AddRow({name, Table::Pct(result.swap_time_fraction.at(name), 2),
+                  std::to_string(result.swap_events),
+                  Table::Num(result.swap_total_mb / 1024.0, 2)});
+    std::fprintf(stderr, "[bench] tab04 %s done\n", name.c_str());
+  }
+  std::printf("== Tab. 4: fraction of time memory swapping occurs ==\n%s\n",
+              table.ToString().c_str());
+  std::printf("Paper: 16.08 / 19.82 / 28.40 / 15.53 / 27.30 / 33.43%% — overcapacity\n"
+              "periods are absorbed by host swap without OOM errors.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "bench/bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+std::map<std::string, ExperimentResult> RunSystems(const ExperimentOptions& options,
+                                                   const std::vector<std::string>& systems,
+                                                   bool verbose) {
+  std::map<std::string, ExperimentResult> results;
+  for (const std::string& name : systems) {
+    auto start = std::chrono::steady_clock::now();
+    PerfOracle profiling_oracle(options.oracle_seed);
+    auto policy = MakePolicy(name, profiling_oracle);
+    ClusterExperiment experiment(options, policy.get());
+    results[name] = experiment.Run();
+    if (verbose) {
+      double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      std::fprintf(stderr, "[bench] %s done in %.1fs (SLO viol %.2f%%, %zu/%zu tasks)\n",
+                   name.c_str(), secs, 100.0 * results[name].OverallSloViolationRate(),
+                   results[name].CompletedTasks(), results[name].tasks.size());
+    }
+  }
+  return results;
+}
+
+double BenchScale() {
+  const char* env = std::getenv("MUDI_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  double scale = std::atof(env);
+  MUDI_CHECK_GT(scale, 0.0);
+  MUDI_CHECK_LE(scale, 1.0);
+  return scale;
+}
+
+size_t ScaledCount(size_t value) {
+  double scaled = static_cast<double>(value) * BenchScale();
+  return scaled < 1.0 ? 1 : static_cast<size_t>(scaled + 0.5);
+}
+
+}  // namespace mudi

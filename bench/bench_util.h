@@ -1,0 +1,33 @@
+// Shared helpers for the reproduction benches: run a set of multiplexing
+// systems against one experiment configuration and collect results.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/metrics.h"
+#include "src/exp/presets.h"
+
+namespace mudi {
+
+// Runs each named system (see MakePolicy) against a copy of `options` and
+// returns name → result. Every run uses the same oracle seed, trace, and QPS
+// profiles, so differences are policy-driven.
+std::map<std::string, ExperimentResult> RunSystems(const ExperimentOptions& options,
+                                                   const std::vector<std::string>& systems,
+                                                   bool verbose = true);
+
+// Scales every task count etc. via environment variable MUDI_BENCH_SCALE
+// (0 < scale <= 1); lets CI run the full suite quickly while the default
+// reproduces the paper-scale setup.
+double BenchScale();
+
+// max(1, round(value * BenchScale())).
+size_t ScaledCount(size_t value);
+
+}  // namespace mudi
+
+#endif  // BENCH_BENCH_UTIL_H_

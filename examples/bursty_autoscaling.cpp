@@ -1,0 +1,61 @@
+// Example: Mudi's device-level adaptation under a bursty request load.
+//
+// A single A100 hosts a ResNet50 inference service and a YOLOv5 training
+// task. At t=60 s the request rate triples for one minute. Watch the Tuner
+// re-batch and re-partition the GPU, and the Memory Manager swap training
+// state to the host while the service's batch memory grows.
+//
+//   ./build/examples/bursty_autoscaling
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/presets.h"
+
+int main() {
+  using namespace mudi;
+
+  // One long-lived YOLOv5 fine-tuning job shares the GPU for the whole run.
+  TrainingArrival yolo;
+  yolo.task_id = 0;
+  yolo.arrival_ms = 5.0 * kMsPerSecond;
+  yolo.type_index = 7;  // YOLOv5 (see ModelZoo::TrainingTasks)
+  yolo.work_full_gpu_ms = 1e9;
+
+  ExperimentOptions options;
+  options.num_nodes = 1;
+  options.gpus_per_node = 1;
+  options.num_services = 1;
+  options.service_offset = 0;  // ResNet50
+  options.horizon_ms = 180.0 * kMsPerSecond;
+  options.trace_override = {yolo};
+  options.trace_device_id = 0;  // record the per-device time series
+  options.qps_factory = [](size_t, int) -> std::shared_ptr<const QpsProfile> {
+    auto base = std::make_shared<ConstantQps>(200.0);
+    return std::make_shared<BurstyQps>(
+        base,
+        std::vector<BurstyQps::Burst>{{60.0 * kMsPerSecond, 120.0 * kMsPerSecond, 3.0}});
+  };
+
+  PerfOracle profiling_oracle(options.oracle_seed);
+  auto mudi = MakePolicy("Mudi", profiling_oracle);
+  ClusterExperiment experiment(options, mudi.get());
+  ExperimentResult result = experiment.Run();
+
+  std::printf("== bursty_autoscaling: ResNet50 + YOLOv5 on one GPU ==\n");
+  Table table({"t (s)", "measured QPS", "batch", "inference GPU%", "training mem swapped (MB)"});
+  size_t step = std::max<size_t>(1, result.device_series.size() / 18);
+  for (size_t i = 0; i < result.device_series.size(); i += step) {
+    const DeviceSeriesSample& s = result.device_series[i];
+    table.AddRow({Table::Num(s.time_ms / kMsPerSecond, 0), Table::Num(s.qps, 0),
+                  std::to_string(s.batch), Table::Pct(s.inference_fraction, 0),
+                  Table::Num(s.swapped_mb, 0)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("SLO violation rate: %s (SLO %d ms)\n",
+              Table::Pct(result.OverallSloViolationRate(), 2).c_str(),
+              static_cast<int>(ModelZoo::InferenceServices()[0].slo_ms));
+  std::printf("memory swap events: %zu (%.1f GB moved)\n", result.swap_events,
+              result.swap_total_mb / 1024.0);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Example: writing a custom multiplexing policy against the framework API.
+//
+// Implements "GreedyPack": place each arriving training task on the device
+// whose inference service currently has the most measured SLO headroom, and
+// give training a fixed 40% slice. ~60 lines of policy code plug into the
+// same harness Mudi runs in — useful as a starting point for your own
+// scheduler research.
+//
+//   ./build/examples/custom_policy
+#include <cstdio>
+#include <limits>
+
+#include "src/baselines/baseline_util.h"
+#include "src/cluster/policy.h"
+#include "src/common/table.h"
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/presets.h"
+
+namespace {
+
+using namespace mudi;
+
+class GreedyPackPolicy : public MultiplexPolicy {
+ public:
+  std::string name() const override { return "GreedyPack"; }
+
+  std::optional<int> SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) override {
+    std::optional<int> best;
+    double best_headroom = -std::numeric_limits<double>::infinity();
+    for (int id : EligibleDevices(env, task, MaxTrainingsPerDevice(), /*require_fit=*/true)) {
+      const InferenceServiceSpec& service = env.ServiceOnDevice(id);
+      double p99 = env.MeasuredP99(id);
+      double headroom = (service.slo_ms - p99) / service.slo_ms;
+      if (headroom > best_headroom) {
+        best_headroom = headroom;
+        best = id;
+      }
+    }
+    return best;
+  }
+
+  void OnTrainingPlaced(SchedulingEnv& env, int device_id,
+                        const TrainingTaskInfo& task) override {
+    // Fixed split: 60% inference, 40% training; batch chosen by one probe.
+    int batch = 128;
+    if (env.ProbeInferenceLatencyMs(device_id, batch, 0.6) >
+        PlanningLatencyBudgetMs(batch, std::max(env.MeasuredQps(device_id), 1.0),
+                                env.ServiceOnDevice(device_id).slo_ms)) {
+      batch = 32;
+    }
+    env.ApplyInferenceConfig(device_id, batch, 0.6);
+    env.ApplyTrainingFraction(device_id, task.task_id, 0.4);
+  }
+};
+
+}  // namespace
+
+int main() {
+  ExperimentOptions options = PhysicalClusterOptions(/*num_tasks=*/60);
+
+  GreedyPackPolicy greedy;
+  ClusterExperiment greedy_experiment(options, &greedy);
+  ExperimentResult greedy_result = greedy_experiment.Run();
+
+  PerfOracle profiling_oracle(options.oracle_seed);
+  auto mudi = MakePolicy("Mudi", profiling_oracle);
+  ClusterExperiment mudi_experiment(options, mudi.get());
+  ExperimentResult mudi_result = mudi_experiment.Run();
+
+  Table table({"policy", "SLO violation", "mean CT (s)", "makespan (s)"});
+  for (const ExperimentResult* r : {&greedy_result, &mudi_result}) {
+    table.AddRow({r->policy_name, Table::Pct(r->OverallSloViolationRate(), 2),
+                  Table::Num(r->MeanCtMs() / kMsPerSecond, 1),
+                  Table::Num(r->makespan_ms / kMsPerSecond, 1)});
+  }
+  std::printf("== custom_policy: GreedyPack vs Mudi, same cluster and trace ==\n%s\n",
+              table.ToString().c_str());
+  std::printf("GreedyPack ignores architecture-level interference and never retunes, so\n"
+              "it trails Mudi on training efficiency and/or SLO compliance.\n");
+  return 0;
+}

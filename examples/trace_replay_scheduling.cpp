@@ -1,0 +1,48 @@
+// Example: replaying a production-style training trace under different
+// queueing disciplines, with Mudi multiplexing throughout.
+//
+// Mudi's multiplexing core is policy-agnostic (§1): the pending-task queue
+// can be FCFS, shortest-job-first, priority, or fair-share without touching
+// the co-location algorithms. This example replays one Philly-like arrival
+// trace under each discipline and compares training efficiency.
+//
+//   ./build/examples/trace_replay_scheduling
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/presets.h"
+
+int main() {
+  using namespace mudi;
+
+  Table table({"queue policy", "completed", "mean CT (s)", "mean wait (s)", "P95 CT (s)",
+               "makespan (s)", "SLO violation"});
+  for (QueuePolicy policy : {QueuePolicy::kFcfs, QueuePolicy::kShortestJobFirst,
+                             QueuePolicy::kPriority, QueuePolicy::kFairShare}) {
+    ExperimentOptions options = PhysicalClusterOptions(/*num_tasks=*/80);
+    // Burstier arrivals so the queue actually builds up and ordering matters.
+    options.trace.mean_interarrival_ms = 1.2 * kMsPerSecond;
+    options.queue_policy = policy;
+
+    PerfOracle profiling_oracle(options.oracle_seed);
+    auto mudi = MakePolicy("Mudi", profiling_oracle);
+    ClusterExperiment experiment(options, mudi.get());
+    ExperimentResult result = experiment.Run();
+
+    table.AddRow({QueuePolicyName(policy),
+                  std::to_string(result.CompletedTasks()) + "/" +
+                      std::to_string(result.tasks.size()),
+                  Table::Num(result.MeanCtMs() / kMsPerSecond, 1),
+                  Table::Num(result.MeanWaitingMs() / kMsPerSecond, 1),
+                  Table::Num(result.P95CtMs() / kMsPerSecond, 1),
+                  Table::Num(result.makespan_ms / kMsPerSecond, 1),
+                  Table::Pct(result.OverallSloViolationRate(), 2)});
+    std::printf("[%s done]\n", QueuePolicyName(policy));
+  }
+  std::printf("\n== trace_replay_scheduling: one trace, four queue disciplines ==\n%s\n",
+              table.ToString().c_str());
+  std::printf("Expected: SJF minimizes mean CT/wait; FairShare evens out task types;\n"
+              "SLO compliance is unaffected — the queue only reorders pending tasks.\n");
+  return 0;
+}

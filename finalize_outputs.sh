@@ -1,0 +1,11 @@
+#!/bin/bash
+# Produces the required final artifacts.
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+{
+  for f in bench_results/bench_*.txt; do
+    echo "##### $(basename $f .txt) #####"
+    cat "$f"
+    echo
+  done
+} 2>&1 | tee /root/repo/bench_output.txt

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Runs the full reproduction campaign; one output file per table/figure.
+cd /root/repo
+for b in bench_fig01_traces bench_fig02_training_traces bench_fig03_inf_inf_interference \
+         bench_fig04_inf_train_interference bench_fig05_latency_curves bench_fig07_layer_census \
+         bench_tab02_fitting_error bench_fig11_model_accuracy bench_fig12_incremental \
+         bench_fig16_bursty_case bench_tab04_swap_fraction bench_micro_substrates \
+         bench_fig13_ablation bench_fig10_utilization bench_fig17_mudi_more \
+         bench_fig15_load_sensitivity bench_fig14_max_throughput bench_fig18_overhead \
+         bench_fig08_slo_violation bench_fig09_training_eff; do
+  echo "=== RUNNING $b ==="
+  ./build/bench/$b > bench_results/$b.txt 2> bench_results/$b.err
+  echo "=== DONE $b (rc=$?) ==="
+done
+echo CAMPAIGN_COMPLETE

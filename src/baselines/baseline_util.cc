@@ -1,0 +1,30 @@
+#include "src/baselines/baseline_util.h"
+
+namespace mudi {
+
+std::vector<int> EligibleDevices(SchedulingEnv& env, const TrainingTaskInfo& task,
+                                 int max_trainings, bool require_fit) {
+  std::vector<int> out;
+  for (const GpuDevice& device : env.devices()) {
+    if (!device.has_inference()) {
+      continue;
+    }
+    if (device.trainings().size() >= static_cast<size_t>(max_trainings)) {
+      continue;
+    }
+    if (require_fit && !env.CanFitTraining(device.id(), *task.spec)) {
+      continue;
+    }
+    out.push_back(device.id());
+  }
+  return out;
+}
+
+bool PlanningSloHolds(double latency_ms, int batch, double qps, double slo_ms) {
+  if (qps <= 0.0) {
+    return true;
+  }
+  return latency_ms <= PlanningLatencyBudgetMs(batch, qps, slo_ms);
+}
+
+}  // namespace mudi

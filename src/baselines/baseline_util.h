@@ -1,0 +1,22 @@
+// Shared helpers for the baseline multiplexing policies.
+#ifndef SRC_BASELINES_BASELINE_UTIL_H_
+#define SRC_BASELINES_BASELINE_UTIL_H_
+
+#include <vector>
+
+#include "src/cluster/policy.h"
+
+namespace mudi {
+
+// Devices that can accept one more training task under `max_trainings`;
+// when `require_fit` is set, the full working set must fit device memory
+// (policies without a memory manager must not overcommit).
+std::vector<int> EligibleDevices(SchedulingEnv& env, const TrainingTaskInfo& task,
+                                 int max_trainings, bool require_fit);
+
+// The paper's literal SLO planning constraint (Eq. 2): (W/b)·P <= SLO.
+bool PlanningSloHolds(double latency_ms, int batch, double qps, double slo_ms);
+
+}  // namespace mudi
+
+#endif  // SRC_BASELINES_BASELINE_UTIL_H_

@@ -1,0 +1,48 @@
+// gpulets baseline (Choi et al., ATC '22; paper §7.1).
+//
+// gpulets virtualizes each GPU into discrete partitions ("gpulets") from a
+// fixed size menu. The inference service is assigned the *smallest* gpulet
+// whose probed latency meets the SLO at a feasibility-chosen batch; the
+// training task is bin-packed into the residual gpulet of the device where
+// it fits most tightly (best-fit decreasing). There is no architecture-based
+// interference prediction and no memory overcommit.
+#ifndef SRC_BASELINES_GPULETS_POLICY_H_
+#define SRC_BASELINES_GPULETS_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/policy.h"
+
+namespace mudi {
+
+class GpuletsPolicy : public MultiplexPolicy {
+ public:
+  struct Options {
+    // The gpulet size menu (fractions of a GPU).
+    std::vector<double> slice_menu{0.2, 0.4, 0.6, 0.8, 1.0};
+    // Minimum residual slice worth giving to training.
+    double min_training_slice = 0.2;
+  };
+
+  GpuletsPolicy();
+  explicit GpuletsPolicy(Options options);
+
+  std::string name() const override { return "gpulets"; }
+  std::optional<int> SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) override;
+  void OnTrainingPlaced(SchedulingEnv& env, int device_id,
+                        const TrainingTaskInfo& task) override;
+  void OnTrainingCompleted(SchedulingEnv& env, int device_id, int task_id) override;
+  void OnQpsChange(SchedulingEnv& env, int device_id) override;
+
+ private:
+  // Smallest slice + batch meeting the SLO by probing; returns (batch, slice).
+  std::pair<int, double> FitInferenceSlice(SchedulingEnv& env, int device_id, size_t* probes);
+  void Retune(SchedulingEnv& env, int device_id);
+
+  Options options_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_BASELINES_GPULETS_POLICY_H_

@@ -1,0 +1,108 @@
+#include "src/baselines/gslice_policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "src/baselines/baseline_util.h"
+#include "src/common/check.h"
+#include "src/workload/models.h"
+
+namespace mudi {
+
+GslicePolicy::GslicePolicy() : GslicePolicy(Options{}) {}
+
+GslicePolicy::GslicePolicy(Options options) : options_(options) {
+  MUDI_CHECK_LT(options_.min_fraction, options_.max_fraction);
+}
+
+std::optional<int> GslicePolicy::SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) {
+  auto start = std::chrono::steady_clock::now();
+  // No interference model: least-loaded device (fewest resident trainings,
+  // then lowest memory pressure).
+  std::vector<int> eligible =
+      EligibleDevices(env, task, MaxTrainingsPerDevice(), /*require_fit=*/true);
+  std::optional<int> best;
+  double best_key = std::numeric_limits<double>::infinity();
+  for (int id : eligible) {
+    const GpuDevice& device = env.device(id);
+    double key = static_cast<double>(device.trainings().size()) * 1000.0 +
+                 device.MemoryResidentMb() / device.memory_mb();
+    if (key < best_key) {
+      best_key = key;
+      best = id;
+    }
+  }
+  RecordPlacementOverhead(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+  return best;
+}
+
+void GslicePolicy::Retune(SchedulingEnv& env, int device_id) {
+  const GpuDevice& device = env.device(device_id);
+  MUDI_CHECK(device.has_inference());
+  const InferenceServiceSpec& service =
+      ModelZoo::InferenceServices()[device.inference().service_index];
+  double qps = env.MeasuredQps(device_id);
+
+  // Batch selection by throughput feedback at the current partition: probe
+  // each candidate once, keep the largest batch whose probed latency
+  // satisfies the planning SLO.
+  double fraction = device.inference().gpu_fraction > 0.0 ? device.inference().gpu_fraction
+                                                          : options_.initial_fraction;
+  const auto& batches = ProfilingBatchSizes();
+  int batch = batches.front();
+  size_t rounds = 0;
+  for (auto it = batches.rbegin(); it != batches.rend(); ++it) {
+    ++rounds;
+    double lat = env.ProbeInferenceLatencyMs(device_id, *it, fraction);
+    if (PlanningSloHolds(lat, *it, qps, service.slo_ms)) {
+      batch = *it;
+      break;
+    }
+  }
+
+  // Partition step-control feedback: grow while violating, shrink while the
+  // probed latency leaves ample headroom.
+  for (int round = 0; round < options_.max_feedback_rounds; ++round) {
+    ++rounds;
+    double lat = env.ProbeInferenceLatencyMs(device_id, batch, fraction);
+    double budget = PlanningLatencyBudgetMs(batch, std::max(qps, 1e-9), service.slo_ms);
+    if (lat > budget && fraction < options_.max_fraction) {
+      fraction = std::min(options_.max_fraction, fraction + options_.step);
+    } else if (lat < options_.shrink_headroom * budget &&
+               fraction > options_.min_fraction + options_.step) {
+      fraction -= options_.step;
+    } else {
+      break;
+    }
+  }
+  RecordTuningIterations(rounds);
+
+  env.ApplyInferenceConfig(device_id, batch, fraction);
+  size_t active = device.num_active_trainings();
+  if (active > 0) {
+    double share = std::max(0.05, (1.0 - fraction) / static_cast<double>(active));
+    for (const auto& t : device.trainings()) {
+      if (!t.paused) {
+        env.ApplyTrainingFraction(device_id, t.task_id, share);
+      }
+    }
+  }
+}
+
+void GslicePolicy::OnTrainingPlaced(SchedulingEnv& env, int device_id,
+                                    const TrainingTaskInfo& task) {
+  (void)task;
+  Retune(env, device_id);
+}
+
+void GslicePolicy::OnTrainingCompleted(SchedulingEnv& env, int device_id, int task_id) {
+  (void)task_id;
+  Retune(env, device_id);
+}
+
+void GslicePolicy::OnQpsChange(SchedulingEnv& env, int device_id) { Retune(env, device_id); }
+
+}  // namespace mudi

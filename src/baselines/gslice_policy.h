@@ -1,0 +1,52 @@
+// GSLICE baseline (Dhakal et al., SoCC '20; paper §7.1).
+//
+// GSLICE controls spatial GPU partitions for inference services using
+// *latency/throughput feedback*: it probes the deployed configuration,
+// grows the partition while the SLO is missed and shrinks it while there is
+// comfortable headroom, with a knee-detection-free step controller. Batching
+// is chosen by throughput feedback at the current partition. It has no
+// cluster-wide interference model — training placement is least-loaded — and
+// (per the paper's adaptation) training receives the leftover partition.
+#ifndef SRC_BASELINES_GSLICE_POLICY_H_
+#define SRC_BASELINES_GSLICE_POLICY_H_
+
+#include <string>
+
+#include "src/cluster/policy.h"
+
+namespace mudi {
+
+class GslicePolicy : public MultiplexPolicy {
+ public:
+  struct Options {
+    double initial_fraction = 0.5;
+    double step = 0.1;
+    double min_fraction = 0.1;
+    double max_fraction = 0.9;
+    // Shrink while headroom factor of the SLO budget is available.
+    double shrink_headroom = 0.68;
+    // Feedback steps applied per trigger: GSLICE adjusts incrementally
+    // between measurement windows rather than converging in one shot.
+    int max_feedback_rounds = 3;
+  };
+
+  GslicePolicy();
+  explicit GslicePolicy(Options options);
+
+  std::string name() const override { return "GSLICE"; }
+  std::optional<int> SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) override;
+  void OnTrainingPlaced(SchedulingEnv& env, int device_id,
+                        const TrainingTaskInfo& task) override;
+  void OnTrainingCompleted(SchedulingEnv& env, int device_id, int task_id) override;
+  void OnQpsChange(SchedulingEnv& env, int device_id) override;
+
+ private:
+  // Feedback loop: batch by throughput probing, partition by step control.
+  void Retune(SchedulingEnv& env, int device_id);
+
+  Options options_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_BASELINES_GSLICE_POLICY_H_

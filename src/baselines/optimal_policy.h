@@ -1,0 +1,66 @@
+// Optimal baseline (paper §5.4, §7.2): exhaustive search over co-location
+// and configuration using the *ground-truth* oracle (env.oracle()). For each
+// eligible device it scans the full (batch × GPU%) grid, keeps the
+// configuration minimizing the true training iteration time subject to the
+// true SLO planning constraint, and places the task on the globally best
+// device. This is the only policy permitted to read ground truth; it bounds
+// what any multiplexer could achieve.
+#ifndef SRC_BASELINES_OPTIMAL_POLICY_H_
+#define SRC_BASELINES_OPTIMAL_POLICY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/policy.h"
+#include "src/common/rng.h"
+
+namespace mudi {
+
+class OptimalPolicy : public MultiplexPolicy {
+ public:
+  struct Options {
+    std::vector<double> fraction_grid{0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+                                      0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90};
+    // Cap on devices fully scanned per placement: on a 1000-GPU cluster a
+    // truly exhaustive scan is intractable, so beyond the cap a uniform
+    // device sample is solved (each service type stays represented because
+    // replicas are spread round-robin).
+    size_t max_devices_scanned = 64;
+    uint64_t seed = 29;
+  };
+
+  OptimalPolicy();
+  explicit OptimalPolicy(Options options);
+
+  std::string name() const override { return "Optimal"; }
+  std::optional<int> SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) override;
+  void OnTrainingPlaced(SchedulingEnv& env, int device_id,
+                        const TrainingTaskInfo& task) override;
+  void OnTrainingCompleted(SchedulingEnv& env, int device_id, int task_id) override;
+  void OnQpsChange(SchedulingEnv& env, int device_id) override;
+  bool SupportsMemorySwap() const override { return true; }
+
+ private:
+  struct BestConfig {
+    bool feasible = false;
+    int batch = 0;
+    double inference_fraction = 0.0;
+    double objective = 0.0;
+  };
+
+  // True-oracle exhaustive (batch, Δ) search for a device, assuming the
+  // candidate training type joins (or type = current mix when joining_type
+  // is SIZE_MAX).
+  BestConfig SolveDevice(SchedulingEnv& env, int device_id, size_t joining_type) const;
+  void ApplyConfig(SchedulingEnv& env, int device_id, const BestConfig& config);
+
+  Options options_;
+  Rng rng_{29};
+  // Placement-time choice, applied in OnTrainingPlaced.
+  std::map<int, BestConfig> pending_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_BASELINES_OPTIMAL_POLICY_H_

@@ -1,0 +1,46 @@
+#include "src/baselines/random_policy.h"
+
+#include <algorithm>
+
+#include "src/baselines/baseline_util.h"
+
+namespace mudi {
+
+RandomPolicy::RandomPolicy() : RandomPolicy(Options{}) {}
+
+RandomPolicy::RandomPolicy(Options options) : options_(options), rng_(options.seed) {}
+
+std::optional<int> RandomPolicy::SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) {
+  std::vector<int> eligible =
+      EligibleDevices(env, task, options_.max_trainings_per_device, /*require_fit=*/true);
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  return eligible[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
+}
+
+void RandomPolicy::EvenSplit(SchedulingEnv& env, int device_id) {
+  const GpuDevice& device = env.device(device_id);
+  size_t workloads = 1 + device.num_active_trainings();
+  double share = 1.0 / static_cast<double>(workloads);
+  env.ApplyInferenceConfig(device_id, options_.default_batch, std::min(share, 0.9));
+  for (const auto& t : device.trainings()) {
+    if (!t.paused) {
+      env.ApplyTrainingFraction(device_id, t.task_id, share);
+    }
+  }
+}
+
+void RandomPolicy::OnTrainingPlaced(SchedulingEnv& env, int device_id,
+                                    const TrainingTaskInfo& task) {
+  (void)task;
+  EvenSplit(env, device_id);
+}
+
+void RandomPolicy::OnTrainingCompleted(SchedulingEnv& env, int device_id, int task_id) {
+  (void)task_id;
+  EvenSplit(env, device_id);
+}
+
+}  // namespace mudi

@@ -1,0 +1,61 @@
+#include "src/cluster/kv_store.h"
+
+#include <algorithm>
+
+namespace mudi {
+
+namespace {
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+}  // namespace
+
+uint64_t KvStore::Put(const std::string& key, const std::string& value) {
+  data_[key] = value;
+  ++revision_;
+  // Copy the watcher list so callbacks may add/remove watches safely.
+  std::vector<Watcher> snapshot = watchers_;
+  for (const auto& w : snapshot) {
+    if (HasPrefix(key, w.prefix)) {
+      w.callback(key, value, revision_);
+    }
+  }
+  return revision_;
+}
+
+std::optional<std::string> KvStore::Get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::List(const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end() && HasPrefix(it->first, prefix);
+       ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+bool KvStore::Delete(const std::string& key) { return data_.erase(key) > 0; }
+
+KvStore::WatchId KvStore::Watch(const std::string& prefix, WatchCallback callback) {
+  WatchId id = next_watch_id_++;
+  watchers_.push_back(Watcher{id, prefix, std::move(callback)});
+  return id;
+}
+
+bool KvStore::Unwatch(WatchId id) {
+  auto it = std::find_if(watchers_.begin(), watchers_.end(),
+                         [id](const Watcher& w) { return w.id == id; });
+  if (it == watchers_.end()) {
+    return false;
+  }
+  watchers_.erase(it);
+  return true;
+}
+
+}  // namespace mudi

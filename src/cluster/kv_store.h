@@ -1,0 +1,60 @@
+// In-process etcd-like key/value store with prefix watches.
+//
+// The paper's implementation stores tuned configurations and intermediate
+// results in ETCD; agents watch keys and react to updates (§6). This module
+// reproduces that coordination pattern: Put bumps a global revision and
+// synchronously notifies watchers whose prefix matches (the simulator is
+// single-threaded, so delivery order is deterministic).
+#ifndef SRC_CLUSTER_KV_STORE_H_
+#define SRC_CLUSTER_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mudi {
+
+class KvStore {
+ public:
+  using WatchId = uint64_t;
+  // (key, value, revision)
+  using WatchCallback = std::function<void(const std::string&, const std::string&, uint64_t)>;
+
+  // Stores `value` under `key`, bumps the revision, fires matching watches.
+  uint64_t Put(const std::string& key, const std::string& value);
+
+  std::optional<std::string> Get(const std::string& key) const;
+
+  // All (key, value) pairs whose key starts with `prefix`, key-ordered.
+  std::vector<std::pair<std::string, std::string>> List(const std::string& prefix) const;
+
+  // Deletes a key (no watch notification, matching etcd's delete-event being
+  // unused by the paper's agents). Returns true if the key existed.
+  bool Delete(const std::string& key);
+
+  // Registers a callback fired on every Put whose key starts with `prefix`.
+  WatchId Watch(const std::string& prefix, WatchCallback callback);
+  bool Unwatch(WatchId id);
+
+  uint64_t revision() const { return revision_; }
+  size_t size() const { return data_.size(); }
+
+ private:
+  struct Watcher {
+    WatchId id;
+    std::string prefix;
+    WatchCallback callback;
+  };
+
+  uint64_t revision_ = 0;
+  WatchId next_watch_id_ = 1;
+  std::map<std::string, std::string> data_;
+  std::vector<Watcher> watchers_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_CLUSTER_KV_STORE_H_

@@ -1,0 +1,84 @@
+#include "src/cluster/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+QpsMonitor::QpsMonitor() : QpsMonitor(Options{}) {}
+
+QpsMonitor::QpsMonitor(Options options) : options_(options) {
+  MUDI_CHECK_GT(options_.window_ms, 0.0);
+  MUDI_CHECK_GT(options_.change_threshold, 0.0);
+  MUDI_CHECK_GT(options_.latency_window, 0u);
+}
+
+void QpsMonitor::EvictOld(TimeMs now) {
+  while (!arrivals_.empty() && arrivals_.front().first < now - options_.window_ms) {
+    arrivals_in_window_ -= arrivals_.front().second;
+    arrivals_.pop_front();
+  }
+  if (arrivals_.empty()) {
+    arrivals_in_window_ = 0.0;
+  }
+}
+
+void QpsMonitor::RecordArrivals(TimeMs now, double count) {
+  MUDI_CHECK_GE(count, 0.0);
+  arrivals_.emplace_back(now, count);
+  arrivals_in_window_ += count;
+  EvictOld(now);
+}
+
+void QpsMonitor::RecordLatency(double latency_ms, double weight) {
+  MUDI_CHECK_GE(weight, 0.0);
+  if (weight == 0.0) {
+    return;
+  }
+  if (latencies_.size() == options_.latency_window) {
+    latencies_.pop_front();
+  }
+  latencies_.emplace_back(latency_ms, weight);
+}
+
+double QpsMonitor::CurrentQps(TimeMs now) {
+  EvictOld(now);
+  return arrivals_in_window_ / options_.window_ms * kMsPerSecond;
+}
+
+bool QpsMonitor::QpsChangedBeyondThreshold(TimeMs now) {
+  double qps = CurrentQps(now);
+  if (base_qps_ < 0.0) {
+    return qps > 0.0;  // first observation always triggers initial tuning
+  }
+  double base = std::max(base_qps_, 1e-9);
+  return std::abs(qps - base_qps_) / base > options_.change_threshold;
+}
+
+void QpsMonitor::AckQpsChange(TimeMs now) { base_qps_ = CurrentQps(now); }
+
+double QpsMonitor::P99LatencyMs() const {
+  if (latencies_.empty()) {
+    return 0.0;
+  }
+  std::vector<std::pair<double, double>> sorted(latencies_.begin(), latencies_.end());
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (const auto& [lat, w] : sorted) {
+    total += w;
+  }
+  double target = 0.99 * total;
+  double cum = 0.0;
+  for (const auto& [lat, w] : sorted) {
+    cum += w;
+    if (cum >= target) {
+      return lat;
+    }
+  }
+  return sorted.back().first;
+}
+
+}  // namespace mudi

@@ -1,0 +1,63 @@
+// Per-device QPS/latency Monitor (paper §3.2 module 5, §6).
+//
+// Tracks the measured request rate and tail latency of the inference service
+// on one device. Reports when the QPS change since the last tuning trigger
+// exceeds the threshold (50%, §5.3.2) so the Tuner can re-scale resources,
+// and exposes windowed weighted P99 for SLO-risk detection.
+#ifndef SRC_CLUSTER_MONITOR_H_
+#define SRC_CLUSTER_MONITOR_H_
+
+#include <deque>
+#include <utility>
+
+#include "src/sim/simulator.h"
+
+namespace mudi {
+
+class QpsMonitor {
+ public:
+  struct Options {
+    // Width of the rate-estimation window.
+    TimeMs window_ms = 5.0 * kMsPerSecond;
+    // Relative change that triggers retuning (paper: 50%).
+    double change_threshold = 0.5;
+    // Latency window size (cohorts) for P99 tracking.
+    size_t latency_window = 512;
+  };
+
+  QpsMonitor();
+  explicit QpsMonitor(Options options);
+
+  // Records `count` request arrivals at time `now`.
+  void RecordArrivals(TimeMs now, double count);
+
+  // Records a completed request latency shared by `weight` requests.
+  void RecordLatency(double latency_ms, double weight = 1.0);
+
+  // Estimated arrival rate over the trailing window.
+  double CurrentQps(TimeMs now);
+
+  // True when |qps - qps_at_last_ack| exceeds the relative threshold.
+  // The caller acknowledges a trigger with AckQpsChange, resetting the base.
+  bool QpsChangedBeyondThreshold(TimeMs now);
+  void AckQpsChange(TimeMs now);
+  double base_qps() const { return base_qps_; }
+
+  // Weighted P99 latency over the trailing cohort window; 0 with no samples.
+  double P99LatencyMs() const;
+  bool has_latency_samples() const { return !latencies_.empty(); }
+  void ClearLatencyWindow() { latencies_.clear(); }
+
+ private:
+  void EvictOld(TimeMs now);
+
+  Options options_;
+  std::deque<std::pair<TimeMs, double>> arrivals_;  // (time, count) cohorts
+  double arrivals_in_window_ = 0.0;
+  double base_qps_ = -1.0;  // rate at last Ack; <0 until first Ack
+  std::deque<std::pair<double, double>> latencies_;  // (latency, weight)
+};
+
+}  // namespace mudi
+
+#endif  // SRC_CLUSTER_MONITOR_H_

@@ -1,0 +1,147 @@
+// The multiplexing-policy framework: the contract between the cluster
+// experiment harness (src/exp) and the multiplexing systems (Mudi in
+// src/core, the baselines in src/baselines).
+//
+// A SchedulingEnv is the runtime view a deployed system has of the cluster:
+// device state, monitor-measured QPS and tail latency, online what-if probes
+// (observing a candidate configuration briefly — noisy, like real
+// measurements), and configuration actuation. A MultiplexPolicy makes the
+// decisions the paper studies: cluster-wide placement of arriving training
+// tasks and device-level (batch, GPU%) configuration.
+//
+// GROUND-TRUTH ACCESS: env.oracle() exposes the noise-free performance
+// oracle. Only the Optimal baseline (exhaustive search, §5.4/§7.2) may use
+// it; every other policy must rely on probes, monitors, and its own models.
+#ifndef SRC_CLUSTER_POLICY_H_
+#define SRC_CLUSTER_POLICY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/gpu/gpu_device.h"
+#include "src/gpu/perf_oracle.h"
+#include "src/sim/simulator.h"
+#include "src/workload/models.h"
+
+namespace mudi {
+
+// Planning latency budget for one batch (paper Eq. 2 first constraint):
+// (W/b)·P <= SLO  ⇔  P <= SLO·b/W. The literal constraint alone permits
+// busy-time above one second per second whenever SLO > 1000 ms (YOLOS),
+// which is queue-unstable; production planners additionally cap utilization.
+// We use budget = min(SLO, kStabilityCapMs)·b/W, keeping 15% headroom.
+inline constexpr double kStabilityCapMs = 800.0;
+
+inline double PlanningLatencyBudgetMs(int batch, double qps, double slo_ms) {
+  double effective = slo_ms < kStabilityCapMs ? slo_ms : kStabilityCapMs;
+  return effective * static_cast<double>(batch) / qps;
+}
+
+// What a policy learns about an arriving training task. The spec carries the
+// network architecture (extracted by the Training Agent, §4.2); the total
+// work is intentionally NOT exposed — production schedulers do not know task
+// durations in advance (the SJF queue policy uses user-declared estimates,
+// handled by the queue, not here).
+struct TrainingTaskInfo {
+  int task_id = -1;
+  size_t type_index = 0;
+  const TrainingTaskSpec* spec = nullptr;
+};
+
+class SchedulingEnv {
+ public:
+  virtual ~SchedulingEnv() = default;
+
+  virtual TimeMs Now() const = 0;
+
+  virtual std::vector<GpuDevice>& devices() = 0;
+  virtual const GpuDevice& device(int device_id) const = 0;
+
+  // The inference service hosted on a device (every device hosts exactly one
+  // replica in the paper's deployment).
+  virtual const InferenceServiceSpec& ServiceOnDevice(int device_id) const = 0;
+
+  // Monitor-measured arrival rate / windowed P99 of the device's service.
+  virtual double MeasuredQps(int device_id) = 0;
+  virtual double MeasuredP99(int device_id) = 0;
+
+  // What-if probes: the observed (noisy) value if the given configuration
+  // ran briefly under the device's *current* co-location. `train_fraction`
+  // etc. override only the probed knob; everything else stays as deployed.
+  virtual double ProbeInferenceLatencyMs(int device_id, int batch, double gpu_fraction) = 0;
+  // `inf_batch` / `inf_fraction` optionally override the deployed inference
+  // configuration for the what-if; pass <= 0 to keep the current value.
+  virtual double ProbeTrainingIterMs(int device_id, int task_id, double train_fraction,
+                                     int inf_batch = 0, double inf_fraction = 0.0) = 0;
+
+  // Configuration actuation. Batch updates take effect immediately (a
+  // parameter of the serving loop); GPU% updates go through the
+  // shadow-instance restart and take effect after the reconfiguration
+  // latency (§5.3.2).
+  virtual void ApplyInferenceConfig(int device_id, int batch, double gpu_fraction) = 0;
+  virtual void ApplyTrainingFraction(int device_id, int task_id, double fraction) = 0;
+  // Preemptively pause/resume a training task (§5.3.2 bursty-QPS fallback).
+  virtual void SetTrainingPaused(int device_id, int task_id, bool paused) = 0;
+
+  // True when the task's full working set fits device memory alongside the
+  // current residents (no swap needed).
+  virtual bool CanFitTraining(int device_id, const TrainingTaskSpec& spec) const = 0;
+
+  // Ground truth — Optimal baseline ONLY (see file comment).
+  virtual const PerfOracle& oracle() const = 0;
+};
+
+class MultiplexPolicy {
+ public:
+  virtual ~MultiplexPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called once before the run starts (offline profiling happens here).
+  virtual void Initialize(SchedulingEnv& env) { (void)env; }
+
+  // Cluster-wide decision: device for an arriving training task, or nullopt
+  // to leave it queued until capacity frees up.
+  virtual std::optional<int> SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) = 0;
+
+  // Device-level decision(s) right after the harness placed the task.
+  virtual void OnTrainingPlaced(SchedulingEnv& env, int device_id,
+                                const TrainingTaskInfo& task) = 0;
+
+  virtual void OnTrainingCompleted(SchedulingEnv& env, int device_id, int task_id) {
+    (void)env;
+    (void)device_id;
+    (void)task_id;
+  }
+
+  // Monitor trigger: QPS change beyond threshold or SLO at risk (§5.3.2).
+  virtual void OnQpsChange(SchedulingEnv& env, int device_id) {
+    (void)env;
+    (void)device_id;
+  }
+
+  // Max co-located training tasks per device (1 for Mudi, 3 for Mudi-more).
+  virtual int MaxTrainingsPerDevice() const { return 1; }
+
+  // Whether the harness may overcommit memory and swap training state to the
+  // host (Mudi's Memory Manager, §5.6). Policies without swap must only
+  // place where CanFitTraining holds.
+  virtual bool SupportsMemorySwap() const { return false; }
+
+  // --- overhead accounting (Fig. 18) ---
+  const std::vector<double>& placement_overheads_ms() const { return placement_overheads_ms_; }
+  const std::vector<size_t>& tuning_iterations() const { return tuning_iterations_; }
+
+ protected:
+  void RecordPlacementOverhead(double ms) { placement_overheads_ms_.push_back(ms); }
+  void RecordTuningIterations(size_t n) { tuning_iterations_.push_back(n); }
+
+ private:
+  std::vector<double> placement_overheads_ms_;
+  std::vector<size_t> tuning_iterations_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_CLUSTER_POLICY_H_

@@ -1,0 +1,92 @@
+#include "src/cluster/task_queue.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/workload/models.h"
+
+namespace mudi {
+
+const char* QueuePolicyName(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFcfs:
+      return "FCFS";
+    case QueuePolicy::kShortestJobFirst:
+      return "SJF";
+    case QueuePolicy::kPriority:
+      return "Priority";
+    case QueuePolicy::kFairShare:
+      return "FairShare";
+  }
+  return "?";
+}
+
+TaskQueue::TaskQueue(QueuePolicy policy) : policy_(policy) {}
+
+void TaskQueue::Push(PendingTask task) { tasks_.push_back(std::move(task)); }
+
+std::optional<size_t> TaskQueue::SelectIndex() const {
+  if (tasks_.empty()) {
+    return std::nullopt;
+  }
+  switch (policy_) {
+    case QueuePolicy::kFcfs:
+      return 0;
+    case QueuePolicy::kShortestJobFirst: {
+      size_t best = 0;
+      for (size_t i = 1; i < tasks_.size(); ++i) {
+        if (tasks_[i].arrival.work_full_gpu_ms < tasks_[best].arrival.work_full_gpu_ms) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case QueuePolicy::kPriority: {
+      size_t best = 0;
+      for (size_t i = 1; i < tasks_.size(); ++i) {
+        if (tasks_[i].priority > tasks_[best].priority) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case QueuePolicy::kFairShare: {
+      // Round-robin over task types, starting at the cursor.
+      size_t num_types = ModelZoo::TrainingTasks().size();
+      for (size_t offset = 0; offset < num_types; ++offset) {
+        size_t type = (fair_cursor_ + offset) % num_types;
+        for (size_t i = 0; i < tasks_.size(); ++i) {
+          if (tasks_[i].arrival.type_index == type) {
+            return i;
+          }
+        }
+      }
+      return 0;
+    }
+  }
+  MUDI_CHECK(false);
+  __builtin_unreachable();
+}
+
+std::optional<PendingTask> TaskQueue::Pop() {
+  auto idx = SelectIndex();
+  if (!idx.has_value()) {
+    return std::nullopt;
+  }
+  PendingTask task = std::move(tasks_[*idx]);
+  tasks_.erase(tasks_.begin() + static_cast<long>(*idx));
+  if (policy_ == QueuePolicy::kFairShare) {
+    fair_cursor_ = (task.arrival.type_index + 1) % ModelZoo::TrainingTasks().size();
+  }
+  return task;
+}
+
+const PendingTask* TaskQueue::Peek() const {
+  auto idx = SelectIndex();
+  if (!idx.has_value()) {
+    return nullptr;
+  }
+  return &tasks_[*idx];
+}
+
+}  // namespace mudi

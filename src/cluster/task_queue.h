@@ -1,0 +1,64 @@
+// Pending-task queue of the scheduling framework.
+//
+// The paper's Online Multiplexer caches submitted workloads in a queue
+// scheduled FCFS (§6), but Mudi "can seamlessly integrate with various
+// scheduling policies, such as shortest job first, fair sharing, and
+// priority-based scheduling, without requiring any modifications to its core
+// multiplexing algorithms" (§1). This queue implements those orderings; the
+// multiplexing policy only ever sees the task popped next.
+#ifndef SRC_CLUSTER_TASK_QUEUE_H_
+#define SRC_CLUSTER_TASK_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/workload/training_trace.h"
+
+namespace mudi {
+
+enum class QueuePolicy : int {
+  kFcfs = 0,          // first come, first served (default, §6)
+  kShortestJobFirst,  // smallest remaining work first
+  kPriority,          // highest priority first (ties FCFS)
+  kFairShare,         // round-robin across task types
+};
+
+const char* QueuePolicyName(QueuePolicy policy);
+
+struct PendingTask {
+  TrainingArrival arrival;
+  int priority = 0;  // only consulted by kPriority
+};
+
+class TaskQueue {
+ public:
+  explicit TaskQueue(QueuePolicy policy = QueuePolicy::kFcfs);
+
+  void Push(PendingTask task);
+
+  // Pops the next task per the configured policy; nullopt when empty.
+  std::optional<PendingTask> Pop();
+
+  // Next task without removing it.
+  const PendingTask* Peek() const;
+
+  size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+  QueuePolicy policy() const { return policy_; }
+
+ private:
+  // Index of the task Pop would return, or nullopt when empty.
+  std::optional<size_t> SelectIndex() const;
+
+  QueuePolicy policy_;
+  std::deque<PendingTask> tasks_;
+  // kFairShare round-robin cursor over task types.
+  mutable size_t fair_cursor_ = 0;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_CLUSTER_TASK_QUEUE_H_

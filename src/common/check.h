@@ -1,0 +1,58 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// These are always-on (release builds included): a failed check aborts the
+// process after printing the failing condition and location. Simulation and
+// scheduling code uses them to guard internal invariants; user-facing input
+// validation should return Status instead (see src/common/status.h).
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mudi {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace check_internal {
+
+template <typename A, typename B>
+std::string FormatBinary(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << expr << " (" << a << " vs " << b << ")";
+  return os.str();
+}
+
+}  // namespace check_internal
+
+}  // namespace mudi
+
+#define MUDI_CHECK(cond)                                           \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::mudi::CheckFailed(__FILE__, __LINE__, #cond);              \
+    }                                                              \
+  } while (0)
+
+#define MUDI_CHECK_OP(op, a, b)                                                             \
+  do {                                                                                      \
+    if (!((a)op(b))) {                                                                      \
+      ::mudi::CheckFailed(__FILE__, __LINE__,                                               \
+                          ::mudi::check_internal::FormatBinary(#a " " #op " " #b, a, b));   \
+    }                                                                                       \
+  } while (0)
+
+#define MUDI_CHECK_EQ(a, b) MUDI_CHECK_OP(==, a, b)
+#define MUDI_CHECK_NE(a, b) MUDI_CHECK_OP(!=, a, b)
+#define MUDI_CHECK_LT(a, b) MUDI_CHECK_OP(<, a, b)
+#define MUDI_CHECK_LE(a, b) MUDI_CHECK_OP(<=, a, b)
+#define MUDI_CHECK_GT(a, b) MUDI_CHECK_OP(>, a, b)
+#define MUDI_CHECK_GE(a, b) MUDI_CHECK_OP(>=, a, b)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,58 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace mudi {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace log_internal {
+
+Logger::Logger(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_min_level.load()), level_(level) {
+  if (enabled_) {
+    stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+}
+
+Logger::~Logger() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+}  // namespace log_internal
+
+}  // namespace mudi

@@ -1,0 +1,57 @@
+// Leveled logging with a process-global minimum severity.
+//
+// Usage: MUDI_LOG(Info) << "device " << id << " selected";
+// The stream is flushed (with newline) when the temporary Logger dies.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mudi {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  // Suppresses all logging when used as the minimum level.
+  kNone = 4,
+};
+
+// Process-global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class Logger {
+ public:
+  Logger(LogLevel level, const char* file, int line);
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace mudi
+
+#define MUDI_LOG(severity) \
+  ::mudi::log_internal::Logger(::mudi::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,124 @@
+// Deterministic random number generation for reproducible simulation.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that runs are
+// bit-reproducible given a seed. Rng also supports cheap forking: Fork(tag)
+// derives an independent child stream, so subsystems do not perturb each
+// other's sequences when the workload mix changes.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(Scramble(seed)), seed_lineage_(Scramble(seed)) {}
+
+  // Derives an independent stream from this rng's seed lineage and `tag`.
+  Rng Fork(uint64_t tag) const { return Rng(seed_lineage_ ^ Scramble(tag)); }
+
+  // Uniform double in [0, 1).
+  double Uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    MUDI_CHECK_LT(lo, hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MUDI_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Standard normal scaled to (mean, stddev).
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Log-normal multiplicative noise centred at 1.0 with the given sigma
+  // (of the underlying normal). Used for observation noise in the oracle.
+  double LogNormalFactor(double sigma) {
+    return std::exp(std::normal_distribution<double>(-0.5 * sigma * sigma, sigma)(engine_));
+  }
+
+  // Exponential with the given mean (not rate).
+  double ExponentialMean(double mean) {
+    MUDI_CHECK_GT(mean, 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Poisson-distributed count with the given mean.
+  int64_t Poisson(double mean) {
+    MUDI_CHECK_GE(mean, 0.0);
+    if (mean == 0.0) {
+      return 0;
+    }
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  // Pareto (heavy-tailed) sample with scale x_m and shape alpha.
+  double Pareto(double scale, double shape) {
+    MUDI_CHECK_GT(scale, 0.0);
+    MUDI_CHECK_GT(shape, 0.0);
+    double u = Uniform();
+    // Guard against u == 0 which would yield infinity.
+    if (u < 1e-12) {
+      u = 1e-12;
+    }
+    return scale / std::pow(u, 1.0 / shape);
+  }
+
+  // Samples an index according to non-negative weights (need not sum to 1).
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    MUDI_CHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+      MUDI_CHECK_GE(w, 0.0);
+      total += w;
+    }
+    MUDI_CHECK_GT(total, 0.0);
+    double r = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) {
+        return i;
+      }
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  // splitmix64 finalizer: decorrelates nearby seeds.
+  static uint64_t Scramble(uint64_t x) {
+    x += 0x9E3779B97f4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+  uint64_t seed_lineage_ = 0;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,114 @@
+// Minimal Status / StatusOr error-propagation types.
+//
+// Recoverable errors (bad user input, infeasible configurations) flow through
+// Status/StatusOr; programming errors abort via MUDI_CHECK. This keeps the hot
+// simulation paths exception-free while still giving callers structured errors.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInfeasible,
+  kInternal,
+};
+
+// Human-readable name for a StatusCode, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status InfeasibleError(std::string message) {
+  return Status(StatusCode::kInfeasible, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Value-or-error carrier. Accessing value() on an error status aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    MUDI_CHECK(!status_.ok());
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MUDI_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    MUDI_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    MUDI_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mudi
+
+#define MUDI_RETURN_IF_ERROR(expr)       \
+  do {                                   \
+    ::mudi::Status _status = (expr);     \
+    if (!_status.ok()) {                 \
+      return _status;                    \
+    }                                    \
+  } while (0)
+
+#endif  // SRC_COMMON_STATUS_H_

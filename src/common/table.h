@@ -1,0 +1,36 @@
+// Console table reporter used by the benchmark harness to print
+// paper-style tables/figure series with aligned columns.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mudi {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must have the same number of cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats the table with a header underline and aligned columns.
+  std::string ToString() const;
+
+  // Comma-separated dump (no alignment), one line per row incl. header.
+  std::string ToCsv() const;
+
+  // Convenience: fixed-precision double formatting.
+  static std::string Num(double value, int precision = 2);
+  // Percent with a trailing '%'.
+  static std::string Pct(double fraction01, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_COMMON_TABLE_H_

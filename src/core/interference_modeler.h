@@ -1,0 +1,72 @@
+// Interference Modeler (paper §4.1.2, module ② of Fig. 6).
+//
+// Learns, per inference service, the mapping from (co-located training
+// network architecture, inference batching size) to the parameters of the
+// piece-wise linear latency function: Y = [k1, k2, Δ0, l0]. One lightweight
+// model is trained per output metric, and the best model family (RF, SVR,
+// kNN, Linear, MLP) is selected per metric by cross-validation. The model is
+// incrementally updatable as new co-locations are profiled (Fig. 12).
+#ifndef SRC_CORE_INTERFERENCE_MODELER_H_
+#define SRC_CORE_INTERFERENCE_MODELER_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/latency_profiler.h"
+#include "src/ml/model_selection.h"
+#include "src/ml/piecewise_linear.h"
+#include "src/workload/layers.h"
+
+namespace mudi {
+
+// The four predicted curve parameters.
+enum class CurveParam : size_t { kK1 = 0, kK2, kCutoffX, kCutoffY };
+inline constexpr size_t kNumCurveParams = 4;
+const char* CurveParamName(CurveParam param);
+
+class InterferenceModeler {
+ public:
+  InterferenceModeler();
+
+  // Adds a profiled curve as a training sample for its service. The feature
+  // is the cumulative layer census of the curve's co-located training tasks
+  // plus the batching size; solo curves (no training) are skipped.
+  void AddSample(const ProfiledCurve& curve);
+  void AddSamplesFromProfiler(const LatencyProfiler& profiler);
+
+  // (Re)trains the per-service, per-parameter learners; call after adding
+  // samples. `folds` controls the model-selection cross-validation.
+  void Fit(size_t folds = 5);
+
+  // Predicts the piece-wise linear latency curve for `service_index` when
+  // co-located with training task(s) of cumulative architecture `arch` at
+  // batching size `batch`. Requires Fit() first.
+  PiecewiseLinearModel Predict(size_t service_index, const NetworkArchitecture& arch,
+                               int batch) const;
+
+  bool fitted() const { return fitted_; }
+  size_t num_samples(size_t service_index) const;
+
+  // Name of the selected model family for (service, param) — Fig. 11 labels.
+  std::string SelectedModelName(size_t service_index, CurveParam param) const;
+
+  // Feature encoding shared with tests: 11 layer counts + log2(batch).
+  static std::vector<double> EncodeFeatures(const NetworkArchitecture& arch, int batch);
+
+ private:
+  struct ServiceModels {
+    std::vector<std::vector<double>> x;
+    std::array<std::vector<double>, kNumCurveParams> y;
+    std::array<std::unique_ptr<Regressor>, kNumCurveParams> model;
+    std::array<std::string, kNumCurveParams> model_name;
+  };
+
+  std::vector<ServiceModels> per_service_;
+  bool fitted_ = false;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_CORE_INTERFERENCE_MODELER_H_

@@ -1,0 +1,219 @@
+#include "src/core/latency_profiler.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace mudi {
+
+bool CurveKey::operator<(const CurveKey& other) const {
+  if (service_index != other.service_index) {
+    return service_index < other.service_index;
+  }
+  if (batch != other.batch) {
+    return batch < other.batch;
+  }
+  return training_types < other.training_types;
+}
+
+LatencyProfiler::LatencyProfiler(const PerfOracle& oracle, Options options)
+    : oracle_(oracle), options_(std::move(options)), rng_(options_.seed) {
+  MUDI_CHECK_GE(options_.sample_fractions.size(), 4u);
+  MUDI_CHECK_GT(options_.repeats_per_point, 0u);
+}
+
+LatencyProfiler::LatencyProfiler(const PerfOracle& oracle)
+    : LatencyProfiler(oracle, Options{}) {}
+
+ProfiledCurve LatencyProfiler::ProfileCurve(size_t service_index, int batch,
+                                            const std::vector<size_t>& training_types) {
+  const auto& services = ModelZoo::InferenceServices();
+  const auto& tasks = ModelZoo::TrainingTasks();
+  MUDI_CHECK_LT(service_index, services.size());
+  const InferenceServiceSpec& service = services[service_index];
+
+  ProfiledCurve curve;
+  curve.key.service_index = service_index;
+  curve.key.batch = batch;
+  curve.key.training_types = training_types;
+  std::sort(curve.key.training_types.begin(), curve.key.training_types.end());
+
+  for (double g : options_.sample_fractions) {
+    // Co-located training tasks share the remainder of the GPU evenly while
+    // the profiling run holds the inference share at g.
+    std::vector<ColocatedTraining> colocated;
+    if (!training_types.empty()) {
+      double train_share = std::max(0.05, (1.0 - g) / static_cast<double>(training_types.size()));
+      for (size_t type : training_types) {
+        MUDI_CHECK_LT(type, tasks.size());
+        colocated.push_back(ColocatedTraining{&tasks[type], train_share});
+      }
+    }
+    std::vector<double> repeats;
+    repeats.reserve(options_.repeats_per_point);
+    for (size_t r = 0; r < options_.repeats_per_point; ++r) {
+      repeats.push_back(
+          oracle_.ObserveInferenceBatchLatency(service, batch, g, colocated, rng_).total_ms());
+      ++total_measurements_;
+    }
+    curve.sample_fractions.push_back(g);
+    curve.sample_latencies.push_back(Percentile(std::move(repeats), 99.0));
+  }
+  curve.model = FitPiecewiseLinear(curve.sample_fractions, curve.sample_latencies);
+  return curve;
+}
+
+void LatencyProfiler::ProfileAll(size_t num_training_types) {
+  const auto& services = ModelZoo::InferenceServices();
+  MUDI_CHECK_LE(num_training_types, ModelZoo::TrainingTasks().size());
+  for (size_t s = 0; s < services.size(); ++s) {
+    for (int b : ProfilingBatchSizes()) {
+      // Solo curve: interference-free baseline.
+      ProfiledCurve solo = ProfileCurve(s, b, {});
+      curves_[solo.key] = solo;
+      for (size_t type = 0; type < num_training_types; ++type) {
+        ProfiledCurve curve = ProfileCurve(s, b, {type});
+        curves_[curve.key] = curve;
+      }
+    }
+  }
+}
+
+void LatencyProfiler::ProfileMultiTraining(size_t num_training_types, bool include_triples) {
+  const auto& services = ModelZoo::InferenceServices();
+  for (size_t s = 0; s < services.size(); ++s) {
+    for (int b : ProfilingBatchSizes()) {
+      for (size_t t1 = 0; t1 < num_training_types; ++t1) {
+        for (size_t t2 = t1; t2 < num_training_types; ++t2) {
+          ProfiledCurve curve = ProfileCurve(s, b, {t1, t2});
+          curves_[curve.key] = curve;
+          if (include_triples) {
+            for (size_t t3 = t2; t3 < num_training_types; ++t3) {
+              ProfiledCurve triple = ProfileCurve(s, b, {t1, t2, t3});
+              curves_[triple.key] = triple;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void LatencyProfiler::AddMeasuredCurve(const CurveKey& key, std::vector<double> fractions,
+                                       std::vector<double> latencies) {
+  MUDI_CHECK_EQ(fractions.size(), latencies.size());
+  ProfiledCurve curve;
+  curve.key = key;
+  std::sort(curve.key.training_types.begin(), curve.key.training_types.end());
+  curve.sample_fractions = std::move(fractions);
+  curve.sample_latencies = std::move(latencies);
+  curve.model = FitPiecewiseLinear(curve.sample_fractions, curve.sample_latencies);
+  curves_[curve.key] = std::move(curve);
+}
+
+namespace {
+
+std::string JoinDoubles(const std::vector<double>& values, char sep) {
+  std::ostringstream os;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      os << sep;
+    }
+    os << values[i];
+  }
+  return os.str();
+}
+
+bool SplitDoubles(const std::string& text, char sep, std::vector<double>* out) {
+  out->clear();
+  if (text.empty()) {
+    return true;
+  }
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    char* end = nullptr;
+    double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str()) {
+      return false;
+    }
+    out->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LatencyProfiler::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return InvalidArgumentError("cannot open for writing: " + path);
+  }
+  out << "service,batch,types,x0,y0,k1,k2,fractions,latencies\n";
+  for (const auto& [key, curve] : curves_) {
+    std::vector<double> types(key.training_types.begin(), key.training_types.end());
+    out << key.service_index << ',' << key.batch << ',' << JoinDoubles(types, '+') << ','
+        << curve.model.x0 << ',' << curve.model.y0 << ',' << curve.model.k1 << ','
+        << curve.model.k2 << ',' << JoinDoubles(curve.sample_fractions, ';') << ','
+        << JoinDoubles(curve.sample_latencies, ';') << '\n';
+  }
+  return Status::Ok();
+}
+
+Status LatencyProfiler::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return NotFoundError("cannot open: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return InvalidArgumentError("empty profile file: " + path);
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      fields.push_back(field);
+    }
+    if (fields.size() != 9) {
+      return InvalidArgumentError("bad field count at line " + std::to_string(line_no));
+    }
+    ProfiledCurve curve;
+    curve.key.service_index = static_cast<size_t>(std::stoul(fields[0]));
+    curve.key.batch = std::stoi(fields[1]);
+    std::vector<double> types;
+    if (!SplitDoubles(fields[2], '+', &types)) {
+      return InvalidArgumentError("bad types at line " + std::to_string(line_no));
+    }
+    for (double t : types) {
+      curve.key.training_types.push_back(static_cast<size_t>(t));
+    }
+    curve.model.x0 = std::stod(fields[3]);
+    curve.model.y0 = std::stod(fields[4]);
+    curve.model.k1 = std::stod(fields[5]);
+    curve.model.k2 = std::stod(fields[6]);
+    if (!SplitDoubles(fields[7], ';', &curve.sample_fractions) ||
+        !SplitDoubles(fields[8], ';', &curve.sample_latencies) ||
+        curve.sample_fractions.size() != curve.sample_latencies.size()) {
+      return InvalidArgumentError("bad samples at line " + std::to_string(line_no));
+    }
+    curves_[curve.key] = std::move(curve);
+  }
+  return Status::Ok();
+}
+
+const ProfiledCurve* LatencyProfiler::FindCurve(const CurveKey& key) const {
+  auto it = curves_.find(key);
+  return it == curves_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mudi

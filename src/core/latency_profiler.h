@@ -1,0 +1,101 @@
+// Offline Latency Profiler (paper §4.1.1, module ① of Fig. 6).
+//
+// Profiles each inference service's P99 batch latency against GPU% under a
+// fixed batching size and a fixed co-located training workload, then fits
+// the piece-wise linear function of Eq. (1). Profiling is sample-efficient:
+// 6 GPU% points per curve (Tab. 2 shows piece-wise linear beats polynomial
+// and MLP fitting below 10 samples).
+//
+// Offline profiling runs before deployment on a profiling GPU, so the
+// profiler holds its own PerfOracle reference (observations are noisy
+// measurements) — this is NOT runtime ground-truth access.
+#ifndef SRC_CORE_LATENCY_PROFILER_H_
+#define SRC_CORE_LATENCY_PROFILER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/gpu/perf_oracle.h"
+#include "src/ml/piecewise_linear.h"
+#include "src/workload/models.h"
+
+namespace mudi {
+
+// Identifies one profiled latency curve: a service, a batching size, and the
+// co-located training mix (type indices, sorted; empty = solo).
+struct CurveKey {
+  size_t service_index = 0;
+  int batch = 0;
+  std::vector<size_t> training_types;  // sorted
+
+  bool operator<(const CurveKey& other) const;
+};
+
+// One profiled curve plus the raw samples it was fitted from.
+struct ProfiledCurve {
+  CurveKey key;
+  PiecewiseLinearModel model;
+  std::vector<double> sample_fractions;
+  std::vector<double> sample_latencies;
+};
+
+class LatencyProfiler {
+ public:
+  struct Options {
+    // GPU% points measured per curve (subset of the 10–90% grid).
+    std::vector<double> sample_fractions{0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
+    // Repeated measurements per point; the P99 across repeats is the sample.
+    size_t repeats_per_point = 20;
+    // Assumed GPU share of the co-located training task while profiling
+    // (the remainder of the inference share, split across tasks).
+    uint64_t seed = 101;
+  };
+
+  LatencyProfiler(const PerfOracle& oracle, Options options);
+  explicit LatencyProfiler(const PerfOracle& oracle);
+
+  // Profiles one curve: service × batch × co-located training mix.
+  ProfiledCurve ProfileCurve(size_t service_index, int batch,
+                             const std::vector<size_t>& training_types);
+
+  // Profiles the full offline grid: every service × ProfilingBatchSizes() ×
+  // each single training type in [0, num_training_types). Results are
+  // retained and queryable.
+  void ProfileAll(size_t num_training_types);
+
+  // Extends the store with multi-training co-location curves (§5.5):
+  // every pair (and optionally triple) drawn from the observed types.
+  void ProfileMultiTraining(size_t num_training_types, bool include_triples);
+
+  // Stores a curve fitted from *online* measurements (the §7.3 incremental
+  // update path: when a service meets a new co-location, Mudi samples its
+  // latency and folds the fitted curve into the store).
+  void AddMeasuredCurve(const CurveKey& key, std::vector<double> fractions,
+                        std::vector<double> latencies);
+
+  const std::map<CurveKey, ProfiledCurve>& curves() const { return curves_; }
+  const ProfiledCurve* FindCurve(const CurveKey& key) const;
+
+  size_t total_measurements() const { return total_measurements_; }
+
+  // --- persistence ---
+  // Offline profiling is the expensive step (hours of GPU time in the real
+  // system), so the curve store round-trips through a CSV file:
+  //   service,batch,types(+separated),x0,y0,k1,k2,g1;g2;...,l1;l2;...
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  const PerfOracle& oracle_;
+  Options options_;
+  Rng rng_;
+  std::map<CurveKey, ProfiledCurve> curves_;
+  size_t total_measurements_ = 0;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_CORE_LATENCY_PROFILER_H_

@@ -1,0 +1,84 @@
+#include "src/core/memory_manager.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+MemoryManager::MemoryManager() : MemoryManager(Options{}) {}
+
+MemoryManager::MemoryManager(Options options) : options_(options) {
+  MUDI_CHECK_GT(options_.pcie_mb_per_ms, 0.0);
+  MUDI_CHECK_GE(options_.min_resident_fraction, 0.0);
+  MUDI_CHECK_LT(options_.min_resident_fraction, 1.0);
+}
+
+double MemoryManager::Rebalance(GpuDevice& device, TimeMs now) {
+  double transfer_ms = 0.0;
+
+  // Phase 1: swap out while over capacity. Inference memory is pinned; we
+  // page out training memory, largest resident working set first so fewer
+  // tasks are disturbed.
+  double deficit = device.MemoryDeficitMb();
+  if (deficit > 0.0) {
+    auto& trainings = device.mutable_trainings();
+    std::vector<TrainingInstance*> order;
+    order.reserve(trainings.size());
+    for (auto& t : trainings) {
+      order.push_back(&t);
+    }
+    std::sort(order.begin(), order.end(), [](const TrainingInstance* a,
+                                             const TrainingInstance* b) {
+      return a->mem_resident_mb() > b->mem_resident_mb();
+    });
+    for (TrainingInstance* t : order) {
+      if (deficit <= 0.0) {
+        break;
+      }
+      double min_resident = options_.min_resident_fraction * t->mem_required_mb;
+      double can_release = t->mem_resident_mb() - min_resident;
+      if (can_release <= 0.0) {
+        continue;
+      }
+      double mb = std::min(deficit, can_release);
+      t->mem_swapped_mb += mb;
+      deficit -= mb;
+      double ms = mb / options_.pcie_mb_per_ms;
+      transfer_ms += ms;
+      total_swapped_out_mb_ += mb;
+      records_.push_back(SwapRecord{now, device.id(), t->task_id, mb, /*to_host=*/true, ms});
+    }
+  }
+
+  // Phase 2: swap back in when there is comfortable headroom.
+  double headroom = device.MemoryFreeMb() - options_.swap_in_headroom_mb;
+  if (headroom > 0.0) {
+    for (auto& t : device.mutable_trainings()) {
+      if (headroom <= 0.0) {
+        break;
+      }
+      if (t.mem_swapped_mb <= 0.0) {
+        continue;
+      }
+      double mb = std::min(headroom, t.mem_swapped_mb);
+      t.mem_swapped_mb -= mb;
+      headroom -= mb;
+      double ms = mb / options_.pcie_mb_per_ms;
+      transfer_ms += ms;
+      records_.push_back(SwapRecord{now, device.id(), t.task_id, mb, /*to_host=*/false, ms});
+    }
+  }
+  return transfer_ms;
+}
+
+double MemoryManager::SwapSlowdownFactor(const TrainingInstance& training) {
+  if (training.mem_required_mb <= 0.0) {
+    return 1.0;
+  }
+  double swapped_frac = training.mem_swapped_mb / training.mem_required_mb;
+  // Paged UM access: up to ~2.2x slower when most state lives on the host.
+  return 1.0 + 1.5 * swapped_frac;
+}
+
+}  // namespace mudi

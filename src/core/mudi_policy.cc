@@ -1,0 +1,287 @@
+#include "src/core/mudi_policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace mudi {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+MudiPolicy::MudiPolicy(const PerfOracle& profiling_oracle, Options options)
+    : options_(std::move(options)),
+      profiler_(profiling_oracle),
+      tuner_(options_.tuner),
+      rng_(options_.seed) {
+  predictor_ = std::make_unique<InterferencePredictor>(&profiler_, &modeler_);
+  DeviceSelector::Constraints constraints;
+  constraints.max_trainings_per_device = options_.max_trainings_per_device;
+  constraints.allow_memory_overcommit = true;
+  selector_ = std::make_unique<DeviceSelector>(predictor_.get(), constraints);
+}
+
+MudiPolicy::MudiPolicy(const PerfOracle& profiling_oracle)
+    : MudiPolicy(profiling_oracle, Options{}) {}
+
+std::string MudiPolicy::name() const {
+  if (!options_.display_name.empty()) {
+    return options_.display_name;
+  }
+  if (options_.cluster_policy == ClusterPolicy::kRandom) {
+    return "Mudi-device-only";
+  }
+  if (options_.device_policy == DevicePolicy::kStatic) {
+    return "Mudi-cluster-only";
+  }
+  if (options_.max_trainings_per_device > 1) {
+    return "Mudi-more";
+  }
+  return "Mudi";
+}
+
+void MudiPolicy::Initialize(SchedulingEnv& env) {
+  (void)env;
+  if (initialized_) {
+    return;
+  }
+  profiler_.ProfileAll(options_.observed_training_types);
+  if (options_.max_trainings_per_device > 1) {
+    profiler_.ProfileMultiTraining(options_.observed_training_types,
+                                   options_.max_trainings_per_device > 2);
+  }
+  modeler_.AddSamplesFromProfiler(profiler_);
+  modeler_.Fit();
+  initialized_ = true;
+  MUDI_LOG(Info) << name() << ": offline profiling done, "
+                 << profiler_.curves().size() << " curves, "
+                 << profiler_.total_measurements() << " measurements";
+}
+
+std::vector<size_t> MudiPolicy::DeviceMix(const GpuDevice& device) {
+  std::vector<size_t> mix;
+  mix.reserve(device.trainings().size());
+  for (const auto& t : device.trainings()) {
+    mix.push_back(t.type_index);
+  }
+  return mix;
+}
+
+std::optional<int> MudiPolicy::SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) {
+  MUDI_CHECK(initialized_);
+  auto start = std::chrono::steady_clock::now();
+  std::optional<int> choice;
+  if (options_.cluster_policy == ClusterPolicy::kSlopeBased) {
+    choice = selector_->Select(env, task);
+  } else {
+    // Ablation (Fig. 13b): uniform-random among eligible devices.
+    std::vector<int> eligible;
+    for (const GpuDevice& device : env.devices()) {
+      if (selector_->Eligible(env, device, task)) {
+        eligible.push_back(device.id());
+      }
+    }
+    if (!eligible.empty()) {
+      choice = eligible[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
+    }
+  }
+  RecordPlacementOverhead(ElapsedMs(start));
+  return choice;
+}
+
+void MudiPolicy::DistributeTrainingShares(SchedulingEnv& env, int device_id,
+                                          double inference_fraction) {
+  const GpuDevice& device = env.device(device_id);
+  size_t active = device.num_active_trainings();
+  if (active == 0) {
+    return;
+  }
+  // §5.5: the unassigned portion of the GPU is split evenly across the
+  // co-located training tasks.
+  double share = std::max(0.02, (1.0 - inference_fraction) / static_cast<double>(active));
+  for (const auto& t : device.trainings()) {
+    if (!t.paused) {
+      env.ApplyTrainingFraction(device_id, t.task_id, share);
+    }
+  }
+}
+
+void MudiPolicy::TuneDevice(SchedulingEnv& env, int device_id, bool on_placement,
+                            int probe_task_id) {
+  const GpuDevice& device = env.device(device_id);
+  MUDI_CHECK(device.has_inference());
+  size_t service_index = device.inference().service_index;
+  const InferenceServiceSpec& service = ModelZoo::InferenceServices()[service_index];
+  double qps = env.MeasuredQps(device_id);
+  std::vector<size_t> mix = DeviceMix(device);
+
+  auto curve_provider = [&](int batch) {
+    return predictor_->PredictCurve(service_index, mix, batch);
+  };
+
+  // Initial GPU% for the service: the maximum predicted cutoff across
+  // batching sizes (§5.3.2) — generous while the batching search runs.
+  double init_fraction = tuner_.options().min_fraction;
+  for (int b : ProfilingBatchSizes()) {
+    init_fraction = std::max(init_fraction, curve_provider(b).x0);
+  }
+  init_fraction = std::min(init_fraction, tuner_.options().max_fraction);
+
+  // The BO objective: observed training mini-batch time for a candidate
+  // inference batching size (Training Agent feedback). With no training
+  // resident (pure rescale), the objective is flat.
+  size_t active = std::max<size_t>(1, device.num_active_trainings());
+  double train_share = std::max(0.05, (1.0 - init_fraction) / static_cast<double>(active));
+  auto objective = [&](int batch) {
+    if (probe_task_id < 0) {
+      return 1.0;
+    }
+    return env.ProbeTrainingIterMs(device_id, probe_task_id, train_share, batch, init_fraction);
+  };
+
+  int current_batch =
+      device.inference().batch_size > 0 ? device.inference().batch_size : ProfilingBatchSizes()[0];
+  Tuner::Result result =
+      on_placement
+          ? tuner_.TuneOnPlacement(curve_provider, objective, ProfilingBatchSizes(), qps,
+                                   service.slo_ms)
+          : tuner_.TuneOnQpsChange(curve_provider, objective, ProfilingBatchSizes(),
+                                   current_batch, qps, service.slo_ms);
+  RecordTuningIterations(result.bo_iterations);
+
+  // Resume hysteresis: un-pausing preempted training requires feasibility
+  // with extra load margin, or the device thrashes pause/resume around the
+  // feasibility boundary while the request rate fluctuates.
+  bool any_paused = false;
+  for (const auto& t : device.trainings()) {
+    any_paused |= t.paused;
+  }
+  if (result.feasible && any_paused &&
+      !tuner_.BatchFeasible(curve_provider(result.batch), result.batch, qps * 1.08,
+                            service.slo_ms)) {
+    result.feasible = false;
+  }
+
+  if (!result.feasible) {
+    // §5.3.2: bursty load beyond what multiplexing can absorb — preempt the
+    // training tasks and give the service the maximum partition.
+    for (const auto& t : device.trainings()) {
+      env.SetTrainingPaused(device_id, t.task_id, true);
+    }
+    env.ApplyInferenceConfig(device_id, current_batch, tuner_.options().max_fraction);
+    return;
+  }
+
+  // Feasible again: resume anything we paused earlier.
+  for (const auto& t : device.trainings()) {
+    if (t.paused) {
+      env.SetTrainingPaused(device_id, t.task_id, false);
+    }
+  }
+  // §7.3 incremental sampling: the prediction may extrapolate poorly to an
+  // unseen co-location, so verify the chosen configuration with live probes
+  // and escalate the partition while the measured latency misses the
+  // planning budget. The samples also refresh the curve store, so repeat
+  // co-locations predict from measurements instead of extrapolation.
+  double budget = PlanningLatencyBudgetMs(
+      result.batch, std::max(qps, 1.0) * tuner_.options().load_headroom, service.slo_ms);
+  std::vector<double> probe_fractions, probe_latencies;
+  for (int round = 0; round < 5; ++round) {
+    double measured =
+        env.ProbeInferenceLatencyMs(device_id, result.batch, result.inference_fraction);
+    probe_fractions.push_back(result.inference_fraction);
+    probe_latencies.push_back(measured);
+    if (measured <= budget || result.inference_fraction >= tuner_.options().max_fraction) {
+      break;
+    }
+    result.inference_fraction = std::min(tuner_.options().max_fraction,
+                                         result.inference_fraction * 1.25 + 0.02);
+  }
+  if (probe_fractions.size() >= 4) {
+    // Enough spread to refresh the stored curve for this (mix, batch).
+    profiler_.AddMeasuredCurve(CurveKey{service_index, result.batch, mix},
+                               probe_fractions, probe_latencies);
+    predictor_->InvalidateCache();
+  }
+
+  env.ApplyInferenceConfig(device_id, result.batch, result.inference_fraction);
+  DistributeTrainingShares(env, device_id, result.inference_fraction);
+}
+
+void MudiPolicy::ApplyStaticConfig(SchedulingEnv& env, int device_id) {
+  // Fig. 13(a) ablation: cluster-wide placement only. Pick the largest
+  // batching size whose predicted curve meets the SLO at the cutoff point,
+  // set Δ to that cutoff, and never retune.
+  const GpuDevice& device = env.device(device_id);
+  size_t service_index = device.inference().service_index;
+  const InferenceServiceSpec& service = ModelZoo::InferenceServices()[service_index];
+  double qps = env.MeasuredQps(device_id);
+  std::vector<size_t> mix = DeviceMix(device);
+
+  const auto& batches = ProfilingBatchSizes();
+  int chosen_batch = batches.front();
+  double chosen_fraction = tuner_.options().max_fraction;
+  for (auto it = batches.rbegin(); it != batches.rend(); ++it) {
+    PiecewiseLinearModel curve = predictor_->PredictCurve(service_index, mix, *it);
+    auto frac = tuner_.MinimalFraction(curve, *it, qps, service.slo_ms);
+    if (frac.has_value()) {
+      chosen_batch = *it;
+      chosen_fraction = std::clamp(std::max(*frac, curve.x0) * 1.05,
+                                   tuner_.options().min_fraction,
+                                   tuner_.options().max_fraction);
+      break;
+    }
+  }
+  env.ApplyInferenceConfig(device_id, chosen_batch, chosen_fraction);
+  DistributeTrainingShares(env, device_id, chosen_fraction);
+}
+
+void MudiPolicy::OnTrainingPlaced(SchedulingEnv& env, int device_id,
+                                  const TrainingTaskInfo& task) {
+  if (options_.device_policy == DevicePolicy::kStatic) {
+    ApplyStaticConfig(env, device_id);
+    return;
+  }
+  TuneDevice(env, device_id, /*on_placement=*/true, task.task_id);
+}
+
+void MudiPolicy::OnTrainingCompleted(SchedulingEnv& env, int device_id, int task_id) {
+  (void)task_id;
+  const GpuDevice& device = env.device(device_id);
+  if (!device.has_inference()) {
+    return;
+  }
+  // Reclaim the departed task's share for the remaining residents.
+  DistributeTrainingShares(env, device_id, device.inference().gpu_fraction);
+}
+
+void MudiPolicy::OnQpsChange(SchedulingEnv& env, int device_id) {
+  if (options_.device_policy == DevicePolicy::kStatic) {
+    return;
+  }
+  const GpuDevice& device = env.device(device_id);
+  if (!device.has_inference()) {
+    return;
+  }
+  int probe_task = -1;
+  for (const auto& t : device.trainings()) {
+    if (!t.paused) {
+      probe_task = t.task_id;
+      break;
+    }
+  }
+  TuneDevice(env, device_id, /*on_placement=*/false, probe_task);
+}
+
+}  // namespace mudi

@@ -1,0 +1,114 @@
+#include "src/core/online_multiplexer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/workload/models.h"
+
+namespace mudi {
+
+InterferencePredictor::InterferencePredictor(const LatencyProfiler* profiler,
+                                             const InterferenceModeler* modeler)
+    : profiler_(profiler), modeler_(modeler) {
+  MUDI_CHECK(profiler_ != nullptr);
+  MUDI_CHECK(modeler_ != nullptr);
+}
+
+PiecewiseLinearModel InterferencePredictor::PredictCurve(size_t service_index,
+                                                         std::vector<size_t> training_types,
+                                                         int batch) const {
+  std::sort(training_types.begin(), training_types.end());
+  CurveKey key{service_index, batch, training_types};
+  if (const ProfiledCurve* curve = profiler_->FindCurve(key)) {
+    return curve->model;
+  }
+  // Unseen mix: learner over the cumulative architecture (§4.2, §5.5).
+  const auto& tasks = ModelZoo::TrainingTasks();
+  NetworkArchitecture cumulative;
+  for (size_t type : training_types) {
+    MUDI_CHECK_LT(type, tasks.size());
+    cumulative = cumulative.Plus(tasks[type].arch);
+  }
+  return modeler_->Predict(service_index, cumulative, batch);
+}
+
+double InterferencePredictor::InterferenceScore(
+    size_t service_index, const std::vector<size_t>& training_types) const {
+  std::vector<size_t> sorted_types = training_types;
+  std::sort(sorted_types.begin(), sorted_types.end());
+  auto key = std::make_pair(service_index, sorted_types);
+  auto it = score_cache_.find(key);
+  if (it != score_cache_.end()) {
+    return it->second;
+  }
+  const auto& batches = ProfilingBatchSizes();
+  double sum = 0.0;
+  for (int b : batches) {
+    PiecewiseLinearModel curve = PredictCurve(service_index, sorted_types, b);
+    sum += std::abs(curve.AverageSlope());
+  }
+  double score = sum / static_cast<double>(batches.size());
+  score_cache_.emplace(std::move(key), score);
+  return score;
+}
+
+DeviceSelector::DeviceSelector(const InterferencePredictor* predictor, Constraints constraints)
+    : predictor_(predictor), constraints_(constraints) {
+  MUDI_CHECK(predictor_ != nullptr);
+  MUDI_CHECK_GT(constraints_.max_trainings_per_device, 0);
+}
+
+bool DeviceSelector::Eligible(const SchedulingEnv& env, const GpuDevice& device,
+                              const TrainingTaskInfo& task) const {
+  if (!device.has_inference()) {
+    return false;
+  }
+  if (device.trainings().size() >=
+      static_cast<size_t>(constraints_.max_trainings_per_device)) {
+    return false;
+  }
+  double projected = device.MemoryRequiredMb() + TrainingMemoryMb(*task.spec);
+  double overcommit = projected - device.memory_mb();
+  if (!constraints_.allow_memory_overcommit && overcommit > 0.0) {
+    return false;
+  }
+  if (overcommit > constraints_.max_overcommit_mb) {
+    return false;  // beyond what the Memory Manager can absorb sensibly
+  }
+  return true;
+}
+
+std::optional<int> DeviceSelector::Select(SchedulingEnv& env,
+                                          const TrainingTaskInfo& task) const {
+  double best_score = std::numeric_limits<double>::infinity();
+  std::optional<int> best_device;
+  for (const GpuDevice& device : env.devices()) {
+    if (!Eligible(env, device, task)) {
+      continue;
+    }
+    std::vector<size_t> mix;
+    mix.reserve(device.trainings().size() + 1);
+    for (const auto& t : device.trainings()) {
+      mix.push_back(t.type_index);
+    }
+    mix.push_back(task.type_index);
+    double score = predictor_->InterferenceScore(device.inference().service_index, mix);
+    // Light tie-break: prefer devices with fewer residents so load spreads.
+    score *= 1.0 + 0.05 * static_cast<double>(device.trainings().size());
+    // Memory-pressure penalty: overcommit is allowed (the Memory Manager
+    // swaps), but paged training iterations are up to ~2.5x slower, so a
+    // device whose memory would overflow is a much worse co-location.
+    double projected = device.MemoryRequiredMb() + TrainingMemoryMb(*task.spec);
+    double overflow_mb = std::max(0.0, projected - device.memory_mb());
+    score *= 1.0 + overflow_mb / 10000.0;
+    if (score < best_score) {
+      best_score = score;
+      best_device = device.id();
+    }
+  }
+  return best_device;
+}
+
+}  // namespace mudi

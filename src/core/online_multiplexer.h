@@ -1,0 +1,84 @@
+// Online Multiplexer (paper §3.2 modules ③–④, §4.2, §5.2).
+//
+// InterferencePredictor: predicts the piece-wise linear latency curve of an
+// inference service under a hypothetical co-location — using the exact
+// offline-profiled curve when that co-location mix was profiled, and the
+// architecture-feature learner (InterferenceModeler) otherwise, which is how
+// previously unobserved training tasks are handled.
+//
+// DeviceSelector: assigns an incoming training task to the device whose
+// hosted service would see the smallest average slope magnitude across the
+// batching-size set {16, 32, 64, 128, 256, 512} (§5.2) — less interference
+// AND less sensitivity to resource shrinkage, so more GPU can go to training.
+#ifndef SRC_CORE_ONLINE_MULTIPLEXER_H_
+#define SRC_CORE_ONLINE_MULTIPLEXER_H_
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/policy.h"
+#include "src/core/interference_modeler.h"
+#include "src/core/latency_profiler.h"
+#include "src/ml/piecewise_linear.h"
+
+namespace mudi {
+
+class InterferencePredictor {
+ public:
+  InterferencePredictor(const LatencyProfiler* profiler, const InterferenceModeler* modeler);
+
+  // Latency curve of service `service_index` at batching size `batch` when
+  // co-located with training tasks of the given type indices (sorted or
+  // not). Exact profiled curves take precedence; unseen mixes fall back to
+  // the learner over the cumulative layer census.
+  PiecewiseLinearModel PredictCurve(size_t service_index, std::vector<size_t> training_types,
+                                    int batch) const;
+
+  // §5.2 score: mean of |(k1+k2)/2| across the profiling batch sizes.
+  // Lower is a better co-location.
+  double InterferenceScore(size_t service_index,
+                           const std::vector<size_t>& training_types) const;
+
+  // Drops memoized scores (call after incremental modeler refits).
+  void InvalidateCache() { score_cache_.clear(); }
+
+ private:
+  const LatencyProfiler* profiler_;
+  const InterferenceModeler* modeler_;
+  // Score memoization: the score is a pure function of (service, mix), and
+  // cluster-wide selection evaluates the same handful of mixes across
+  // hundreds of devices.
+  mutable std::map<std::pair<size_t, std::vector<size_t>>, double> score_cache_;
+};
+
+class DeviceSelector {
+ public:
+  struct Constraints {
+    int max_trainings_per_device = 1;
+    bool allow_memory_overcommit = true;  // Mudi swaps; set false without swap
+    // Even with swap, overcommit beyond this bound thrashes (paged training
+    // runs ~2.5x slower); such devices are ineligible and the task queues.
+    double max_overcommit_mb = 10240.0;
+  };
+
+  DeviceSelector(const InterferencePredictor* predictor, Constraints constraints);
+
+  // Device with the smallest interference score for the incoming task among
+  // eligible devices; nullopt when no device is eligible.
+  std::optional<int> Select(SchedulingEnv& env, const TrainingTaskInfo& task) const;
+
+  // Eligibility: capacity for one more training task (+ memory fit when
+  // overcommit is disallowed).
+  bool Eligible(const SchedulingEnv& env, const GpuDevice& device,
+                const TrainingTaskInfo& task) const;
+
+ private:
+  const InterferencePredictor* predictor_;
+  Constraints constraints_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_CORE_ONLINE_MULTIPLEXER_H_

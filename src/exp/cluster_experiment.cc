@@ -1,0 +1,722 @@
+#include "src/exp/cluster_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace mudi {
+namespace {
+
+constexpr double kDefaultReplicaQps = 200.0;  // mean inter-arrival 5 ms (§7.1)
+constexpr double kInitialInferenceFraction = 0.5;
+constexpr int kInitialBatch = 64;
+// Queue cap as a multiple of the batching size: beyond it, oldest requests
+// are shed and counted as worst-case latency (overload).
+constexpr double kQueueCapBatches = 50.0;
+
+double WeightedP99(const std::vector<std::pair<double, double>>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<std::pair<double, double>> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (const auto& [lat, w] : sorted) {
+    total += w;
+  }
+  double target = 0.99 * total;
+  double cum = 0.0;
+  for (const auto& [lat, w] : sorted) {
+    cum += w;
+    if (cum >= target) {
+      return lat;
+    }
+  }
+  return sorted.back().first;
+}
+
+}  // namespace
+
+ClusterExperiment::ClusterExperiment(ExperimentOptions options, MultiplexPolicy* policy)
+    : options_(std::move(options)),
+      policy_(policy),
+      oracle_(options_.oracle_seed),
+      cluster_(options_.num_nodes, NodeSpec{options_.gpus_per_node, ModelZoo::kGpuMemoryMb}),
+      rng_(options_.seed),
+      probe_rng_(options_.seed ^ 0xABCDEFull),
+      queue_(options_.queue_policy) {
+  MUDI_CHECK(policy_ != nullptr);
+  MUDI_CHECK_GT(options_.num_services, 0u);
+  MUDI_CHECK_LE(options_.num_services, ModelZoo::InferenceServices().size());
+
+  // Place one inference replica per device, service round-robin.
+  replicas_.resize(cluster_.num_devices());
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    size_t service_index = (d % options_.num_services + options_.service_offset) %
+                           ModelZoo::InferenceServices().size();
+    const InferenceServiceSpec& spec = ModelZoo::InferenceServices()[service_index];
+    InferenceInstance instance;
+    instance.service_index = service_index;
+    instance.batch_size = kInitialBatch;
+    instance.gpu_fraction = kInitialInferenceFraction;
+    instance.mem_required_mb = InferenceMemoryMb(spec, kInitialBatch);
+    cluster_.device(d).PlaceInference(instance);
+
+    Replica& r = replicas_[d];
+    if (options_.qps_factory) {
+      r.qps = options_.qps_factory(service_index, static_cast<int>(d));
+    } else {
+      r.qps = std::make_shared<ConstantQps>(kDefaultReplicaQps);
+    }
+  }
+}
+
+ClusterExperiment::~ClusterExperiment() = default;
+
+TimeMs ClusterExperiment::Now() const { return sim_.Now(); }
+
+std::vector<GpuDevice>& ClusterExperiment::devices() { return cluster_.devices(); }
+
+const GpuDevice& ClusterExperiment::device(int device_id) const {
+  return cluster_.device(static_cast<size_t>(device_id));
+}
+
+const InferenceServiceSpec& ClusterExperiment::ServiceOnDevice(int device_id) const {
+  const GpuDevice& dev = device(device_id);
+  return ModelZoo::InferenceServices()[dev.inference().service_index];
+}
+
+double ClusterExperiment::MeasuredQps(int device_id) {
+  return replicas_[static_cast<size_t>(device_id)].monitor.CurrentQps(sim_.Now());
+}
+
+double ClusterExperiment::MeasuredP99(int device_id) {
+  return replicas_[static_cast<size_t>(device_id)].monitor.P99LatencyMs();
+}
+
+std::vector<ColocatedTraining> ClusterExperiment::ActiveColocation(const GpuDevice& dev) const {
+  const auto& tasks = ModelZoo::TrainingTasks();
+  std::vector<ColocatedTraining> out;
+  for (const auto& t : dev.trainings()) {
+    if (!t.paused) {
+      out.push_back(ColocatedTraining{&tasks[t.type_index], t.gpu_fraction});
+    }
+  }
+  return out;
+}
+
+InferenceLoad ClusterExperiment::CurrentInferenceLoad(int device_id) {
+  const GpuDevice& dev = device(device_id);
+  InferenceLoad load;
+  load.spec = &ServiceOnDevice(device_id);
+  load.batch_size = dev.inference().batch_size;
+  load.gpu_fraction = dev.inference().gpu_fraction;
+  load.qps = MeasuredQps(device_id);
+  return load;
+}
+
+double ClusterExperiment::ProbeInferenceLatencyMs(int device_id, int batch,
+                                                  double gpu_fraction) {
+  const GpuDevice& dev = device(device_id);
+  auto colocated = ActiveColocation(dev);
+  double lat = oracle_
+                   .ObserveInferenceBatchLatency(ServiceOnDevice(device_id), batch, gpu_fraction,
+                                                 colocated, probe_rng_)
+                   .total_ms();
+  return lat / dev.compute_scale();
+}
+
+double ClusterExperiment::ProbeTrainingIterMs(int device_id, int task_id, double train_fraction,
+                                              int inf_batch, double inf_fraction) {
+  const GpuDevice& dev = device(device_id);
+  const TrainingInstance* instance = dev.FindTraining(task_id);
+  MUDI_CHECK(instance != nullptr);
+  const auto& tasks = ModelZoo::TrainingTasks();
+  const TrainingTaskSpec& spec = tasks[instance->type_index];
+
+  InferenceLoad load = CurrentInferenceLoad(device_id);
+  if (inf_batch > 0) {
+    load.batch_size = inf_batch;
+  }
+  if (inf_fraction > 0.0) {
+    load.gpu_fraction = inf_fraction;
+  }
+  std::vector<ColocatedTraining> others;
+  for (const auto& t : dev.trainings()) {
+    if (!t.paused && t.task_id != task_id) {
+      others.push_back(ColocatedTraining{&tasks[t.type_index], t.gpu_fraction});
+    }
+  }
+  double frac = train_fraction > 0.0 ? train_fraction : instance->gpu_fraction;
+  double iter = oracle_.ObserveTrainingIterationMs(spec, std::clamp(frac, 0.02, 1.0), load,
+                                                   others, probe_rng_);
+  // The what-if must anticipate the memory pressure of the probed inference
+  // batch: a larger batch can force this task's working set to swap, and the
+  // Training Agent would observe those slower (paged) iterations.
+  TrainingInstance hypothetical = *instance;
+  if (inf_batch > 0) {
+    double inf_mem = InferenceMemoryMb(*load.spec, inf_batch);
+    double required = inf_mem;
+    for (const auto& t : dev.trainings()) {
+      required += t.mem_required_mb;
+    }
+    double deficit = std::max(0.0, required - dev.memory_mb());
+    hypothetical.mem_swapped_mb = std::min(deficit, 0.85 * instance->mem_required_mb);
+  }
+  return iter * MemoryManager::SwapSlowdownFactor(hypothetical) / dev.compute_scale();
+}
+
+void ClusterExperiment::ApplyInferenceConfig(int device_id, int batch, double gpu_fraction) {
+  MUDI_CHECK_GT(batch, 0);
+  MUDI_CHECK_GT(gpu_fraction, 0.0);
+  MUDI_CHECK_LE(gpu_fraction, 1.0);
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  Replica& r = replicas_[static_cast<size_t>(device_id)];
+  InferenceInstance& inf = dev.mutable_inference();
+
+  // Batch updates are a serving-loop parameter: immediate (§5.3.1).
+  inf.batch_size = batch;
+  inf.mem_required_mb = InferenceMemoryMb(ServiceOnDevice(device_id), batch);
+  RebalanceMemory(device_id);
+
+  double delta = std::abs(gpu_fraction - inf.gpu_fraction);
+  if (delta < 1e-6) {
+    UpdateTrainingSpeeds(device_id);
+    return;
+  }
+  // GPU% updates ride the shadow instance: effective after the
+  // reconfiguration latency. A request matching the in-flight shadow keeps
+  // it (otherwise periodic retunes with the same target would restart the
+  // shadow forever and the config would never land); a different target
+  // supersedes it.
+  if (r.pending_config.has_value() && r.pending_config->first == batch &&
+      std::abs(r.pending_config->second - gpu_fraction) < 1e-6) {
+    UpdateTrainingSpeeds(device_id);
+    return;
+  }
+  if (r.pending_event != Simulator::kInvalidEventId) {
+    sim_.Cancel(r.pending_event);
+    r.pending_event = Simulator::kInvalidEventId;
+  }
+  r.pending_config = {batch, gpu_fraction};
+  r.pending_event = sim_.ScheduleAfter(options_.reconfig_latency_ms, [this, device_id] {
+    Replica& rep = replicas_[static_cast<size_t>(device_id)];
+    if (!rep.pending_config.has_value()) {
+      return;
+    }
+    auto [b, g] = *rep.pending_config;
+    rep.pending_config.reset();
+    rep.pending_event = Simulator::kInvalidEventId;
+    GpuDevice& d = cluster_.device(static_cast<size_t>(device_id));
+    d.mutable_inference().batch_size = b;
+    d.mutable_inference().gpu_fraction = g;
+    d.mutable_inference().mem_required_mb = InferenceMemoryMb(ServiceOnDevice(device_id), b);
+    RebalanceMemory(device_id);
+    UpdateTrainingSpeeds(device_id);
+  });
+  UpdateTrainingSpeeds(device_id);
+}
+
+void ClusterExperiment::ApplyTrainingFraction(int device_id, int task_id, double fraction) {
+  MUDI_CHECK_GT(fraction, 0.0);
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  TrainingInstance* instance = dev.FindTraining(task_id);
+  MUDI_CHECK(instance != nullptr);
+  SyncTrainingProgress(device_id, task_id);
+  instance->gpu_fraction = std::min(fraction, 1.0);
+  UpdateTrainingSpeeds(device_id);
+}
+
+void ClusterExperiment::SetTrainingPaused(int device_id, int task_id, bool paused) {
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  TrainingInstance* instance = dev.FindTraining(task_id);
+  MUDI_CHECK(instance != nullptr);
+  if (instance->paused == paused) {
+    return;
+  }
+  SyncTrainingProgress(device_id, task_id);
+  instance->paused = paused;
+  UpdateTrainingSpeeds(device_id);
+}
+
+bool ClusterExperiment::CanFitTraining(int device_id, const TrainingTaskSpec& spec) const {
+  const GpuDevice& dev = device(device_id);
+  return dev.MemoryRequiredMb() + TrainingMemoryMb(spec) <= dev.memory_mb();
+}
+
+void ClusterExperiment::RebalanceMemory(int device_id) {
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  if (!policy_->SupportsMemorySwap()) {
+    return;  // non-swap policies never overcommit (placement enforces fit)
+  }
+  memory_manager_.Rebalance(dev, sim_.Now());
+}
+
+// ---------------------------------------------------------------------------
+// Serving path
+// ---------------------------------------------------------------------------
+
+TimeMs ClusterExperiment::WaitTimeoutMs(int device_id) const {
+  const InferenceServiceSpec& spec = ServiceOnDevice(device_id);
+  return std::clamp(0.25 * spec.slo_ms, 5.0, 400.0);
+}
+
+void ClusterExperiment::ArrivalTick(int device_id) {
+  Replica& r = replicas_[static_cast<size_t>(device_id)];
+  TimeMs now = sim_.Now();
+  double tick = options_.arrival_tick_ms;
+  if (tick <= 0.0) {
+    tick = std::clamp(ServiceOnDevice(device_id).slo_ms / 15.0, 5.0, 100.0);
+  }
+  double mean = r.qps->QpsAt(now) * tick / kMsPerSecond;
+  auto count = static_cast<double>(rng_.Poisson(mean));
+  if (count > 0.0) {
+    r.queue.push_back(Cohort{now, count});
+    r.queued += count;
+    r.monitor.RecordArrivals(now, count);
+
+    // Overload shedding: bound the queue, penalizing shed requests.
+    const GpuDevice& dev = device(device_id);
+    double cap = kQueueCapBatches * static_cast<double>(std::max(dev.inference().batch_size, 1));
+    while (r.queued > cap && !r.queue.empty()) {
+      Cohort shed = r.queue.front();
+      r.queue.pop_front();
+      r.queued -= shed.count;
+      double penalty = 10.0 * ServiceOnDevice(device_id).slo_ms;
+      r.window_latencies.emplace_back(penalty, shed.count);
+      r.monitor.RecordLatency(penalty, shed.count);
+    }
+    TryStartBatch(device_id);
+  }
+}
+
+void ClusterExperiment::TryStartBatch(int device_id) {
+  Replica& r = replicas_[static_cast<size_t>(device_id)];
+  if (r.busy || r.queue.empty()) {
+    return;
+  }
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  int target_batch = std::max(dev.inference().batch_size, 1);
+  TimeMs now = sim_.Now();
+  TimeMs oldest_age = now - r.queue.front().arrival_ms;
+  // The epsilon guards against a Zeno loop: when the timeout fires at
+  // exactly arrival+timeout, floating-point error can leave oldest_age one
+  // ulp short of the timeout, which would re-arm at the same instant.
+  if (r.queued < static_cast<double>(target_batch) &&
+      oldest_age + 1e-6 < WaitTimeoutMs(device_id)) {
+    // Not enough for a full batch yet: arm the formation timeout.
+    if (r.timeout_event == Simulator::kInvalidEventId) {
+      TimeMs fire_at = r.queue.front().arrival_ms + WaitTimeoutMs(device_id);
+      r.timeout_event = sim_.ScheduleAt(std::max(fire_at, now + 0.001), [this, device_id] {
+        replicas_[static_cast<size_t>(device_id)].timeout_event = Simulator::kInvalidEventId;
+        TryStartBatch(device_id);
+      });
+    }
+    return;
+  }
+  if (r.timeout_event != Simulator::kInvalidEventId) {
+    sim_.Cancel(r.timeout_event);
+    r.timeout_event = Simulator::kInvalidEventId;
+  }
+
+  // Form the batch FIFO from cohorts.
+  double want = std::min(r.queued, static_cast<double>(target_batch));
+  int actual = std::max(1, static_cast<int>(std::lround(want)));
+  std::vector<std::pair<TimeMs, double>> consumed;
+  double remaining = static_cast<double>(actual);
+  while (remaining > 1e-9 && !r.queue.empty()) {
+    Cohort& front = r.queue.front();
+    double take = std::min(front.count, remaining);
+    consumed.emplace_back(front.arrival_ms, take);
+    front.count -= take;
+    r.queued -= take;
+    remaining -= take;
+    if (front.count <= 1e-9) {
+      r.queue.pop_front();
+    }
+  }
+
+  auto colocated = ActiveColocation(dev);
+  double latency = oracle_
+                       .ObserveInferenceBatchLatency(ServiceOnDevice(device_id), actual,
+                                                     dev.inference().gpu_fraction, colocated,
+                                                     rng_)
+                       .total_ms() /
+                   dev.compute_scale();
+  r.busy = true;
+  r.busy_start = now;
+  sim_.ScheduleAfter(latency, [this, device_id, latency, consumed = std::move(consumed)] {
+    FinishBatch(device_id, latency, consumed);
+  });
+}
+
+void ClusterExperiment::FinishBatch(int device_id, double latency_ms,
+                                    std::vector<std::pair<TimeMs, double>> consumed) {
+  Replica& r = replicas_[static_cast<size_t>(device_id)];
+  TimeMs now = sim_.Now();
+  r.busy = false;
+  r.busy_accum_ms += now - r.busy_start;
+  (void)latency_ms;
+  for (const auto& [arrival, count] : consumed) {
+    // End-to-end latency = queueing + batch service time.
+    double e2e = now - arrival;
+    r.window_latencies.emplace_back(e2e, count);
+    r.monitor.RecordLatency(e2e, count);
+    r.latency_weighted_sum += e2e * count;
+    r.served += count;
+  }
+  TryStartBatch(device_id);
+}
+
+void ClusterExperiment::CloseSloWindow(int device_id) {
+  Replica& r = replicas_[static_cast<size_t>(device_id)];
+  if (r.window_latencies.empty()) {
+    return;  // idle window: nothing to judge
+  }
+  double p99 = WeightedP99(r.window_latencies);
+  ++r.windows_total;
+  if (p99 > ServiceOnDevice(device_id).slo_ms) {
+    ++r.windows_violated;
+  }
+  r.window_latencies.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Training path
+// ---------------------------------------------------------------------------
+
+void ClusterExperiment::OnTrainingArrival(const TrainingArrival& arrival) {
+  TaskRecord record;
+  record.task_id = arrival.task_id;
+  record.type_index = arrival.type_index;
+  record.arrival_ms = arrival.arrival_ms;
+  task_records_[arrival.task_id] = record;
+  queue_.Push(PendingTask{arrival, /*priority=*/0});
+  TryDispatchQueue();
+}
+
+void ClusterExperiment::TryDispatchQueue() {
+  while (!queue_.empty()) {
+    const PendingTask* next = queue_.Peek();
+    MUDI_CHECK(next != nullptr);
+    TrainingTaskInfo info;
+    info.task_id = next->arrival.task_id;
+    info.type_index = next->arrival.type_index;
+    info.spec = &ModelZoo::TrainingTasks()[next->arrival.type_index];
+    std::optional<int> choice = policy_->SelectDevice(*this, info);
+    if (!choice.has_value()) {
+      return;  // no capacity: stay queued
+    }
+    TrainingArrival arrival = queue_.Pop()->arrival;
+    PlaceTask(arrival, *choice);
+  }
+}
+
+void ClusterExperiment::PlaceTask(const TrainingArrival& arrival, int device_id) {
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  const TrainingTaskSpec& spec = ModelZoo::TrainingTasks()[arrival.type_index];
+
+  TrainingInstance instance;
+  instance.task_id = arrival.task_id;
+  instance.type_index = arrival.type_index;
+  instance.gpu_fraction = 0.1;  // provisional until the policy configures
+  instance.work_remaining_ms = arrival.work_full_gpu_ms;
+  instance.mem_required_mb = TrainingMemoryMb(spec);
+  instance.admitted_at_ms = sim_.Now();
+  dev.AddTraining(instance);
+  RebalanceMemory(device_id);
+
+  RunningTask running;
+  running.device_id = device_id;
+  running.last_sync_ms = sim_.Now();
+  running_[arrival.task_id] = running;
+
+  TaskRecord& record = task_records_[arrival.task_id];
+  record.start_ms = sim_.Now();
+  record.device_id = device_id;
+
+  TrainingTaskInfo info;
+  info.task_id = arrival.task_id;
+  info.type_index = arrival.type_index;
+  info.spec = &spec;
+  policy_->OnTrainingPlaced(*this, device_id, info);
+  UpdateTrainingSpeeds(device_id);
+}
+
+void ClusterExperiment::SyncTrainingProgress(int device_id, int task_id) {
+  auto it = running_.find(task_id);
+  if (it == running_.end()) {
+    return;
+  }
+  RunningTask& running = it->second;
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  TrainingInstance* instance = dev.FindTraining(task_id);
+  MUDI_CHECK(instance != nullptr);
+  TimeMs now = sim_.Now();
+  double elapsed = now - running.last_sync_ms;
+  if (elapsed > 0.0 && running.speed > 0.0) {
+    instance->work_remaining_ms =
+        std::max(0.0, instance->work_remaining_ms - running.speed * elapsed);
+  }
+  running.last_sync_ms = now;
+}
+
+void ClusterExperiment::UpdateTrainingSpeeds(int device_id) {
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  const auto& tasks = ModelZoo::TrainingTasks();
+  InferenceLoad load = CurrentInferenceLoad(device_id);
+
+  for (auto& instance : dev.mutable_trainings()) {
+    auto it = running_.find(instance.task_id);
+    if (it == running_.end()) {
+      continue;
+    }
+    RunningTask& running = it->second;
+    SyncTrainingProgress(device_id, instance.task_id);
+
+    if (running.completion_event != Simulator::kInvalidEventId) {
+      sim_.Cancel(running.completion_event);
+      running.completion_event = Simulator::kInvalidEventId;
+    }
+    if (instance.paused || instance.gpu_fraction <= 0.0) {
+      running.speed = 0.0;
+      continue;
+    }
+    const TrainingTaskSpec& spec = tasks[instance.type_index];
+    std::vector<ColocatedTraining> others;
+    for (const auto& other : dev.trainings()) {
+      if (!other.paused && other.task_id != instance.task_id) {
+        others.push_back(ColocatedTraining{&tasks[other.type_index], other.gpu_fraction});
+      }
+    }
+    double iter = oracle_.TrainingIterationMs(spec, std::clamp(instance.gpu_fraction, 0.02, 1.0),
+                                              load, others) *
+                  MemoryManager::SwapSlowdownFactor(instance) / dev.compute_scale();
+    running.speed = spec.iter_ms_full / iter;
+    MUDI_CHECK_GT(running.speed, 0.0);
+    TimeMs eta = instance.work_remaining_ms / running.speed;
+    int task_id = instance.task_id;
+    running.completion_event = sim_.ScheduleAfter(
+        std::max(eta, 0.01), [this, device_id, task_id] { OnTrainingComplete(device_id, task_id); });
+  }
+}
+
+void ClusterExperiment::OnTrainingComplete(int device_id, int task_id) {
+  SyncTrainingProgress(device_id, task_id);
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  dev.RemoveTraining(task_id);
+  running_.erase(task_id);
+
+  TaskRecord& record = task_records_[task_id];
+  record.completion_ms = sim_.Now();
+  last_completion_ms_ = std::max(last_completion_ms_, record.completion_ms);
+  MUDI_CHECK_GT(tasks_remaining_, 0u);
+  --tasks_remaining_;
+
+  RebalanceMemory(device_id);
+  policy_->OnTrainingCompleted(*this, device_id, task_id);
+  UpdateTrainingSpeeds(device_id);
+  TryDispatchQueue();
+}
+
+// ---------------------------------------------------------------------------
+// Periodic bookkeeping
+// ---------------------------------------------------------------------------
+
+void ClusterExperiment::MonitorTick() {
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    Replica& r = replicas_[d];
+    bool qps_trigger = r.monitor.QpsChangedBeyondThreshold(sim_.Now());
+    bool slo_risk = r.monitor.has_latency_samples() &&
+                    r.monitor.P99LatencyMs() > 0.9 * ServiceOnDevice(static_cast<int>(d)).slo_ms;
+    // Devices with preemptively paused training (§5.3.2) are re-evaluated on
+    // every tick: "until suitable resources become available" requires an
+    // active check, not just a QPS-change edge trigger.
+    bool has_paused = false;
+    for (const auto& t : cluster_.device(d).trainings()) {
+      has_paused |= t.paused;
+    }
+    bool stale = sim_.Now() - r.last_trigger_ms >= options_.periodic_retune_ms;
+    if (qps_trigger || slo_risk || has_paused || stale) {
+      r.last_trigger_ms = sim_.Now();
+      policy_->OnQpsChange(*this, static_cast<int>(d));
+      r.monitor.AckQpsChange(sim_.Now());
+      RebalanceMemory(static_cast<int>(d));
+      UpdateTrainingSpeeds(static_cast<int>(d));
+    }
+  }
+  // Retry queued tasks: capacity may have been unlocked by retuning.
+  TryDispatchQueue();
+}
+
+void ClusterExperiment::UtilSampleTick() {
+  TimeMs now = sim_.Now();
+  double dt = now - last_util_sample_ms_;
+  if (dt <= 0.0) {
+    return;
+  }
+  last_util_sample_ms_ = now;
+
+  double sm_sum = 0.0;
+  double mem_sum = 0.0;
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    GpuDevice& dev = cluster_.device(d);
+    Replica& r = replicas_[d];
+    double busy_ms = r.busy_accum_ms;
+    if (r.busy) {
+      busy_ms += now - std::max(r.busy_start, now - dt);
+    }
+    r.busy_accum_ms = 0.0;
+    double busy_frac = std::clamp(busy_ms / dt, 0.0, 1.0);
+    double sm = busy_frac * dev.inference().gpu_fraction;
+    for (const auto& t : dev.trainings()) {
+      if (!t.paused) {
+        const TrainingTaskSpec& spec = ModelZoo::TrainingTasks()[t.type_index];
+        sm += 0.95 * std::min(t.gpu_fraction, spec.saturation_gpu);
+      }
+    }
+    sm = std::min(sm, 1.0);
+    double mem = dev.InstantMemUtil();
+    dev.AccumulateUsage(dt, sm, mem);
+    sm_sum += sm;
+    mem_sum += mem;
+
+    // Swap-time accounting (Tab. 4).
+    bool any_swapped = false;
+    for (const auto& t : dev.trainings()) {
+      if (t.mem_swapped_mb > 1.0) {
+        any_swapped = true;
+        break;
+      }
+    }
+    if (any_swapped) {
+      r.swapped_time_ms += dt;
+    }
+    r.observed_time_ms += dt;
+  }
+  double n = static_cast<double>(cluster_.num_devices());
+  if (options_.record_util_series) {
+    util_series_.push_back(UtilSample{now, sm_sum / n, mem_sum / n});
+  }
+  if (options_.trace_device_id >= 0 &&
+      options_.trace_device_id < static_cast<int>(cluster_.num_devices())) {
+    int d = options_.trace_device_id;
+    const GpuDevice& dev = device(d);
+    double swapped = 0.0;
+    for (const auto& t : dev.trainings()) {
+      swapped += t.mem_swapped_mb;
+    }
+    device_series_.push_back(DeviceSeriesSample{now, MeasuredQps(d), dev.inference().batch_size,
+                                                dev.inference().gpu_fraction, swapped,
+                                                dev.MemoryResidentMb()});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------------
+
+ExperimentResult ClusterExperiment::Run() {
+  policy_->Initialize(*this);
+
+  // Training arrivals.
+  std::vector<TrainingArrival> trace = options_.trace_override;
+  if (trace.empty() && options_.trace.num_tasks > 0) {
+    trace = GenerateTrainingTrace(options_.trace);
+  }
+  tasks_remaining_ = trace.size();
+  first_arrival_ms_ = trace.empty() ? 0.0 : trace.front().arrival_ms;
+  for (const auto& arrival : trace) {
+    sim_.ScheduleAt(arrival.arrival_ms, [this, arrival] { OnTrainingArrival(arrival); });
+  }
+
+  // Per-device arrival ticks.
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    double tick = options_.arrival_tick_ms;
+    if (tick <= 0.0) {
+      tick = std::clamp(ServiceOnDevice(static_cast<int>(d)).slo_ms / 15.0, 5.0, 100.0);
+    }
+    int device_id = static_cast<int>(d);
+    sim_.SchedulePeriodic(tick, tick, [this, device_id] { ArrivalTick(device_id); });
+    sim_.SchedulePeriodic(options_.slo_window_ms, options_.slo_window_ms,
+                          [this, device_id] { CloseSloWindow(device_id); });
+  }
+  sim_.SchedulePeriodic(options_.monitor_period_ms, options_.monitor_period_ms,
+                        [this] { MonitorTick(); });
+  sim_.SchedulePeriodic(options_.util_sample_ms, options_.util_sample_ms,
+                        [this] { UtilSampleTick(); });
+
+  if (options_.horizon_ms > 0.0) {
+    sim_.RunUntil(options_.horizon_ms);
+  } else {
+    // Run until all training tasks complete (serving events are periodic and
+    // never drain, so step until the countdown hits zero).
+    uint64_t steps = 0;
+    while (tasks_remaining_ > 0 && sim_.Now() < options_.max_sim_ms) {
+      MUDI_CHECK(sim_.Step());
+      if (++steps % 5000000 == 0) {
+        MUDI_LOG(Debug) << "sim t=" << sim_.Now() / kMsPerSecond << "s, steps=" << steps
+                        << ", remaining=" << tasks_remaining_ << ", queued=" << queue_.size()
+                        << ", pending_events=" << sim_.pending_events();
+      }
+    }
+    sim_.RunUntil(sim_.Now() + options_.drain_ms);
+  }
+
+  // Close any half-open SLO windows.
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    CloseSloWindow(static_cast<int>(d));
+  }
+
+  // Aggregate results.
+  ExperimentResult result;
+  result.policy_name = policy_->name();
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    const Replica& r = replicas_[d];
+    const std::string& name = ServiceOnDevice(static_cast<int>(d)).name;
+    ServiceMetrics& m = result.per_service[name];
+    m.service_name = name;
+    m.windows_total += r.windows_total;
+    m.windows_violated += r.windows_violated;
+    m.mean_latency_ms += r.latency_weighted_sum;
+    m.served_requests += r.served;
+  }
+  for (auto& [name, m] : result.per_service) {
+    if (m.served_requests > 0.0) {
+      m.mean_latency_ms /= m.served_requests;
+    }
+  }
+  for (const auto& [id, record] : task_records_) {
+    result.tasks.push_back(record);
+  }
+  result.makespan_ms = last_completion_ms_ - first_arrival_ms_;
+
+  double sm_sum = 0.0;
+  double mem_sum = 0.0;
+  std::map<std::string, std::pair<double, double>> swap_acc;  // (swapped, observed)
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    const GpuDevice& dev = device(static_cast<int>(d));
+    sm_sum += dev.AverageSmUtil();
+    mem_sum += dev.AverageMemUtil();
+    const Replica& r = replicas_[d];
+    auto& acc = swap_acc[ServiceOnDevice(static_cast<int>(d)).name];
+    acc.first += r.swapped_time_ms;
+    acc.second += r.observed_time_ms;
+  }
+  result.avg_sm_util = sm_sum / static_cast<double>(cluster_.num_devices());
+  result.avg_mem_util = mem_sum / static_cast<double>(cluster_.num_devices());
+  for (const auto& [name, acc] : swap_acc) {
+    result.swap_time_fraction[name] = acc.second > 0.0 ? acc.first / acc.second : 0.0;
+  }
+  result.swap_events = memory_manager_.records().size();
+  result.swap_total_mb = memory_manager_.total_swapped_out_mb();
+  result.util_series = util_series_;
+  result.device_series = device_series_;
+  result.placement_overheads_ms = policy_->placement_overheads_ms();
+  result.tuning_iterations = policy_->tuning_iterations();
+  return result;
+}
+
+}  // namespace mudi

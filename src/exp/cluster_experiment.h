@@ -1,0 +1,197 @@
+// End-to-end cluster experiment: a discrete-event simulation of inference
+// serving (request cohorts, batching, SLO windows) multiplexed with training
+// tasks on a GPU cluster, driven by a pluggable MultiplexPolicy.
+//
+// This is the runtime counterpart of the paper's testbeds: every device
+// hosts one inference-service replica (service s on device d where
+// d % num_services == s) receiving its own Poisson/fluctuating request
+// stream; training tasks arrive per the trace, wait in the scheduling queue,
+// are placed by the policy, and progress at a speed set by the ground-truth
+// oracle under the current co-location and configuration. The Memory
+// Manager resolves device-memory overcommit by host swap for swap-capable
+// policies.
+#ifndef SRC_EXP_CLUSTER_EXPERIMENT_H_
+#define SRC_EXP_CLUSTER_EXPERIMENT_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cluster/cluster_state.h"
+#include "src/cluster/monitor.h"
+#include "src/cluster/policy.h"
+#include "src/cluster/task_queue.h"
+#include "src/common/rng.h"
+#include "src/core/memory_manager.h"
+#include "src/exp/metrics.h"
+#include "src/gpu/perf_oracle.h"
+#include "src/sim/simulator.h"
+#include "src/workload/request_generator.h"
+#include "src/workload/training_trace.h"
+
+namespace mudi {
+
+struct ExperimentOptions {
+  int num_nodes = 3;
+  int gpus_per_node = 4;
+  size_t num_services = 6;
+  // Rotates the device->service mapping: device d hosts service
+  // (d % num_services + service_offset) % 6. With num_services=1 this pins
+  // every device to one chosen service (single-service benches).
+  size_t service_offset = 0;
+
+  // Request-rate profile per (service_index, device_id); default constant
+  // 200 QPS per replica (paper: mean inter-arrival 5 ms).
+  std::function<std::shared_ptr<const QpsProfile>(size_t, int)> qps_factory;
+
+  // Training workload: explicit trace wins over generated options.
+  TrainingTraceOptions trace;
+  std::vector<TrainingArrival> trace_override;
+
+  QueuePolicy queue_policy = QueuePolicy::kFcfs;
+
+  // 0 = run until all training tasks complete; otherwise hard stop.
+  TimeMs horizon_ms = 0.0;
+  // Liveness backstop for horizon_ms == 0: stop anyway after this much
+  // virtual time (sustained-overload scenarios can leave training paused
+  // indefinitely — §5.3.2's "until suitable resources become available").
+  TimeMs max_sim_ms = 4.0 * kMsPerHour;
+  // Extra time simulated after the last completion (lets SLO windows close).
+  TimeMs drain_ms = 5.0 * kMsPerSecond;
+
+  TimeMs monitor_period_ms = 2.0 * kMsPerSecond;
+  // Forced per-device re-tune period: the 50% QPS-change threshold is an
+  // edge trigger and can latch a transient rate (e.g. mid-burst decay);
+  // periodic reconciliation bounds how long a stale config can persist.
+  TimeMs periodic_retune_ms = 30.0 * kMsPerSecond;
+  TimeMs slo_window_ms = 10.0 * kMsPerSecond;
+  TimeMs util_sample_ms = 1.0 * kMsPerSecond;
+  // Shadow-instance switchover for GPU% reconfiguration (§5.3.2).
+  TimeMs reconfig_latency_ms = 1.5 * kMsPerSecond;
+
+  // Arrival-cohort tick: 0 = auto (SLO/15 clamped to [5, 100] ms).
+  TimeMs arrival_tick_ms = 0.0;
+
+  bool record_util_series = false;
+  // Device id to trace for Fig. 16 (-1 = none).
+  int trace_device_id = -1;
+
+  uint64_t seed = 5;
+  uint64_t oracle_seed = 42;
+};
+
+class ClusterExperiment : public SchedulingEnv {
+ public:
+  ClusterExperiment(ExperimentOptions options, MultiplexPolicy* policy);
+  ~ClusterExperiment() override;
+
+  // Runs the full experiment and returns the metrics.
+  ExperimentResult Run();
+
+  // --- SchedulingEnv ---
+  TimeMs Now() const override;
+  std::vector<GpuDevice>& devices() override;
+  const GpuDevice& device(int device_id) const override;
+  const InferenceServiceSpec& ServiceOnDevice(int device_id) const override;
+  double MeasuredQps(int device_id) override;
+  double MeasuredP99(int device_id) override;
+  double ProbeInferenceLatencyMs(int device_id, int batch, double gpu_fraction) override;
+  double ProbeTrainingIterMs(int device_id, int task_id, double train_fraction, int inf_batch,
+                             double inf_fraction) override;
+  void ApplyInferenceConfig(int device_id, int batch, double gpu_fraction) override;
+  void ApplyTrainingFraction(int device_id, int task_id, double fraction) override;
+  void SetTrainingPaused(int device_id, int task_id, bool paused) override;
+  bool CanFitTraining(int device_id, const TrainingTaskSpec& spec) const override;
+  const PerfOracle& oracle() const override { return oracle_; }
+
+  const PerfOracle& ground_truth() const { return oracle_; }
+
+ private:
+  struct Cohort {
+    TimeMs arrival_ms;
+    double count;
+  };
+
+  struct Replica {
+    std::shared_ptr<const QpsProfile> qps;
+    QpsMonitor monitor;
+    std::deque<Cohort> queue;
+    double queued = 0.0;
+    bool busy = false;
+    TimeMs busy_start = 0.0;
+    TimeMs busy_accum_ms = 0.0;  // busy time since last util sample
+    Simulator::EventId timeout_event = Simulator::kInvalidEventId;
+    // Pending GPU% reconfiguration (shadow instance warming up).
+    std::optional<std::pair<int, double>> pending_config;
+    Simulator::EventId pending_event = Simulator::kInvalidEventId;
+    // SLO window accounting.
+    std::vector<std::pair<double, double>> window_latencies;  // (latency, weight)
+    size_t windows_total = 0;
+    size_t windows_violated = 0;
+    double latency_weighted_sum = 0.0;
+    double served = 0.0;
+    // Swap-time accounting.
+    double swapped_time_ms = 0.0;
+    double observed_time_ms = 0.0;
+    TimeMs last_trigger_ms = 0.0;
+  };
+
+  struct RunningTask {
+    int device_id = -1;
+    double speed = 0.0;  // full-GPU work ms per wall ms
+    TimeMs last_sync_ms = 0.0;
+    Simulator::EventId completion_event = Simulator::kInvalidEventId;
+  };
+
+  // --- serving path ---
+  void ArrivalTick(int device_id);
+  void TryStartBatch(int device_id);
+  void FinishBatch(int device_id, double latency_ms,
+                   std::vector<std::pair<TimeMs, double>> consumed);
+  TimeMs WaitTimeoutMs(int device_id) const;
+  void CloseSloWindow(int device_id);
+
+  // --- training path ---
+  void OnTrainingArrival(const TrainingArrival& arrival);
+  void TryDispatchQueue();
+  void PlaceTask(const TrainingArrival& arrival, int device_id);
+  void SyncTrainingProgress(int device_id, int task_id);
+  void UpdateTrainingSpeeds(int device_id);
+  void OnTrainingComplete(int device_id, int task_id);
+
+  // --- periodic ---
+  void MonitorTick();
+  void UtilSampleTick();
+
+  std::vector<ColocatedTraining> ActiveColocation(const GpuDevice& dev) const;
+  InferenceLoad CurrentInferenceLoad(int device_id);
+  void RebalanceMemory(int device_id);
+
+  ExperimentOptions options_;
+  MultiplexPolicy* policy_;
+  Simulator sim_;
+  PerfOracle oracle_;
+  ClusterState cluster_;
+  Rng rng_;
+  Rng probe_rng_;
+  MemoryManager memory_manager_;
+  TaskQueue queue_;
+
+  std::vector<Replica> replicas_;
+  std::map<int, RunningTask> running_;          // task_id -> runtime state
+  std::map<int, TaskRecord> task_records_;      // task_id -> record
+  size_t tasks_remaining_ = 0;
+  TimeMs last_completion_ms_ = 0.0;
+  TimeMs first_arrival_ms_ = 0.0;
+
+  std::vector<UtilSample> util_series_;
+  std::vector<DeviceSeriesSample> device_series_;
+  TimeMs last_util_sample_ms_ = 0.0;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_EXP_CLUSTER_EXPERIMENT_H_

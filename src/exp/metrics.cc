@@ -1,0 +1,60 @@
+#include "src/exp/metrics.h"
+
+#include "src/common/stats.h"
+
+namespace mudi {
+
+double ExperimentResult::OverallSloViolationRate() const {
+  size_t total = 0;
+  size_t violated = 0;
+  for (const auto& [name, m] : per_service) {
+    total += m.windows_total;
+    violated += m.windows_violated;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(violated) / static_cast<double>(total);
+}
+
+double ExperimentResult::MeanCtMs() const {
+  std::vector<double> cts;
+  for (const auto& t : tasks) {
+    if (t.completed()) {
+      cts.push_back(t.ct_ms());
+    }
+  }
+  return Mean(cts);
+}
+
+double ExperimentResult::MeanWaitingMs() const {
+  std::vector<double> waits;
+  for (const auto& t : tasks) {
+    if (t.start_ms >= 0.0) {
+      waits.push_back(t.waiting_ms());
+    }
+  }
+  return Mean(waits);
+}
+
+double ExperimentResult::P95CtMs() const {
+  std::vector<double> cts;
+  for (const auto& t : tasks) {
+    if (t.completed()) {
+      cts.push_back(t.ct_ms());
+    }
+  }
+  if (cts.empty()) {
+    return 0.0;
+  }
+  return Percentile(std::move(cts), 95.0);
+}
+
+size_t ExperimentResult::CompletedTasks() const {
+  size_t n = 0;
+  for (const auto& t : tasks) {
+    if (t.completed()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace mudi

@@ -1,0 +1,90 @@
+// Experiment metrics: everything the paper's evaluation section reports —
+// per-service SLO violation rates (windowed P99 vs SLO), training efficiency
+// (CT / WaitingT / makespan), cluster utilization time series, memory-swap
+// statistics, and decision overheads.
+#ifndef SRC_EXP_METRICS_H_
+#define SRC_EXP_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace mudi {
+
+struct TaskRecord {
+  int task_id = -1;
+  size_t type_index = 0;
+  TimeMs arrival_ms = 0.0;
+  TimeMs start_ms = -1.0;       // placement time; <0 if never placed
+  TimeMs completion_ms = -1.0;  // <0 if not finished within the horizon
+  int device_id = -1;
+
+  bool completed() const { return completion_ms >= 0.0; }
+  double ct_ms() const { return completion_ms - arrival_ms; }
+  double waiting_ms() const { return start_ms - arrival_ms; }
+};
+
+struct ServiceMetrics {
+  std::string service_name;
+  size_t windows_total = 0;
+  size_t windows_violated = 0;
+  double mean_latency_ms = 0.0;
+  double served_requests = 0.0;
+
+  double slo_violation_rate() const {
+    return windows_total == 0
+               ? 0.0
+               : static_cast<double>(windows_violated) / static_cast<double>(windows_total);
+  }
+};
+
+struct UtilSample {
+  TimeMs time_ms = 0.0;
+  double sm_util = 0.0;   // cluster average
+  double mem_util = 0.0;  // cluster average
+};
+
+struct DeviceSeriesSample {
+  TimeMs time_ms = 0.0;
+  double qps = 0.0;
+  int batch = 0;
+  double inference_fraction = 0.0;
+  double swapped_mb = 0.0;
+  double mem_resident_mb = 0.0;
+};
+
+struct ExperimentResult {
+  std::string policy_name;
+  std::map<std::string, ServiceMetrics> per_service;
+
+  std::vector<TaskRecord> tasks;
+  double makespan_ms = 0.0;
+
+  double avg_sm_util = 0.0;
+  double avg_mem_util = 0.0;
+  std::vector<UtilSample> util_series;
+
+  // Fraction of device-time with training memory swapped out, per service
+  // hosted on the device (Tab. 4).
+  std::map<std::string, double> swap_time_fraction;
+  size_t swap_events = 0;
+  double swap_total_mb = 0.0;
+
+  std::vector<double> placement_overheads_ms;
+  std::vector<size_t> tuning_iterations;
+
+  std::vector<DeviceSeriesSample> device_series;  // when a device is traced
+
+  // --- derived aggregates ---
+  double OverallSloViolationRate() const;
+  double MeanCtMs() const;
+  double MeanWaitingMs() const;
+  double P95CtMs() const;
+  size_t CompletedTasks() const;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_EXP_METRICS_H_

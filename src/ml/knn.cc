@@ -1,0 +1,43 @@
+#include "src/ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+void KnnRegressor::Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y) {
+  MUDI_CHECK(!x.empty());
+  MUDI_CHECK_EQ(x.size(), y.size());
+  scaler_.Fit(x);
+  train_x_ = scaler_.TransformAll(x);
+  train_y_ = y;
+}
+
+double KnnRegressor::Predict(const std::vector<double>& x) const {
+  MUDI_CHECK(!train_x_.empty());
+  auto q = scaler_.Transform(x);
+  std::vector<std::pair<double, double>> dist_y;  // (distance, target)
+  dist_y.reserve(train_x_.size());
+  for (size_t i = 0; i < train_x_.size(); ++i) {
+    double d2 = 0.0;
+    for (size_t j = 0; j < q.size(); ++j) {
+      double diff = train_x_[i][j] - q[j];
+      d2 += diff * diff;
+    }
+    dist_y.emplace_back(std::sqrt(d2), train_y_[i]);
+  }
+  size_t k = std::min(k_, dist_y.size());
+  std::partial_sort(dist_y.begin(), dist_y.begin() + static_cast<long>(k), dist_y.end());
+  double weight_sum = 0.0;
+  double value = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    double w = 1.0 / (dist_y[i].first + 1e-6);
+    weight_sum += w;
+    value += w * dist_y[i].second;
+  }
+  return value / weight_sum;
+}
+
+}  // namespace mudi

@@ -1,0 +1,30 @@
+// k-nearest-neighbour regressor (inverse-distance weighted) over standardized
+// features; candidate model for the Interference Modeler.
+#ifndef SRC_ML_KNN_H_
+#define SRC_ML_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace mudi {
+
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(size_t k = 3) : k_(k) {}
+
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+  std::string name() const override { return "kNN"; }
+
+ private:
+  size_t k_;
+  FeatureScaler scaler_;
+  std::vector<std::vector<double>> train_x_;
+  std::vector<double> train_y_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_ML_KNN_H_

@@ -1,0 +1,35 @@
+#include "src/ml/linear_regression.h"
+
+#include "src/common/check.h"
+#include "src/ml/matrix.h"
+
+namespace mudi {
+
+void LinearRegressor::Fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  MUDI_CHECK(!x.empty());
+  MUDI_CHECK_EQ(x.size(), y.size());
+  scaler_.Fit(x);
+  auto xs = scaler_.TransformAll(x);
+  size_t d = xs[0].size();
+  Matrix design(xs.size(), d + 1);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      design.At(i, j) = xs[i][j];
+    }
+    design.At(i, d) = 1.0;  // bias
+  }
+  weights_ = RidgeSolve(design, y, lambda_);
+}
+
+double LinearRegressor::Predict(const std::vector<double>& x) const {
+  MUDI_CHECK(!weights_.empty());
+  auto xs = scaler_.Transform(x);
+  double out = weights_.back();
+  for (size_t j = 0; j < xs.size(); ++j) {
+    out += weights_[j] * xs[j];
+  }
+  return out;
+}
+
+}  // namespace mudi

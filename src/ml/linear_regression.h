@@ -1,0 +1,29 @@
+// Ridge linear regression over standardized features; one of the lightweight
+// candidate models for the Interference Modeler.
+#ifndef SRC_ML_LINEAR_REGRESSION_H_
+#define SRC_ML_LINEAR_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace mudi {
+
+class LinearRegressor : public Regressor {
+ public:
+  explicit LinearRegressor(double lambda = 1e-3) : lambda_(lambda) {}
+
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+  std::string name() const override { return "Linear"; }
+
+ private:
+  double lambda_;
+  FeatureScaler scaler_;
+  std::vector<double> weights_;  // last entry is the bias
+};
+
+}  // namespace mudi
+
+#endif  // SRC_ML_LINEAR_REGRESSION_H_

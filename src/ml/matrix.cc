@@ -1,0 +1,147 @@
+#include "src/ml/matrix.h"
+
+#include <cmath>
+
+namespace mudi {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    m.At(i, i) = 1.0;
+  }
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(values.size(), 1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    m.At(i, 0) = values[i];
+  }
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t.At(c, r) = At(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  MUDI_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) {
+        continue;
+      }
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  MUDI_CHECK_EQ(rows_, other.rows_);
+  MUDI_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * factor;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Column(size_t c) const {
+  MUDI_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    out[r] = At(r, c);
+  }
+  return out;
+}
+
+bool CholeskyDecompose(const Matrix& a, Matrix& l) {
+  MUDI_CHECK_EQ(a.rows(), a.cols());
+  size_t n = a.rows();
+  l = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) {
+        sum -= l.At(i, k) * l.At(j, k);
+      }
+      if (i == j) {
+        if (sum <= 1e-12) {
+          return false;
+        }
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> CholeskySolve(const Matrix& l, const std::vector<double>& b) {
+  size_t n = l.rows();
+  MUDI_CHECK_EQ(n, b.size());
+  // Forward substitution: L·z = b.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) {
+      sum -= l.At(i, k) * z[k];
+    }
+    z[i] = sum / l.At(i, i);
+  }
+  // Back substitution: Lᵀ·x = z.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) {
+      sum -= l.At(k, ii) * x[k];
+    }
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y, double lambda) {
+  MUDI_CHECK_EQ(x.rows(), y.size());
+  MUDI_CHECK_GE(lambda, 0.0);
+  Matrix xt = x.Transpose();
+  Matrix gram = xt.Multiply(x);
+  for (size_t i = 0; i < gram.rows(); ++i) {
+    gram.At(i, i) += lambda;
+  }
+  Matrix rhs_mat = xt.Multiply(Matrix::ColumnVector(y));
+  std::vector<double> rhs = rhs_mat.Column(0);
+
+  Matrix l;
+  double jitter = 1e-10;
+  while (!CholeskyDecompose(gram, l)) {
+    for (size_t i = 0; i < gram.rows(); ++i) {
+      gram.At(i, i) += jitter;
+    }
+    jitter *= 10.0;
+    MUDI_CHECK_LT(jitter, 1.0);  // would indicate a degenerate design matrix
+  }
+  return CholeskySolve(l, rhs);
+}
+
+}  // namespace mudi

@@ -1,0 +1,66 @@
+// Small dense linear-algebra kernel backing the ML substrate: just enough for
+// ridge regression normal equations, Gaussian-process posteriors (Cholesky),
+// and MLP forward/backward passes. Row-major, bounds-checked via MUDI_CHECK.
+#ifndef SRC_ML_MATRIX_H_
+#define SRC_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+  // Builds a column vector from `values`.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) {
+    MUDI_CHECK_LT(r, rows_);
+    MUDI_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    MUDI_CHECK_LT(r, rows_);
+    MUDI_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transpose() const;
+  Matrix Multiply(const Matrix& other) const;
+  Matrix Add(const Matrix& other) const;
+  Matrix Scale(double factor) const;
+
+  // Extracts column c as a flat vector.
+  std::vector<double> Column(size_t c) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite matrix.
+// Returns false (leaving `l` unspecified) if A is not SPD within tolerance;
+// callers typically retry with more jitter on the diagonal.
+bool CholeskyDecompose(const Matrix& a, Matrix& l);
+
+// Solves A·x = b given the Cholesky factor L of A (forward+back substitution).
+std::vector<double> CholeskySolve(const Matrix& l, const std::vector<double>& b);
+
+// Solves the ridge-regularized least squares (XᵀX + λI)·w = Xᵀy.
+// X is n×d (rows = samples); returns the d weights.
+std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y, double lambda);
+
+}  // namespace mudi
+
+#endif  // SRC_ML_MATRIX_H_

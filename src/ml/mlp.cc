@@ -1,0 +1,112 @@
+#include "src/ml/mlp.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace mudi {
+
+void MlpRegressor::Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y) {
+  MUDI_CHECK(!x.empty());
+  MUDI_CHECK_EQ(x.size(), y.size());
+  scaler_.Fit(x);
+  auto xs = scaler_.TransformAll(x);
+  size_t n = xs.size();
+  size_t d = xs[0].size();
+  size_t h = options_.hidden_units;
+
+  y_mean_ = Mean(y);
+  double sd = StdDev(y);
+  y_scale_ = sd > 1e-9 ? sd : 1.0;
+  std::vector<double> yn(n);
+  for (size_t i = 0; i < n; ++i) {
+    yn[i] = (y[i] - y_mean_) / y_scale_;
+  }
+
+  Rng rng(options_.seed);
+  double init = 1.0 / std::sqrt(static_cast<double>(d));
+  w1_.assign(h, std::vector<double>(d));
+  b1_.assign(h, 0.0);
+  w2_.assign(h, 0.0);
+  b2_ = 0.0;
+  for (size_t u = 0; u < h; ++u) {
+    for (size_t j = 0; j < d; ++j) {
+      w1_[u][j] = rng.Uniform(-init, init);
+    }
+    w2_[u] = rng.Uniform(-init, init);
+  }
+
+  // Adam state.
+  auto zeros_like_w1 = [&] { return std::vector<std::vector<double>>(h, std::vector<double>(d)); };
+  auto m_w1 = zeros_like_w1(), v_w1 = zeros_like_w1();
+  std::vector<double> m_b1(h), v_b1(h), m_w2(h), v_w2(h);
+  double m_b2 = 0.0, v_b2 = 0.0;
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  double lr = options_.learning_rate;
+
+  std::vector<double> hidden(h), act(h);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+
+  int step = 0;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t oi = 0; oi < n; ++oi) {
+      size_t i = order[oi];
+      // Forward.
+      for (size_t u = 0; u < h; ++u) {
+        double z = b1_[u];
+        for (size_t j = 0; j < d; ++j) {
+          z += w1_[u][j] * xs[i][j];
+        }
+        hidden[u] = z;
+        act[u] = std::tanh(z);
+      }
+      double pred = b2_;
+      for (size_t u = 0; u < h; ++u) {
+        pred += w2_[u] * act[u];
+      }
+      double err = pred - yn[i];
+
+      // Backward (squared loss) with Adam updates.
+      ++step;
+      double bc1 = 1.0 - std::pow(beta1, step);
+      double bc2 = 1.0 - std::pow(beta2, step);
+      auto adam = [&](double& w, double& m, double& v, double grad) {
+        m = beta1 * m + (1.0 - beta1) * grad;
+        v = beta2 * v + (1.0 - beta2) * grad * grad;
+        w -= lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
+      };
+      adam(b2_, m_b2, v_b2, err);
+      for (size_t u = 0; u < h; ++u) {
+        double g_w2 = err * act[u];
+        double delta = err * w2_[u] * (1.0 - act[u] * act[u]);
+        adam(w2_[u], m_w2[u], v_w2[u], g_w2);
+        adam(b1_[u], m_b1[u], v_b1[u], delta);
+        for (size_t j = 0; j < d; ++j) {
+          adam(w1_[u][j], m_w1[u][j], v_w1[u][j], delta * xs[i][j]);
+        }
+      }
+    }
+  }
+}
+
+double MlpRegressor::Predict(const std::vector<double>& x) const {
+  MUDI_CHECK(!w1_.empty());
+  auto q = scaler_.Transform(x);
+  double pred = b2_;
+  for (size_t u = 0; u < w1_.size(); ++u) {
+    double z = b1_[u];
+    for (size_t j = 0; j < q.size(); ++j) {
+      z += w1_[u][j] * q[j];
+    }
+    pred += w2_[u] * std::tanh(z);
+  }
+  return pred * y_scale_ + y_mean_;
+}
+
+}  // namespace mudi

@@ -1,0 +1,90 @@
+#include "src/ml/model_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/ml/knn.h"
+#include "src/ml/linear_regression.h"
+#include "src/ml/mlp.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/svr.h"
+
+namespace mudi {
+
+double KFoldRelativeError(const RegressorFactory& factory,
+                          const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y, size_t folds) {
+  MUDI_CHECK_EQ(x.size(), y.size());
+  MUDI_CHECK_GE(x.size(), 2u);
+  folds = std::min(folds, x.size());
+  MUDI_CHECK_GE(folds, 2u);
+
+  double total_err = 0.0;
+  size_t total_count = 0;
+  for (size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::vector<double>> train_x, test_x;
+    std::vector<double> train_y, test_y;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (i % folds == fold) {
+        test_x.push_back(x[i]);
+        test_y.push_back(y[i]);
+      } else {
+        train_x.push_back(x[i]);
+        train_y.push_back(y[i]);
+      }
+    }
+    if (train_x.empty() || test_x.empty()) {
+      continue;
+    }
+    auto model = factory();
+    model->Fit(train_x, train_y);
+    for (size_t i = 0; i < test_x.size(); ++i) {
+      double pred = model->Predict(test_x[i]);
+      double denom = std::max(std::abs(test_y[i]), 1e-6);
+      total_err += std::abs(pred - test_y[i]) / denom;
+      ++total_count;
+    }
+  }
+  MUDI_CHECK_GT(total_count, 0u);
+  return total_err / static_cast<double>(total_count);
+}
+
+std::vector<RegressorFactory> DefaultRegressorZoo() {
+  return {
+      [] { return std::unique_ptr<Regressor>(std::make_unique<RandomForestRegressor>()); },
+      [] { return std::unique_ptr<Regressor>(std::make_unique<SvrRegressor>()); },
+      [] { return std::unique_ptr<Regressor>(std::make_unique<KnnRegressor>()); },
+      [] { return std::unique_ptr<Regressor>(std::make_unique<LinearRegressor>()); },
+      [] {
+        MlpOptions options;
+        options.epochs = 300;  // selection-time budget; the winner refits fully
+        return std::unique_ptr<Regressor>(std::make_unique<MlpRegressor>(options));
+      },
+  };
+}
+
+ModelSelectionResult SelectBestModel(const std::vector<RegressorFactory>& factories,
+                                     const std::vector<std::vector<double>>& x,
+                                     const std::vector<double>& y, size_t folds) {
+  MUDI_CHECK(!factories.empty());
+  ModelSelectionResult result;
+  double best_err = std::numeric_limits<double>::infinity();
+  const RegressorFactory* best_factory = nullptr;
+  for (const auto& factory : factories) {
+    double err = KFoldRelativeError(factory, x, y, folds);
+    if (err < best_err) {
+      best_err = err;
+      best_factory = &factory;
+    }
+  }
+  MUDI_CHECK(best_factory != nullptr);
+  result.model = (*best_factory)();
+  result.model->Fit(x, y);
+  result.model_name = result.model->name();
+  result.cv_error = best_err;
+  return result;
+}
+
+}  // namespace mudi

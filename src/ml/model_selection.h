@@ -1,0 +1,36 @@
+// K-fold cross-validation and best-model selection. The Interference Modeler
+// "determines the optimal model as the learner for each metric individually"
+// (§4.1.2); this module implements that selection over the Regressor zoo.
+#ifndef SRC_ML_MODEL_SELECTION_H_
+#define SRC_ML_MODEL_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace mudi {
+
+// Mean |pred − true| / max(|true|, eps) over k-fold CV splits.
+double KFoldRelativeError(const RegressorFactory& factory,
+                          const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y, size_t folds = 5);
+
+struct ModelSelectionResult {
+  std::unique_ptr<Regressor> model;  // refit on all data
+  std::string model_name;
+  double cv_error = 0.0;
+};
+
+// Factories for the default candidate zoo: RF, SVR, kNN, Linear, MLP.
+std::vector<RegressorFactory> DefaultRegressorZoo();
+
+// Cross-validates every factory and returns the winner refit on all data.
+ModelSelectionResult SelectBestModel(const std::vector<RegressorFactory>& factories,
+                                     const std::vector<std::vector<double>>& x,
+                                     const std::vector<double>& y, size_t folds = 5);
+
+}  // namespace mudi
+
+#endif  // SRC_ML_MODEL_SELECTION_H_

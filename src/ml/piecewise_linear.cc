@@ -1,0 +1,143 @@
+#include "src/ml/piecewise_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/ml/matrix.h"
+
+namespace mudi {
+
+std::optional<double> PiecewiseLinearModel::MinXForValueAtMost(double target, double x_min,
+                                                               double x_max) const {
+  MUDI_CHECK_LE(x_min, x_max);
+  if (Eval(x_max) > target) {
+    return std::nullopt;
+  }
+  if (Eval(x_min) <= target) {
+    return x_min;
+  }
+  // The curve is piece-wise linear and decreasing; invert the segment that
+  // crosses `target`.
+  auto invert = [&](double k, double anchor_x, double anchor_y) {
+    // Solve k·(x − anchor_x) + anchor_y = target for x.
+    return anchor_x + (target - anchor_y) / k;
+  };
+  double x;
+  if (x0 > x_min && Eval(std::min(x0, x_max)) <= target) {
+    // Crossing happens on the first (steep) segment.
+    MUDI_CHECK_NE(k1, 0.0);
+    x = invert(k1, x0, y0);
+  } else {
+    MUDI_CHECK_NE(k2, 0.0);
+    x = invert(k2, x0, y0);
+  }
+  return std::clamp(x, x_min, x_max);
+}
+
+double MengerCurvature(double x1, double y1, double x2, double y2, double x3, double y3) {
+  double area2 = std::abs((x2 - x1) * (y3 - y1) - (x3 - x1) * (y2 - y1));
+  double d12 = std::hypot(x2 - x1, y2 - y1);
+  double d23 = std::hypot(x3 - x2, y3 - y2);
+  double d13 = std::hypot(x3 - x1, y3 - y1);
+  double denom = d12 * d23 * d13;
+  if (denom < 1e-12) {
+    return 0.0;
+  }
+  return 2.0 * area2 / denom;
+}
+
+namespace {
+
+// Least-squares fit of the continuous two-segment model with fixed cutoff
+// abscissa `x0`: y = l0 + k1·min(x − x0, 0) + k2·max(x − x0, 0).
+PiecewiseLinearModel FitWithCutoff(const std::vector<double>& x, const std::vector<double>& y,
+                                   double x0) {
+  size_t n = x.size();
+  Matrix design(n, 3);
+  for (size_t i = 0; i < n; ++i) {
+    design.At(i, 0) = 1.0;
+    design.At(i, 1) = std::min(x[i] - x0, 0.0);
+    design.At(i, 2) = std::max(x[i] - x0, 0.0);
+  }
+  std::vector<double> w = RidgeSolve(design, y, 1e-9);
+  PiecewiseLinearModel model;
+  model.y0 = w[0];
+  model.k1 = w[1];
+  model.k2 = w[2];
+  model.x0 = x0;
+  return model;
+}
+
+}  // namespace
+
+double PiecewiseSse(const PiecewiseLinearModel& model, const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  MUDI_CHECK_EQ(x.size(), y.size());
+  double sse = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double r = model.Eval(x[i]) - y[i];
+    sse += r * r;
+  }
+  return sse;
+}
+
+PiecewiseLinearModel FitPiecewiseLinear(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  MUDI_CHECK_EQ(x.size(), y.size());
+  MUDI_CHECK_GE(x.size(), 4u);
+
+  // Sort samples by x.
+  std::vector<size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return x[a] < x[b]; });
+  std::vector<double> xs(x.size()), ys(y.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    xs[i] = x[order[i]];
+    ys[i] = y[order[i]];
+  }
+
+  // Every interior sorted sample is a cutoff candidate; curvature ranks them
+  // but with <= ~10 profiling samples we can afford to evaluate all.
+  PiecewiseLinearModel best;
+  double best_sse = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i + 1 < xs.size(); ++i) {
+    PiecewiseLinearModel model = FitWithCutoff(xs, ys, xs[i]);
+    double sse = PiecewiseSse(model, xs, ys);
+    if (sse < best_sse) {
+      best_sse = sse;
+      best = model;
+    }
+  }
+  // Also consider midpoints between samples near the highest-curvature triple,
+  // which refines the knee when the true cutoff falls between profile points.
+  double best_curv = -1.0;
+  size_t curv_idx = 1;
+  for (size_t i = 1; i + 1 < xs.size(); ++i) {
+    double c =
+        MengerCurvature(xs[i - 1], ys[i - 1], xs[i], ys[i], xs[i + 1], ys[i + 1]);
+    if (c > best_curv) {
+      best_curv = c;
+      curv_idx = i;
+    }
+  }
+  for (double frac : {0.25, 0.5, 0.75}) {
+    for (size_t base : {curv_idx - 1, curv_idx}) {
+      if (base + 1 >= xs.size()) {
+        continue;
+      }
+      double cand = xs[base] + frac * (xs[base + 1] - xs[base]);
+      PiecewiseLinearModel model = FitWithCutoff(xs, ys, cand);
+      double sse = PiecewiseSse(model, xs, ys);
+      if (sse < best_sse) {
+        best_sse = sse;
+        best = model;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mudi

@@ -1,0 +1,55 @@
+// Piece-wise linear latency model (paper Eq. 1):
+//
+//   L(Δ) = k1·(Δ − Δ0) + l0   for Δ ≤ Δ0
+//   L(Δ) = k2·(Δ − Δ0) + l0   otherwise
+//
+// i.e. two line segments joined continuously at the cutoff point (Δ0, l0).
+// Fitting follows §4.1.1: curvature over each triple of consecutive samples
+// nominates candidate cutoffs (the "kneedle" heuristic), then the breakpoint
+// and slopes are refined by least squares, picking the candidate with the
+// lowest residual. For latency-vs-GPU% curves both slopes are negative and
+// |k1| >> |k2|: steep improvement up to the knee, marginal beyond it.
+#ifndef SRC_ML_PIECEWISE_LINEAR_H_
+#define SRC_ML_PIECEWISE_LINEAR_H_
+
+#include <optional>
+#include <vector>
+
+namespace mudi {
+
+struct PiecewiseLinearModel {
+  double k1 = 0.0;  // slope below the cutoff
+  double k2 = 0.0;  // slope above the cutoff
+  double x0 = 0.0;  // cutoff abscissa (Δ0)
+  double y0 = 0.0;  // cutoff ordinate (l0)
+
+  double Eval(double x) const {
+    double k = x <= x0 ? k1 : k2;
+    return k * (x - x0) + y0;
+  }
+
+  // Mean of the two slopes — the cluster-level interference score (§5.2).
+  double AverageSlope() const { return 0.5 * (k1 + k2); }
+
+  // For a monotone-decreasing curve (k1, k2 < 0), the smallest x in
+  // [x_min, x_max] with Eval(x) <= target; nullopt if even x_max misses it.
+  std::optional<double> MinXForValueAtMost(double target, double x_min, double x_max) const;
+};
+
+// Menger curvature of three points (inverse circumradius); 0 for collinear.
+double MengerCurvature(double x1, double y1, double x2, double y2, double x3, double y3);
+
+// Fits Eq. (1) to (x, y) samples (x need not be sorted; >= 4 samples).
+// Candidate cutoffs are the interior sample points ranked by curvature; for
+// each candidate the continuous two-segment least-squares fit is computed and
+// the lowest-SSE fit wins.
+PiecewiseLinearModel FitPiecewiseLinear(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+// Sum of squared residuals of `model` on the samples.
+double PiecewiseSse(const PiecewiseLinearModel& model, const std::vector<double>& x,
+                    const std::vector<double>& y);
+
+}  // namespace mudi
+
+#endif  // SRC_ML_PIECEWISE_LINEAR_H_

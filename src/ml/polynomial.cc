@@ -1,0 +1,48 @@
+#include "src/ml/polynomial.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/ml/matrix.h"
+
+namespace mudi {
+
+PolynomialModel PolynomialModel::Fit(const std::vector<double>& x, const std::vector<double>& y,
+                                     int degree) {
+  MUDI_CHECK_EQ(x.size(), y.size());
+  MUDI_CHECK_GE(degree, 0);
+  MUDI_CHECK_GE(x.size(), static_cast<size_t>(degree) + 1);
+
+  PolynomialModel model;
+  auto [min_it, max_it] = std::minmax_element(x.begin(), x.end());
+  model.x_center_ = 0.5 * (*min_it + *max_it);
+  double half = 0.5 * (*max_it - *min_it);
+  model.x_half_range_ = half > 1e-12 ? half : 1.0;
+
+  size_t n = x.size();
+  Matrix design(n, static_cast<size_t>(degree) + 1);
+  for (size_t i = 0; i < n; ++i) {
+    double t = (x[i] - model.x_center_) / model.x_half_range_;
+    double p = 1.0;
+    for (int d = 0; d <= degree; ++d) {
+      design.At(i, static_cast<size_t>(d)) = p;
+      p *= t;
+    }
+  }
+  model.coeffs_ = RidgeSolve(design, y, 1e-8);
+  return model;
+}
+
+double PolynomialModel::Eval(double x) const {
+  MUDI_CHECK(!coeffs_.empty());
+  double t = (x - x_center_) / x_half_range_;
+  double value = 0.0;
+  double p = 1.0;
+  for (double c : coeffs_) {
+    value += c * p;
+    p *= t;
+  }
+  return value;
+}
+
+}  // namespace mudi

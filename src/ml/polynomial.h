@@ -1,0 +1,30 @@
+// 1-D polynomial least-squares fitting — the baseline latency-curve model the
+// paper compares against piece-wise linear in Tab. 2.
+#ifndef SRC_ML_POLYNOMIAL_H_
+#define SRC_ML_POLYNOMIAL_H_
+
+#include <vector>
+
+namespace mudi {
+
+class PolynomialModel {
+ public:
+  PolynomialModel() = default;
+
+  // Fits a degree-`degree` polynomial by ridge-regularized least squares.
+  // Inputs are internally rescaled to [-1, 1] for conditioning.
+  static PolynomialModel Fit(const std::vector<double>& x, const std::vector<double>& y,
+                             int degree);
+
+  double Eval(double x) const;
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+ private:
+  std::vector<double> coeffs_;  // in the rescaled variable, low order first
+  double x_center_ = 0.0;
+  double x_half_range_ = 1.0;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_ML_POLYNOMIAL_H_

@@ -1,0 +1,201 @@
+#include "src/ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+struct RandomForestRegressor::Node {
+  // Leaf when feature < 0.
+  int feature = -1;
+  double threshold = 0.0;
+  double value = 0.0;
+  int left = -1;
+  int right = -1;
+};
+
+struct RandomForestRegressor::Tree {
+  std::vector<Node> nodes;
+
+  double Predict(const std::vector<double>& x) const {
+    int idx = 0;
+    while (nodes[static_cast<size_t>(idx)].feature >= 0) {
+      const Node& n = nodes[static_cast<size_t>(idx)];
+      idx = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+    }
+    return nodes[static_cast<size_t>(idx)].value;
+  }
+};
+
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  // weighted child SSE
+};
+
+double SubsetMean(const std::vector<double>& y, const std::vector<size_t>& idx) {
+  double sum = 0.0;
+  for (size_t i : idx) {
+    sum += y[i];
+  }
+  return idx.empty() ? 0.0 : sum / static_cast<double>(idx.size());
+}
+
+double SubsetSse(const std::vector<double>& y, const std::vector<size_t>& idx) {
+  double mean = SubsetMean(y, idx);
+  double sse = 0.0;
+  for (size_t i : idx) {
+    sse += (y[i] - mean) * (y[i] - mean);
+  }
+  return sse;
+}
+
+SplitResult FindBestSplit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+                          const std::vector<size_t>& idx, const std::vector<int>& features,
+                          size_t min_samples_leaf) {
+  SplitResult best;
+  std::vector<std::pair<double, double>> col;  // (feature value, target)
+  col.reserve(idx.size());
+  for (int f : features) {
+    col.clear();
+    for (size_t i : idx) {
+      col.emplace_back(x[i][static_cast<size_t>(f)], y[i]);
+    }
+    std::sort(col.begin(), col.end());
+    // Prefix sums enable O(n) evaluation of every split position.
+    size_t n = col.size();
+    std::vector<double> prefix_sum(n + 1, 0.0), prefix_sq(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      prefix_sum[i + 1] = prefix_sum[i] + col[i].second;
+      prefix_sq[i + 1] = prefix_sq[i] + col[i].second * col[i].second;
+    }
+    for (size_t split = min_samples_leaf; split + min_samples_leaf <= n; ++split) {
+      if (col[split - 1].first == col[split].first) {
+        continue;  // cannot separate equal feature values
+      }
+      double ls = prefix_sum[split];
+      double lq = prefix_sq[split];
+      double rs = prefix_sum[n] - ls;
+      double rq = prefix_sq[n] - lq;
+      double nl = static_cast<double>(split);
+      double nr = static_cast<double>(n - split);
+      double sse = (lq - ls * ls / nl) + (rq - rs * rs / nr);
+      if (sse < best.score) {
+        best.score = sse;
+        best.feature = f;
+        best.threshold = 0.5 * (col[split - 1].first + col[split].first);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RandomForestRegressor::RandomForestRegressor(RandomForestOptions options)
+    : options_(options) {
+  MUDI_CHECK_GT(options_.num_trees, 0u);
+  MUDI_CHECK_GT(options_.feature_fraction, 0.0);
+  MUDI_CHECK_LE(options_.feature_fraction, 1.0);
+}
+
+RandomForestRegressor::~RandomForestRegressor() = default;
+
+void RandomForestRegressor::Fit(const std::vector<std::vector<double>>& x,
+                                const std::vector<double>& y) {
+  MUDI_CHECK(!x.empty());
+  MUDI_CHECK_EQ(x.size(), y.size());
+  size_t d = x[0].size();
+  Rng rng(options_.seed);
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+
+  size_t features_per_split =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(options_.feature_fraction *
+                                                        static_cast<double>(d))));
+
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    auto tree = std::make_unique<Tree>();
+    // Bootstrap sample.
+    std::vector<size_t> root_idx(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      root_idx[i] = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(x.size()) - 1));
+    }
+
+    // Iterative depth-first construction.
+    struct WorkItem {
+      std::vector<size_t> idx;
+      size_t depth;
+      int node_slot;
+    };
+    std::vector<WorkItem> stack;
+    tree->nodes.emplace_back();
+    stack.push_back({std::move(root_idx), 0, 0});
+    while (!stack.empty()) {
+      WorkItem item = std::move(stack.back());
+      stack.pop_back();
+      Node& node = tree->nodes[static_cast<size_t>(item.node_slot)];
+      node.value = SubsetMean(y, item.idx);
+      bool should_split = item.depth < options_.max_depth &&
+                          item.idx.size() >= 2 * options_.min_samples_leaf &&
+                          SubsetSse(y, item.idx) > 1e-12;
+      if (!should_split) {
+        continue;
+      }
+      // Random feature subset for this split.
+      std::vector<int> all_features(d);
+      for (size_t j = 0; j < d; ++j) {
+        all_features[j] = static_cast<int>(j);
+      }
+      rng.Shuffle(all_features);
+      all_features.resize(features_per_split);
+
+      SplitResult split =
+          FindBestSplit(x, y, item.idx, all_features, options_.min_samples_leaf);
+      if (split.feature < 0) {
+        continue;
+      }
+      std::vector<size_t> left_idx, right_idx;
+      for (size_t i : item.idx) {
+        if (x[i][static_cast<size_t>(split.feature)] <= split.threshold) {
+          left_idx.push_back(i);
+        } else {
+          right_idx.push_back(i);
+        }
+      }
+      if (left_idx.size() < options_.min_samples_leaf ||
+          right_idx.size() < options_.min_samples_leaf) {
+        continue;
+      }
+      int left_slot = static_cast<int>(tree->nodes.size());
+      tree->nodes.emplace_back();
+      int right_slot = static_cast<int>(tree->nodes.size());
+      tree->nodes.emplace_back();
+      // `node` reference may be invalidated by the emplace_backs above.
+      Node& fresh = tree->nodes[static_cast<size_t>(item.node_slot)];
+      fresh.feature = split.feature;
+      fresh.threshold = split.threshold;
+      fresh.left = left_slot;
+      fresh.right = right_slot;
+      stack.push_back({std::move(left_idx), item.depth + 1, left_slot});
+      stack.push_back({std::move(right_idx), item.depth + 1, right_slot});
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::Predict(const std::vector<double>& x) const {
+  MUDI_CHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    sum += tree->Predict(x);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace mudi

@@ -1,0 +1,67 @@
+#include "src/ml/svr.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/ml/matrix.h"
+
+namespace mudi {
+
+double SvrRegressor::Kernel(const std::vector<double>& a, const std::vector<double>& b) const {
+  double d2 = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    double diff = a[j] - b[j];
+    d2 += diff * diff;
+  }
+  return std::exp(-options_.gamma * d2);
+}
+
+void SvrRegressor::Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y) {
+  MUDI_CHECK(!x.empty());
+  MUDI_CHECK_EQ(x.size(), y.size());
+  scaler_.Fit(x);
+  support_ = scaler_.TransformAll(x);
+
+  size_t n = support_.size();
+  y_mean_ = 0.0;
+  for (double v : y) {
+    y_mean_ += v;
+  }
+  y_mean_ /= static_cast<double>(n);
+  std::vector<double> centered(n);
+  for (size_t i = 0; i < n; ++i) {
+    centered[i] = y[i] - y_mean_;
+  }
+
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double v = Kernel(support_[i], support_[j]);
+      k.At(i, j) = v;
+      k.At(j, i) = v;
+    }
+    k.At(i, i) += options_.lambda;
+  }
+  Matrix l;
+  double jitter = 1e-8;
+  while (!CholeskyDecompose(k, l)) {
+    for (size_t i = 0; i < n; ++i) {
+      k.At(i, i) += jitter;
+    }
+    jitter *= 10.0;
+    MUDI_CHECK_LT(jitter, 1.0);
+  }
+  alpha_ = CholeskySolve(l, centered);
+}
+
+double SvrRegressor::Predict(const std::vector<double>& x) const {
+  MUDI_CHECK(!support_.empty());
+  auto q = scaler_.Transform(x);
+  double out = y_mean_;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    out += alpha_[i] * Kernel(support_[i], q);
+  }
+  return out;
+}
+
+}  // namespace mudi

@@ -1,0 +1,41 @@
+// Support-vector-regression-style kernel model. We use the kernel ridge
+// (least-squares SVR) formulation: dual coefficients α solve
+// (K + λI)·α = y, prediction is Σ αᵢ k(xᵢ, x) with an RBF kernel. This is the
+// LS-SVM variant of SVR — same hypothesis class, closed-form training —
+// fitting the paper's "lightweight models such as RF, SVR" requirement.
+#ifndef SRC_ML_SVR_H_
+#define SRC_ML_SVR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace mudi {
+
+struct SvrOptions {
+  double gamma = 0.5;    // RBF width: k(a,b) = exp(-gamma·|a-b|²) on scaled features
+  double lambda = 1e-2;  // ridge regularization of the dual system
+};
+
+class SvrRegressor : public Regressor {
+ public:
+  explicit SvrRegressor(SvrOptions options = {}) : options_(options) {}
+
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+  std::string name() const override { return "SVR"; }
+
+ private:
+  double Kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  SvrOptions options_;
+  FeatureScaler scaler_;
+  std::vector<std::vector<double>> support_;  // scaled training inputs
+  std::vector<double> alpha_;
+  double y_mean_ = 0.0;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_ML_SVR_H_

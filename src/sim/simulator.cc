@@ -1,0 +1,88 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+Simulator::EventId Simulator::Push(TimeMs t, TimeMs period, Callback cb, EventId reuse_id) {
+  MUDI_CHECK_GE(t, now_);
+  MUDI_CHECK(cb != nullptr);
+  EventId id = reuse_id != kInvalidEventId ? reuse_id : next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, period, std::move(cb)});
+  return id;
+}
+
+Simulator::EventId Simulator::ScheduleAt(TimeMs t, Callback cb) {
+  return Push(t, /*period=*/0.0, std::move(cb));
+}
+
+Simulator::EventId Simulator::ScheduleAfter(TimeMs delay, Callback cb) {
+  MUDI_CHECK_GE(delay, 0.0);
+  return Push(now_ + delay, /*period=*/0.0, std::move(cb));
+}
+
+Simulator::EventId Simulator::SchedulePeriodic(TimeMs start, TimeMs period, Callback cb) {
+  MUDI_CHECK_GT(period, 0.0);
+  return Push(start, period, std::move(cb));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) {
+    return false;
+  }
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  if (inserted) {
+    ++stale_cancellations_;
+  }
+  return inserted;
+}
+
+bool Simulator::SkipCancelled() {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    auto it = cancelled_.find(top.id);
+    if (it == cancelled_.end()) {
+      return true;
+    }
+    cancelled_.erase(it);
+    MUDI_CHECK_GT(stale_cancellations_, 0u);
+    --stale_cancellations_;
+    queue_.pop();
+  }
+  return false;
+}
+
+bool Simulator::Step() {
+  if (!SkipCancelled()) {
+    return false;
+  }
+  Entry entry = queue_.top();
+  queue_.pop();
+  MUDI_CHECK_GE(entry.time, now_);
+  now_ = entry.time;
+  ++events_processed_;
+  if (entry.period > 0.0) {
+    // Re-arm before running so the callback can Cancel() its own id.
+    Push(entry.time + entry.period, entry.period, entry.cb, entry.id);
+  }
+  entry.cb();
+  return true;
+}
+
+void Simulator::RunUntil(TimeMs t) {
+  MUDI_CHECK_GE(t, now_);
+  while (SkipCancelled() && queue_.top().time <= t) {
+    Step();
+  }
+  now_ = t;
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace mudi

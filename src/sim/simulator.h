@@ -1,0 +1,99 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock (milliseconds, double) and a time-ordered
+// event queue. Components schedule callbacks at absolute or relative virtual
+// times; ties are broken by scheduling order so runs are deterministic.
+// Periodic events re-arm themselves until cancelled. The engine is
+// single-threaded by design — determinism matters more than parallelism for
+// cluster-scheduling studies.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace mudi {
+
+// Virtual time in milliseconds since simulation start.
+using TimeMs = double;
+
+constexpr TimeMs kMsPerSecond = 1000.0;
+constexpr TimeMs kMsPerMinute = 60.0 * kMsPerSecond;
+constexpr TimeMs kMsPerHour = 60.0 * kMsPerMinute;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  static constexpr EventId kInvalidEventId = 0;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeMs Now() const { return now_; }
+
+  // Schedules `cb` at absolute virtual time `t` (must be >= Now()).
+  EventId ScheduleAt(TimeMs t, Callback cb);
+
+  // Schedules `cb` `delay` ms from now (delay must be >= 0).
+  EventId ScheduleAfter(TimeMs delay, Callback cb);
+
+  // Schedules `cb` every `period` ms, first firing at `start`. The callback
+  // keeps firing until the returned id is cancelled.
+  EventId SchedulePeriodic(TimeMs start, TimeMs period, Callback cb);
+
+  // Cancels a pending (or periodic) event. Returns false if the id is not
+  // pending — e.g. already fired (one-shot) or already cancelled.
+  bool Cancel(EventId id);
+
+  // Runs events with time <= `t`, then advances the clock to exactly `t`.
+  void RunUntil(TimeMs t);
+
+  // Runs until the queue is empty.
+  void RunUntilIdle();
+
+  // Runs at most one event; returns false when the queue is empty.
+  bool Step();
+
+  size_t pending_events() const { return queue_.size() - stale_cancellations_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Entry {
+    TimeMs time;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    // Period > 0 marks a periodic event that re-arms after firing.
+    TimeMs period;
+    Callback cb;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  EventId Push(TimeMs t, TimeMs period, Callback cb, EventId reuse_id = kInvalidEventId);
+  // Pops cancelled entries off the top; returns false when queue is empty.
+  bool SkipCancelled();
+
+  TimeMs now_ = 0.0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  size_t stale_cancellations_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,56 @@
+#include "src/solver/monotone_solver.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+std::optional<double> MinFeasibleMonotone(const std::function<double(double)>& f, double target,
+                                          double lo, double hi, double tolerance) {
+  MUDI_CHECK_LE(lo, hi);
+  MUDI_CHECK_GT(tolerance, 0.0);
+  if (f(hi) > target) {
+    return std::nullopt;
+  }
+  if (f(lo) <= target) {
+    return lo;
+  }
+  // Invariant: f(lo) > target >= f(hi).
+  while (hi - lo > tolerance) {
+    double mid = 0.5 * (lo + hi);
+    if (f(mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+GridSearchResult ExhaustiveGridSearch(
+    const std::vector<int>& batches, const std::vector<double>& fractions,
+    const std::function<double(int, double)>& objective,
+    const std::function<bool(int, double)>& feasible) {
+  GridSearchResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (int b : batches) {
+    for (double g : fractions) {
+      ++result.evaluations;
+      if (!feasible(b, g)) {
+        continue;
+      }
+      double obj = objective(b, g);
+      if (obj < best) {
+        best = obj;
+        result.best_batch = b;
+        result.best_fraction = g;
+        result.best_objective = obj;
+        result.feasible = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mudi

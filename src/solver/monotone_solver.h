@@ -1,0 +1,39 @@
+// Constrained 1-D solvers replacing the paper's CVXPY/ECOS usage for Eq. (4):
+//
+//   Δ* = argmin Δ  s.t.  (W/b)·P(b, Δ, Ψ) ≤ SLO
+//
+// The constraint's left side is monotone non-increasing in Δ, so the minimum
+// feasible Δ is found exactly by bisection. An exhaustive grid search over
+// (batch, Δ) pairs backs the Optimal baseline (§5.4, §7.2).
+#ifndef SRC_SOLVER_MONOTONE_SOLVER_H_
+#define SRC_SOLVER_MONOTONE_SOLVER_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace mudi {
+
+// Smallest x in [lo, hi] with f(x) <= target, assuming f is monotone
+// non-increasing; nullopt if f(hi) > target. Bisection to `tolerance`.
+std::optional<double> MinFeasibleMonotone(const std::function<double(double)>& f, double target,
+                                          double lo, double hi, double tolerance = 1e-4);
+
+struct GridSearchResult {
+  int best_batch = 0;
+  double best_fraction = 0.0;
+  double best_objective = 0.0;
+  bool feasible = false;
+  size_t evaluations = 0;
+};
+
+// Exhaustive joint search: minimizes objective(b, Δ) over the cross product
+// of `batches` × `fractions` subject to feasible(b, Δ).
+GridSearchResult ExhaustiveGridSearch(
+    const std::vector<int>& batches, const std::vector<double>& fractions,
+    const std::function<double(int, double)>& objective,
+    const std::function<bool(int, double)>& feasible);
+
+}  // namespace mudi
+
+#endif  // SRC_SOLVER_MONOTONE_SOLVER_H_

@@ -1,0 +1,66 @@
+#include "src/workload/layers.h"
+
+namespace mudi {
+
+const char* LayerTypeName(LayerType type) {
+  switch (type) {
+    case LayerType::kConv:
+      return "conv";
+    case LayerType::kLinear:
+      return "linear";
+    case LayerType::kActivation:
+      return "activations";
+    case LayerType::kEmbedding:
+      return "embeddings";
+    case LayerType::kEncoder:
+      return "encoder";
+    case LayerType::kDecoder:
+      return "decoder";
+    case LayerType::kFlatten:
+      return "flatten";
+    case LayerType::kBatchNorm:
+      return "batch_normalization";
+    case LayerType::kFc:
+      return "fc";
+    case LayerType::kPooling:
+      return "pooling";
+    case LayerType::kOther:
+      return "other_layers";
+  }
+  return "unknown";
+}
+
+int NetworkArchitecture::total_layers() const {
+  int total = 0;
+  for (int c : counts_) {
+    total += c;
+  }
+  return total;
+}
+
+std::vector<double> NetworkArchitecture::ToFeatureVector() const {
+  std::vector<double> out(kNumLayerTypes);
+  for (size_t i = 0; i < kNumLayerTypes; ++i) {
+    out[i] = static_cast<double>(counts_[i]);
+  }
+  return out;
+}
+
+NetworkArchitecture NetworkArchitecture::Plus(const NetworkArchitecture& other) const {
+  NetworkArchitecture sum;
+  for (size_t i = 0; i < kNumLayerTypes; ++i) {
+    sum.counts_[i] = counts_[i] + other.counts_[i];
+  }
+  return sum;
+}
+
+NetworkArchitecture MakeArchitecture(
+    const std::vector<std::pair<LayerType, int>>& counts) {
+  NetworkArchitecture arch;
+  for (const auto& [type, count] : counts) {
+    arch.set_count(type, count);
+  }
+  return arch;
+}
+
+}  // namespace mudi

@@ -1,0 +1,65 @@
+// Network-architecture representation (paper Fig. 7 / §4.1.2).
+//
+// The Interference Modeler characterizes a training task by the *counts* of
+// the layer types that dominate GPU-cycle and memory-bandwidth consumption:
+// [conv, linear, activations, embeddings, encoder, decoder, flatten,
+//  batch_normalization, fc, pooling, other_layers]. Unpopular layers are
+// folded into other_layers to avoid overfitting to unseen tasks.
+#ifndef SRC_WORKLOAD_LAYERS_H_
+#define SRC_WORKLOAD_LAYERS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mudi {
+
+enum class LayerType : int {
+  kConv = 0,
+  kLinear,
+  kActivation,
+  kEmbedding,
+  kEncoder,
+  kDecoder,
+  kFlatten,
+  kBatchNorm,
+  kFc,
+  kPooling,
+  kOther,
+};
+
+inline constexpr size_t kNumLayerTypes = 11;
+
+const char* LayerTypeName(LayerType type);
+
+// Layer-count census of a model; the feature vector the predictor consumes.
+class NetworkArchitecture {
+ public:
+  NetworkArchitecture() { counts_.fill(0); }
+
+  int count(LayerType type) const { return counts_[static_cast<size_t>(type)]; }
+  void set_count(LayerType type, int count) { counts_[static_cast<size_t>(type)] = count; }
+
+  int total_layers() const;
+
+  // Flattened (double) feature vector, index order = LayerType order.
+  std::vector<double> ToFeatureVector() const;
+
+  // Element-wise sum — used when multiple training tasks co-locate with one
+  // inference service (§5.5: "cumulative feature layers").
+  NetworkArchitecture Plus(const NetworkArchitecture& other) const;
+
+  bool operator==(const NetworkArchitecture& other) const { return counts_ == other.counts_; }
+
+ private:
+  std::array<int, kNumLayerTypes> counts_;
+};
+
+// Convenience builder: {{LayerType::kConv, 53}, ...}.
+NetworkArchitecture MakeArchitecture(
+    const std::vector<std::pair<LayerType, int>>& counts);
+
+}  // namespace mudi
+
+#endif  // SRC_WORKLOAD_LAYERS_H_

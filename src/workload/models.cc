@@ -1,0 +1,454 @@
+#include "src/workload/models.h"
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+const char* TaskScaleName(TaskScale scale) {
+  switch (scale) {
+    case TaskScale::kSmall:
+      return "S";
+    case TaskScale::kMedium:
+      return "M";
+    case TaskScale::kLarge:
+      return "L";
+    case TaskScale::kXLarge:
+      return "XL";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<InferenceServiceSpec> BuildInferenceServices() {
+  std::vector<InferenceServiceSpec> services;
+
+  {
+    InferenceServiceSpec s;
+    s.name = "ResNet50";
+    s.domain = "Image Classification";
+    s.dataset = "ImageNet";
+    s.params_millions = 25.6;
+    s.slo_ms = 150.0;
+    s.arch = MakeArchitecture({{LayerType::kConv, 53},
+                               {LayerType::kBatchNorm, 53},
+                               {LayerType::kActivation, 49},
+                               {LayerType::kPooling, 2},
+                               {LayerType::kFc, 1},
+                               {LayerType::kFlatten, 1},
+                               {LayerType::kOther, 16}});
+    s.preprocess_ms_per_sample = 0.03;  // image decode/resize, multi-threaded
+    s.transfer_ms_per_sample = 0.30;    // 224x224x3 fp32 over contended PCIe
+    s.exec_ms_per_sample_full = 0.09;
+    s.batch_overhead_ms = 2.0;
+    s.control_flow_fraction = 0.15;
+    s.saturation_base = 0.15;
+    s.saturation_per_sample = 0.0020;
+    s.weights_mb = 100.0;
+    s.activation_mb_per_sample = 30.0;
+    s.mem_bw_intensity = 0.70;
+    services.push_back(s);
+  }
+  {
+    InferenceServiceSpec s;
+    s.name = "Inception";
+    s.domain = "Image Classification";
+    s.dataset = "ImageNet";
+    s.params_millions = 23.8;
+    s.slo_ms = 120.0;
+    s.arch = MakeArchitecture({{LayerType::kConv, 149},
+                               {LayerType::kBatchNorm, 149},
+                               {LayerType::kActivation, 149},
+                               {LayerType::kPooling, 14},
+                               {LayerType::kFc, 1},
+                               {LayerType::kFlatten, 1},
+                               {LayerType::kOther, 30}});
+    s.preprocess_ms_per_sample = 0.028;
+    s.transfer_ms_per_sample = 0.22;
+    s.exec_ms_per_sample_full = 0.08;
+    s.batch_overhead_ms = 2.5;
+    s.control_flow_fraction = 0.18;
+    s.saturation_base = 0.15;
+    s.saturation_per_sample = 0.0018;
+    s.weights_mb = 95.0;
+    s.activation_mb_per_sample = 26.0;
+    s.mem_bw_intensity = 0.65;
+    services.push_back(s);
+  }
+  {
+    InferenceServiceSpec s;
+    s.name = "GPT2";
+    s.domain = "Text Generation";
+    s.dataset = "SQuAD";
+    s.params_millions = 335.0;
+    s.slo_ms = 100.0;
+    s.arch = MakeArchitecture({{LayerType::kDecoder, 24},
+                               {LayerType::kEmbedding, 2},
+                               {LayerType::kLinear, 97},
+                               {LayerType::kActivation, 24},
+                               {LayerType::kOther, 50}});
+    s.preprocess_ms_per_sample = 0.025;  // tokenization
+    s.transfer_ms_per_sample = 0.05;     // token ids only
+    s.exec_ms_per_sample_full = 0.20;
+    s.batch_overhead_ms = 3.0;
+    s.control_flow_fraction = 0.72;  // sequential generation control flow (§2.2.1)
+    s.saturation_base = 0.20;
+    s.saturation_per_sample = 0.0015;
+    s.weights_mb = 1340.0;
+    s.activation_mb_per_sample = 40.0;
+    s.mem_bw_intensity = 0.80;
+    services.push_back(s);
+  }
+  {
+    InferenceServiceSpec s;
+    s.name = "BERT";
+    s.domain = "Question Answering";
+    s.dataset = "SQuAD";
+    s.params_millions = 110.0;
+    s.slo_ms = 330.0;
+    s.arch = MakeArchitecture({{LayerType::kEncoder, 12},
+                               {LayerType::kEmbedding, 3},
+                               {LayerType::kLinear, 74},
+                               {LayerType::kActivation, 12},
+                               {LayerType::kFc, 1},
+                               {LayerType::kOther, 25}});
+    s.preprocess_ms_per_sample = 0.022;
+    s.transfer_ms_per_sample = 0.05;
+    s.exec_ms_per_sample_full = 0.35;
+    s.batch_overhead_ms = 3.0;
+    s.control_flow_fraction = 0.35;
+    s.saturation_base = 0.22;
+    s.saturation_per_sample = 0.0016;
+    s.weights_mb = 440.0;
+    s.activation_mb_per_sample = 28.0;
+    s.mem_bw_intensity = 0.75;
+    services.push_back(s);
+  }
+  {
+    InferenceServiceSpec s;
+    s.name = "RoBERTa";
+    s.domain = "Language Modeling";
+    s.dataset = "SQuAD";
+    s.params_millions = 125.0;
+    s.slo_ms = 110.0;
+    s.arch = MakeArchitecture({{LayerType::kEncoder, 12},
+                               {LayerType::kEmbedding, 3},
+                               {LayerType::kLinear, 74},
+                               {LayerType::kActivation, 12},
+                               {LayerType::kFc, 1},
+                               {LayerType::kOther, 26}});
+    s.preprocess_ms_per_sample = 0.024;
+    s.transfer_ms_per_sample = 0.04;
+    s.exec_ms_per_sample_full = 0.18;
+    s.batch_overhead_ms = 2.8;
+    s.control_flow_fraction = 0.32;
+    s.saturation_base = 0.22;
+    s.saturation_per_sample = 0.0016;
+    s.weights_mb = 500.0;
+    s.activation_mb_per_sample = 28.0;
+    s.mem_bw_intensity = 0.75;
+    services.push_back(s);
+  }
+  {
+    InferenceServiceSpec s;
+    s.name = "YOLOS";
+    s.domain = "Object Detection";
+    s.dataset = "COCO";
+    s.params_millions = 30.7;
+    s.slo_ms = 2200.0;
+    s.arch = MakeArchitecture({{LayerType::kEncoder, 12},
+                               {LayerType::kEmbedding, 2},
+                               {LayerType::kLinear, 74},
+                               {LayerType::kConv, 1},
+                               {LayerType::kActivation, 12},
+                               {LayerType::kFc, 1},
+                               {LayerType::kOther, 24}});
+    s.preprocess_ms_per_sample = 0.06;  // high-res image preprocessing
+    s.transfer_ms_per_sample = 0.40;
+    s.exec_ms_per_sample_full = 1.50;
+    s.batch_overhead_ms = 5.0;
+    s.control_flow_fraction = 0.25;
+    s.saturation_base = 0.30;
+    s.saturation_per_sample = 0.0022;
+    s.weights_mb = 125.0;
+    s.activation_mb_per_sample = 60.0;
+    s.mem_bw_intensity = 0.60;
+    services.push_back(s);
+  }
+  return services;
+}
+
+std::vector<TrainingTaskSpec> BuildTrainingTasks() {
+  std::vector<TrainingTaskSpec> tasks;
+
+  {
+    TrainingTaskSpec t;
+    t.name = "VGG16";
+    t.domain = "Image Classification";
+    t.dataset = "CIFAR10";
+    t.optimizer = "Adam";
+    t.batch_size = 512;
+    t.scale = TaskScale::kSmall;
+    t.mix_fraction = 0.14;
+    t.arch = MakeArchitecture({{LayerType::kConv, 13},
+                               {LayerType::kFc, 3},
+                               {LayerType::kActivation, 15},
+                               {LayerType::kPooling, 5},
+                               {LayerType::kFlatten, 1},
+                               {LayerType::kOther, 2}});
+    t.iter_ms_full = 90.0;
+    t.saturation_gpu = 0.95;
+    t.cpu_load = 0.12;
+    t.pcie_mb_per_iter = 6.0;
+    t.weights_mb = 528.0;
+    t.optimizer_state_factor = 3.0;  // Adam
+    t.activation_mb = 12000.0;
+    t.mem_bw_intensity = 0.75;
+    tasks.push_back(t);
+  }
+  {
+    TrainingTaskSpec t;
+    t.name = "SqueezeNet";
+    t.domain = "Image Classification";
+    t.dataset = "CIFAR10";
+    t.optimizer = "Adam";
+    t.batch_size = 512;
+    t.scale = TaskScale::kSmall;
+    t.mix_fraction = 0.14;
+    t.arch = MakeArchitecture({{LayerType::kConv, 26},
+                               {LayerType::kActivation, 26},
+                               {LayerType::kPooling, 4},
+                               {LayerType::kFlatten, 1},
+                               {LayerType::kOther, 9}});
+    t.iter_ms_full = 40.0;
+    t.saturation_gpu = 0.60;
+    t.cpu_load = 0.10;
+    t.pcie_mb_per_iter = 6.0;
+    t.weights_mb = 5.0;
+    t.optimizer_state_factor = 3.0;
+    t.activation_mb = 5000.0;
+    t.mem_bw_intensity = 0.45;
+    tasks.push_back(t);
+  }
+  {
+    TrainingTaskSpec t;
+    t.name = "ResNet50";
+    t.domain = "Image Classification";
+    t.dataset = "CIFAR100";
+    t.optimizer = "Adam";
+    t.batch_size = 1024;
+    t.scale = TaskScale::kSmall;
+    t.mix_fraction = 0.14;
+    t.arch = MakeArchitecture({{LayerType::kConv, 53},
+                               {LayerType::kBatchNorm, 53},
+                               {LayerType::kActivation, 49},
+                               {LayerType::kPooling, 2},
+                               {LayerType::kFc, 1},
+                               {LayerType::kFlatten, 1},
+                               {LayerType::kOther, 16}});
+    t.iter_ms_full = 140.0;
+    t.saturation_gpu = 0.95;
+    t.cpu_load = 0.15;
+    t.pcie_mb_per_iter = 12.0;
+    t.weights_mb = 100.0;
+    t.optimizer_state_factor = 3.0;
+    t.activation_mb = 20000.0;
+    t.mem_bw_intensity = 0.80;
+    tasks.push_back(t);
+  }
+  {
+    TrainingTaskSpec t;
+    t.name = "NCF";
+    t.domain = "Recommendation System";
+    t.dataset = "MovieLens";
+    t.optimizer = "SGD";
+    t.batch_size = 1024;
+    t.scale = TaskScale::kMedium;
+    t.mix_fraction = 0.12;
+    t.arch = MakeArchitecture({{LayerType::kEmbedding, 4},
+                               {LayerType::kLinear, 4},
+                               {LayerType::kFc, 1},
+                               {LayerType::kActivation, 4},
+                               {LayerType::kFlatten, 1},
+                               {LayerType::kOther, 2}});
+    t.iter_ms_full = 25.0;
+    t.saturation_gpu = 0.50;
+    t.cpu_load = 0.08;
+    t.pcie_mb_per_iter = 2.0;
+    t.weights_mb = 60.0;
+    t.optimizer_state_factor = 2.0;  // SGD
+    t.activation_mb = 4000.0;
+    t.mem_bw_intensity = 0.35;
+    tasks.push_back(t);
+  }
+  {
+    TrainingTaskSpec t;
+    t.name = "LSTM";
+    t.domain = "Language Modeling";
+    t.dataset = "Wikitext-2";
+    t.optimizer = "Adadelta";
+    t.batch_size = 256;
+    t.scale = TaskScale::kMedium;
+    t.mix_fraction = 0.12;
+    t.arch = MakeArchitecture({{LayerType::kEmbedding, 1},
+                               {LayerType::kFc, 1},
+                               {LayerType::kActivation, 2},
+                               {LayerType::kOther, 3}});
+    t.iter_ms_full = 70.0;
+    t.saturation_gpu = 0.55;  // launch-bound RNN steps
+    t.cpu_load = 0.10;
+    t.pcie_mb_per_iter = 1.0;
+    t.weights_mb = 85.0;
+    t.optimizer_state_factor = 3.0;
+    t.activation_mb = 6000.0;
+    t.mem_bw_intensity = 0.40;
+    tasks.push_back(t);
+  }
+  {
+    TrainingTaskSpec t;
+    t.name = "AD-GCL";
+    t.domain = "Social Network";
+    t.dataset = "Reddit";
+    t.optimizer = "Adam";
+    t.batch_size = 64;
+    t.scale = TaskScale::kMedium;
+    t.mix_fraction = 0.12;
+    t.arch = MakeArchitecture({{LayerType::kLinear, 4},
+                               {LayerType::kActivation, 5},
+                               {LayerType::kBatchNorm, 5},
+                               {LayerType::kPooling, 1},
+                               {LayerType::kOther, 10}});
+    t.iter_ms_full = 110.0;
+    t.saturation_gpu = 0.70;
+    t.cpu_load = 0.18;  // graph sampling on CPU
+    t.pcie_mb_per_iter = 8.0;
+    t.weights_mb = 20.0;
+    t.optimizer_state_factor = 3.0;
+    t.activation_mb = 8000.0;
+    t.mem_bw_intensity = 0.55;
+    tasks.push_back(t);
+  }
+  {
+    TrainingTaskSpec t;
+    t.name = "BERT";
+    t.domain = "Question Answering";
+    t.dataset = "SQuAD";
+    t.optimizer = "AdamW";
+    t.batch_size = 32;
+    t.scale = TaskScale::kLarge;
+    t.mix_fraction = 0.12;
+    t.arch = MakeArchitecture({{LayerType::kEncoder, 12},
+                               {LayerType::kEmbedding, 3},
+                               {LayerType::kLinear, 74},
+                               {LayerType::kActivation, 12},
+                               {LayerType::kFc, 1},
+                               {LayerType::kOther, 25}});
+    t.iter_ms_full = 180.0;
+    t.saturation_gpu = 1.00;
+    t.cpu_load = 0.10;
+    t.pcie_mb_per_iter = 2.0;
+    t.weights_mb = 440.0;
+    t.optimizer_state_factor = 3.0;
+    t.activation_mb = 25500.0;
+    t.mem_bw_intensity = 0.85;
+    tasks.push_back(t);
+  }
+  {
+    TrainingTaskSpec t;
+    t.name = "YOLOv5";
+    t.domain = "Object Detection";
+    t.dataset = "COCO";
+    t.optimizer = "SGD";
+    t.batch_size = 64;
+    t.scale = TaskScale::kLarge;
+    t.mix_fraction = 0.10;
+    t.arch = MakeArchitecture({{LayerType::kConv, 60},
+                               {LayerType::kBatchNorm, 60},
+                               {LayerType::kActivation, 60},
+                               {LayerType::kPooling, 1},
+                               {LayerType::kOther, 20}});
+    t.iter_ms_full = 160.0;
+    t.saturation_gpu = 0.95;
+    t.cpu_load = 0.22;  // mosaic augmentation
+    t.pcie_mb_per_iter = 80.0;
+    t.weights_mb = 55.0;
+    t.optimizer_state_factor = 2.0;
+    t.activation_mb = 25500.0;
+    t.mem_bw_intensity = 0.78;
+    tasks.push_back(t);
+  }
+  {
+    TrainingTaskSpec t;
+    t.name = "ResNet18";
+    t.domain = "Image Classification";
+    t.dataset = "ImageNet";
+    t.optimizer = "SGD";
+    t.batch_size = 128;
+    t.scale = TaskScale::kXLarge;
+    t.mix_fraction = 0.02;
+    t.arch = MakeArchitecture({{LayerType::kConv, 20},
+                               {LayerType::kBatchNorm, 20},
+                               {LayerType::kActivation, 17},
+                               {LayerType::kPooling, 2},
+                               {LayerType::kFc, 1},
+                               {LayerType::kFlatten, 1},
+                               {LayerType::kOther, 8}});
+    t.iter_ms_full = 120.0;
+    t.saturation_gpu = 0.90;
+    t.cpu_load = 0.20;  // JPEG decode pipeline
+    t.pcie_mb_per_iter = 75.0;
+    t.weights_mb = 45.0;
+    t.optimizer_state_factor = 2.0;
+    t.activation_mb = 18000.0;
+    t.mem_bw_intensity = 0.72;
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+}  // namespace
+
+const std::vector<InferenceServiceSpec>& ModelZoo::InferenceServices() {
+  static const std::vector<InferenceServiceSpec>* services =
+      new std::vector<InferenceServiceSpec>(BuildInferenceServices());
+  return *services;
+}
+
+const std::vector<TrainingTaskSpec>& ModelZoo::TrainingTasks() {
+  static const std::vector<TrainingTaskSpec>* tasks =
+      new std::vector<TrainingTaskSpec>(BuildTrainingTasks());
+  return *tasks;
+}
+
+const InferenceServiceSpec& ModelZoo::InferenceServiceByName(const std::string& name) {
+  for (const auto& s : InferenceServices()) {
+    if (s.name == name) {
+      return s;
+    }
+  }
+  MUDI_CHECK(false);
+  __builtin_unreachable();
+}
+
+const TrainingTaskSpec& ModelZoo::TrainingTaskByName(const std::string& name) {
+  for (const auto& t : TrainingTasks()) {
+    if (t.name == name) {
+      return t;
+    }
+  }
+  MUDI_CHECK(false);
+  __builtin_unreachable();
+}
+
+const std::vector<int>& ProfilingBatchSizes() {
+  static const std::vector<int>* sizes = new std::vector<int>{16, 32, 64, 128, 256, 512};
+  return *sizes;
+}
+
+const std::vector<double>& ProfilingGpuFractions() {
+  static const std::vector<double>* fracs =
+      new std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  return *fracs;
+}
+
+}  // namespace mudi

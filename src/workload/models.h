@@ -1,0 +1,104 @@
+// The DL workload zoo: the six inference services of Tab. 1 and the nine
+// training tasks of Tab. 3, each with the architecture census and the
+// resource-behaviour parameters the ground-truth oracle consumes
+// (preprocess CPU cost, PCIe volume, GPU kernel work, saturation knee,
+// memory footprint, bandwidth intensity).
+//
+// Absolute numbers are calibrated so that (a) solo-phase fractions roughly
+// match the paper's §2.2.1 measurements (GPT2 4/10/86, ResNet50 7/71/22),
+// (b) every service can meet its SLO at the paper's 200 QPS with a partial
+// GPU, leaving headroom for co-located training, and (c) co-location memory
+// pressure occasionally exceeds 40 GB so the Memory Manager has real work.
+#ifndef SRC_WORKLOAD_MODELS_H_
+#define SRC_WORKLOAD_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/layers.h"
+
+namespace mudi {
+
+enum class TaskScale : int {
+  kSmall = 0,   // < 1 GPU-hour
+  kMedium,      // 1–10 GPU-hours
+  kLarge,       // 10–100 GPU-hours
+  kXLarge,      // > 100 GPU-hours
+};
+
+const char* TaskScaleName(TaskScale scale);
+
+// An online inference service (paper Tab. 1).
+struct InferenceServiceSpec {
+  std::string name;
+  std::string domain;
+  std::string dataset;
+  double params_millions = 0.0;
+  double slo_ms = 0.0;
+  NetworkArchitecture arch;
+
+  // --- oracle parameters (ground truth; hidden from Mudi's predictors) ---
+  double preprocess_ms_per_sample = 0.0;  // CPU preprocess/tokenize, uncontended
+  double transfer_ms_per_sample = 0.0;    // host->device PCIe time, uncontended
+  double exec_ms_per_sample_full = 0.0;   // GPU execute at 100% GPU, amortized
+  double batch_overhead_ms = 0.0;         // fixed per-batch launch/dispatch cost
+  double control_flow_fraction = 0.0;     // CPU-bound share of the execute phase
+  double saturation_base = 0.2;           // knee: g_sat(b) = clamp(base + slope·b)
+  double saturation_per_sample = 0.002;
+  double weights_mb = 0.0;
+  double activation_mb_per_sample = 0.0;
+  double mem_bw_intensity = 0.5;          // sensitivity to HBM-bandwidth contention
+};
+
+// A DL training task type (paper Tab. 3).
+struct TrainingTaskSpec {
+  std::string name;
+  std::string domain;
+  std::string dataset;
+  std::string optimizer;
+  int batch_size = 0;
+  TaskScale scale = TaskScale::kSmall;
+  double mix_fraction = 0.0;  // share of this type in the arrival mix
+  NetworkArchitecture arch;
+
+  // --- oracle parameters ---
+  double iter_ms_full = 0.0;     // solo mini-batch time at 100% GPU
+  double saturation_gpu = 1.0;   // GPU share beyond which no further speedup
+  double cpu_load = 0.1;         // single-threaded data-loading CPU share
+  double pcie_mb_per_iter = 1.0; // input volume per iteration
+  double weights_mb = 0.0;
+  double optimizer_state_factor = 2.0;  // memory multiple of weights (SGD 2x, Adam 3x)
+  double activation_mb = 0.0;           // working-set at its batch size
+  double mem_bw_intensity = 0.5;
+};
+
+// Static registry of the paper's workloads.
+class ModelZoo {
+ public:
+  // Tab. 1, in paper order: ResNet50, Inception, GPT2, BERT, RoBERTa, YOLOS.
+  static const std::vector<InferenceServiceSpec>& InferenceServices();
+
+  // Tab. 3, in paper order: VGG16, SqueezeNet, ResNet50, NCF, LSTM, AD-GCL,
+  // BERT, YOLOv5, ResNet18.
+  static const std::vector<TrainingTaskSpec>& TrainingTasks();
+
+  // Number of training-task types included in offline profiling (§7.1:
+  // "profiling is constrained to include only the first five types").
+  static constexpr size_t kNumObservedTrainingTypes = 5;
+
+  static const InferenceServiceSpec& InferenceServiceByName(const std::string& name);
+  static const TrainingTaskSpec& TrainingTaskByName(const std::string& name);
+
+  // Total device memory per GPU in MB (A100-40GB).
+  static constexpr double kGpuMemoryMb = 40960.0;
+};
+
+// Batching sizes Mudi profiles and tunes over (§4.1.1, §5.2).
+const std::vector<int>& ProfilingBatchSizes();
+
+// GPU% values used for offline profiling: 10%..90% step 10%.
+const std::vector<double>& ProfilingGpuFractions();
+
+}  // namespace mudi
+
+#endif  // SRC_WORKLOAD_MODELS_H_

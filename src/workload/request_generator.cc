@@ -1,0 +1,90 @@
+#include "src/workload/request_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace mudi {
+
+ConstantQps::ConstantQps(double qps) : qps_(qps) { MUDI_CHECK_GE(qps, 0.0); }
+
+double ConstantQps::QpsAt(TimeMs) const { return qps_; }
+
+FluctuatingQps::FluctuatingQps(Options options) : options_(options) {
+  MUDI_CHECK_LT(options_.min_qps, options_.max_qps);
+  MUDI_CHECK_GT(options_.step_ms, 0.0);
+  Rng rng(options_.seed);
+  size_t n = static_cast<size_t>(options_.horizon_ms / options_.step_ms) + 2;
+  samples_.reserve(n);
+  double range = options_.max_qps - options_.min_qps;
+  double level = rng.Uniform(options_.min_qps + 0.25 * range, options_.max_qps - 0.25 * range);
+  // Drift per step, re-drawn at inflection points.
+  double drift = rng.Uniform(-0.01, 0.01) * range;
+  for (size_t i = 0; i < n; ++i) {
+    samples_.push_back(level);
+    if (rng.Uniform() < options_.inflection_prob) {
+      drift = rng.Uniform(-0.02, 0.02) * range;
+    }
+    level += drift + rng.Normal(0.0, options_.noise_frac * range);
+    if (level < options_.min_qps) {
+      level = options_.min_qps;
+      drift = std::abs(drift);
+    } else if (level > options_.max_qps) {
+      level = options_.max_qps;
+      drift = -std::abs(drift);
+    }
+  }
+}
+
+double FluctuatingQps::QpsAt(TimeMs t) const {
+  if (t <= 0.0) {
+    return samples_.front();
+  }
+  double pos = t / options_.step_ms;
+  size_t idx = static_cast<size_t>(pos);
+  if (idx + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  double frac = pos - static_cast<double>(idx);
+  return samples_[idx] * (1.0 - frac) + samples_[idx + 1] * frac;
+}
+
+ScaledQps::ScaledQps(std::shared_ptr<const QpsProfile> base, double factor)
+    : base_(std::move(base)), factor_(factor) {
+  MUDI_CHECK(base_ != nullptr);
+  MUDI_CHECK_GE(factor, 0.0);
+}
+
+double ScaledQps::QpsAt(TimeMs t) const { return factor_ * base_->QpsAt(t); }
+
+BurstyQps::BurstyQps(std::shared_ptr<const QpsProfile> base, std::vector<Burst> bursts)
+    : base_(std::move(base)), bursts_(std::move(bursts)) {
+  MUDI_CHECK(base_ != nullptr);
+  for (const Burst& b : bursts_) {
+    MUDI_CHECK_LT(b.start_ms, b.end_ms);
+    MUDI_CHECK_GT(b.factor, 0.0);
+  }
+}
+
+double BurstyQps::QpsAt(TimeMs t) const {
+  double qps = base_->QpsAt(t);
+  for (const Burst& b : bursts_) {
+    if (t >= b.start_ms && t < b.end_ms) {
+      qps *= b.factor;
+    }
+  }
+  return qps;
+}
+
+TimeMs NextArrivalGap(const QpsProfile& profile, TimeMs now, Rng& rng) {
+  double qps = profile.QpsAt(now);
+  if (qps <= 0.0) {
+    // No load right now; probe again after a second.
+    return kMsPerSecond;
+  }
+  double mean_gap_ms = kMsPerSecond / qps;
+  return rng.ExponentialMean(mean_gap_ms);
+}
+
+}  // namespace mudi

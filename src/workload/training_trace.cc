@@ -1,0 +1,75 @@
+#include "src/workload/training_trace.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace mudi {
+
+void ScaleGpuHourRange(TaskScale scale, double* lo_hours, double* hi_hours) {
+  switch (scale) {
+    case TaskScale::kSmall:
+      *lo_hours = 0.1;
+      *hi_hours = 1.0;
+      return;
+    case TaskScale::kMedium:
+      *lo_hours = 1.0;
+      *hi_hours = 10.0;
+      return;
+    case TaskScale::kLarge:
+      *lo_hours = 10.0;
+      *hi_hours = 100.0;
+      return;
+    case TaskScale::kXLarge:
+      // Paper: > 100 GPU-hours; capped so the XL tail does not dominate the
+      // compressed-simulation makespan.
+      *lo_hours = 100.0;
+      *hi_hours = 160.0;
+      return;
+  }
+  MUDI_CHECK(false);
+}
+
+std::vector<TrainingArrival> GenerateTrainingTrace(const TrainingTraceOptions& options) {
+  MUDI_CHECK_GT(options.num_tasks, 0u);
+  MUDI_CHECK_GT(options.mean_interarrival_ms, 0.0);
+  MUDI_CHECK_GT(options.duration_compression, 0.0);
+
+  const auto& types = ModelZoo::TrainingTasks();
+  std::vector<double> mix;
+  mix.reserve(types.size());
+  for (const auto& t : types) {
+    mix.push_back(t.mix_fraction);
+  }
+
+  Rng rng(options.seed);
+  std::vector<TrainingArrival> trace;
+  trace.reserve(options.num_tasks);
+  TimeMs now = 0.0;
+  for (size_t i = 0; i < options.num_tasks; ++i) {
+    // Diurnal modulation: rate swings 3:1 across the period, so inter-arrival
+    // gaps stretch during the "night" phase.
+    double rate_factor = 1.0;
+    if (options.diurnal) {
+      double phase = 2.0 * M_PI * now / options.diurnal_period_ms;
+      rate_factor = 1.0 + 0.5 * std::sin(phase);  // in [0.5, 1.5]
+    }
+    now += rng.ExponentialMean(options.mean_interarrival_ms / rate_factor);
+
+    TrainingArrival arrival;
+    arrival.task_id = static_cast<int>(i);
+    arrival.arrival_ms = now;
+    arrival.type_index = rng.WeightedIndex(mix);
+
+    double lo = 0.0, hi = 0.0;
+    ScaleGpuHourRange(types[arrival.type_index].scale, &lo, &hi);
+    // Log-uniform within the class: heavy-tailed durations like Philly.
+    double hours = std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+    arrival.work_full_gpu_ms = hours * kMsPerHour / options.duration_compression;
+    trace.push_back(arrival);
+  }
+  return trace;
+}
+
+}  // namespace mudi

@@ -1,0 +1,52 @@
+// Training-task arrival trace generation.
+//
+// Models the Microsoft Philly production trace characteristics the paper
+// replays (§7.1): bursty arrivals with a diurnal rate modulation, task types
+// drawn from the Tab. 3 mix fractions, and heavy-tailed task durations by
+// scale class (S < 1 GPU-hour ... XL > 100 GPU-hours). Durations are
+// expressed as *work* in full-GPU milliseconds; the simulator divides work by
+// the effective speed (GPU share × interference) to get wall time. A
+// compression factor shrinks durations so benches finish quickly without
+// changing scheduling structure.
+#ifndef SRC_WORKLOAD_TRAINING_TRACE_H_
+#define SRC_WORKLOAD_TRAINING_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/workload/models.h"
+
+namespace mudi {
+
+struct TrainingArrival {
+  int task_id = 0;
+  TimeMs arrival_ms = 0.0;
+  size_t type_index = 0;           // index into ModelZoo::TrainingTasks()
+  double work_full_gpu_ms = 0.0;   // total compute at 100% GPU, solo
+};
+
+struct TrainingTraceOptions {
+  size_t num_tasks = 300;
+  // Mean inter-arrival time before diurnal modulation.
+  TimeMs mean_interarrival_ms = 20.0 * kMsPerSecond;
+  // Divide nominal GPU-hour durations by this factor (sim compression).
+  double duration_compression = 400.0;
+  // Apply a Philly-like day/night rate modulation (ratio ~3:1).
+  bool diurnal = true;
+  // Period of the diurnal cycle in virtual time.
+  TimeMs diurnal_period_ms = 30.0 * kMsPerMinute;
+  uint64_t seed = 11;
+};
+
+// Generates `num_tasks` arrivals sorted by time. Task types follow the
+// Tab. 3 mix fractions; per-task work is sampled log-uniformly within the
+// scale class range, then compressed.
+std::vector<TrainingArrival> GenerateTrainingTrace(const TrainingTraceOptions& options);
+
+// Nominal GPU-hour range for a scale class (paper §7.1 categorization).
+void ScaleGpuHourRange(TaskScale scale, double* lo_hours, double* hi_hours);
+
+}  // namespace mudi
+
+#endif  // SRC_WORKLOAD_TRAINING_TRACE_H_

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/baseline_util.h"
+#include "src/baselines/gpulets_policy.h"
+#include "src/baselines/gslice_policy.h"
+#include "src/baselines/muxflow_policy.h"
+#include "src/baselines/optimal_policy.h"
+#include "src/baselines/random_policy.h"
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/presets.h"
+
+namespace mudi {
+namespace {
+
+// A tiny live environment: 1 node × 4 GPUs, four services, no training trace
+// (tests drive placement/tuning calls directly through the env interface).
+class BaselineEnvTest : public ::testing::Test {
+ protected:
+  BaselineEnvTest() {
+    options_.num_nodes = 1;
+    options_.gpus_per_node = 4;
+    options_.num_services = 4;
+    options_.trace.num_tasks = 0;
+  }
+
+  // Builds the experiment and advances virtual time so monitors have data.
+  ClusterExperiment& Env(MultiplexPolicy* policy) {
+    experiment_ = std::make_unique<ClusterExperiment>(options_, policy);
+    return *experiment_;
+  }
+
+  TrainingTaskInfo TaskInfo(int id, size_t type) {
+    TrainingTaskInfo info;
+    info.task_id = id;
+    info.type_index = type;
+    info.spec = &ModelZoo::TrainingTasks()[type];
+    return info;
+  }
+
+  ExperimentOptions options_;
+  std::unique_ptr<ClusterExperiment> experiment_;
+};
+
+// ---------------------------------------------------------------------------
+// EligibleDevices / shared helpers
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselineEnvTest, EligibleDevicesRespectsCapacity) {
+  RandomPolicy policy;
+  ClusterExperiment& env = Env(&policy);
+  auto task = TaskInfo(1, 0);
+  EXPECT_EQ(EligibleDevices(env, task, /*max_trainings=*/1, /*require_fit=*/false).size(), 4u);
+
+  // Occupy one device: it drops out at max_trainings = 1.
+  TrainingInstance t;
+  t.task_id = 99;
+  t.type_index = 0;
+  t.gpu_fraction = 0.5;
+  t.mem_required_mb = 100.0;
+  env.devices()[0].AddTraining(t);
+  EXPECT_EQ(EligibleDevices(env, task, 1, false).size(), 3u);
+  EXPECT_EQ(EligibleDevices(env, task, 2, false).size(), 4u);
+}
+
+TEST_F(BaselineEnvTest, EligibleDevicesRespectsMemoryFit) {
+  RandomPolicy policy;
+  ClusterExperiment& env = Env(&policy);
+  // ResNet50-train (type 2) has a ~21 GB working set; fill devices with an
+  // inference batch that leaves no room.
+  auto task = TaskInfo(1, 2);
+  size_t fit_all = EligibleDevices(env, task, 1, true).size();
+  EXPECT_EQ(fit_all, 4u);
+  for (auto& dev : env.devices()) {
+    dev.mutable_inference().mem_required_mb = dev.memory_mb() - 1000.0;
+  }
+  EXPECT_TRUE(EligibleDevices(env, task, 1, true).empty());
+  // Without the fit requirement they remain eligible (swap-capable policies).
+  EXPECT_EQ(EligibleDevices(env, task, 1, false).size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Policy-specific behaviours
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselineEnvTest, GsliceSelectsLeastLoadedDevice) {
+  GslicePolicy policy;
+  ClusterExperiment& env = Env(&policy);
+  // Load devices 0-2 with one training each; device 3 must win.
+  for (int d = 0; d < 3; ++d) {
+    TrainingInstance t;
+    t.task_id = 50 + d;
+    t.gpu_fraction = 0.4;
+    t.mem_required_mb = 100.0;
+    env.devices()[static_cast<size_t>(d)].AddTraining(t);
+  }
+  auto choice = policy.SelectDevice(env, TaskInfo(1, 3));
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(*choice, 3);
+}
+
+TEST_F(BaselineEnvTest, GsliceRetunePlacesConfigWithinBounds) {
+  GslicePolicy policy;
+  ClusterExperiment& env = Env(&policy);
+  policy.OnTrainingPlaced(env, 0, TaskInfo(1, 0));
+  const GpuDevice& dev = env.device(0);
+  EXPECT_GE(dev.inference().gpu_fraction, 0.1);
+  EXPECT_LE(dev.inference().gpu_fraction, 0.9);
+  EXPECT_GT(dev.inference().batch_size, 0);
+}
+
+TEST_F(BaselineEnvTest, GpuletsUsesSliceMenuFractions) {
+  GpuletsPolicy policy;
+  ClusterExperiment& env = Env(&policy);
+  policy.OnTrainingPlaced(env, 1, TaskInfo(1, 1));
+  // Batch lands immediately; the GPU% change rides the shadow instance, so
+  // right after placement the fraction is either still the initial 0.5 or
+  // already a menu slice.
+  int b = env.device(1).inference().batch_size;
+  bool batch_on_grid = false;
+  for (int cand : ProfilingBatchSizes()) {
+    batch_on_grid |= cand == b;
+  }
+  EXPECT_TRUE(batch_on_grid) << b;
+  double g = env.device(1).inference().gpu_fraction;
+  bool valid = std::abs(g - 0.5) < 1e-9;  // initial, shadow still warming
+  for (double slice : {0.2, 0.4, 0.6, 0.8, 0.9}) {
+    valid |= std::abs(g - slice) < 1e-9;
+  }
+  EXPECT_TRUE(valid) << g;
+}
+
+TEST_F(BaselineEnvTest, GpuletsIgnoresQpsChanges) {
+  GpuletsPolicy policy;
+  ClusterExperiment& env = Env(&policy);
+  policy.OnTrainingPlaced(env, 1, TaskInfo(1, 1));
+  double g_before = env.device(1).inference().gpu_fraction;
+  int b_before = env.device(1).inference().batch_size;
+  policy.OnQpsChange(env, 1);  // placement-time virtualizer: no-op
+  EXPECT_DOUBLE_EQ(env.device(1).inference().gpu_fraction, g_before);
+  EXPECT_EQ(env.device(1).inference().batch_size, b_before);
+}
+
+TEST_F(BaselineEnvTest, MuxflowKeepsFixedBatch) {
+  PerfOracle profiling_oracle(options_.oracle_seed);
+  MuxflowPolicy policy(profiling_oracle);
+  ClusterExperiment& env = Env(&policy);
+  policy.Initialize(env);
+  policy.OnTrainingPlaced(env, 2, TaskInfo(1, 0));
+  // MuxFlow never adapts the service batch: it stays at the owner's fixed 64.
+  EXPECT_EQ(env.device(2).inference().batch_size, 64);
+}
+
+TEST_F(BaselineEnvTest, MuxflowPlacesOnSomeDevice) {
+  PerfOracle profiling_oracle(options_.oracle_seed);
+  MuxflowPolicy policy(profiling_oracle);
+  ClusterExperiment& env = Env(&policy);
+  policy.Initialize(env);
+  auto choice = policy.SelectDevice(env, TaskInfo(1, 7));  // unseen type
+  EXPECT_TRUE(choice.has_value());
+}
+
+TEST_F(BaselineEnvTest, RandomPolicyEvenSplit) {
+  RandomPolicy policy;
+  ClusterExperiment& env = Env(&policy);
+  TrainingInstance t;
+  t.task_id = 1;
+  t.type_index = 0;
+  t.gpu_fraction = 0.1;
+  t.mem_required_mb = 100.0;
+  env.devices()[0].AddTraining(t);
+  policy.OnTrainingPlaced(env, 0, TaskInfo(1, 0));
+  // One inference + one training: 50/50.
+  EXPECT_DOUBLE_EQ(env.device(0).inference().gpu_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(env.device(0).trainings()[0].gpu_fraction, 0.5);
+}
+
+TEST_F(BaselineEnvTest, OptimalSatisfiesPlanningConstraintByConstruction) {
+  OptimalPolicy policy;
+  ClusterExperiment& env = Env(&policy);
+  TrainingInstance t;
+  t.task_id = 1;
+  t.type_index = 0;
+  t.gpu_fraction = 0.1;
+  t.mem_required_mb = 100.0;
+  env.devices()[0].AddTraining(t);
+  auto choice = policy.SelectDevice(env, TaskInfo(2, 1));
+  // With zero measured QPS everything is feasible: it must place somewhere,
+  // and the applied config must satisfy the true-oracle constraint.
+  ASSERT_TRUE(choice.has_value());
+  policy.OnTrainingPlaced(env, *choice, TaskInfo(2, 1));
+  const GpuDevice& dev = env.device(*choice);
+  EXPECT_GT(dev.inference().batch_size, 0);
+  EXPECT_GE(dev.inference().gpu_fraction, 0.1);
+}
+
+TEST_F(BaselineEnvTest, PolicyNamesStable) {
+  PerfOracle oracle(42);
+  EXPECT_EQ(GslicePolicy().name(), "GSLICE");
+  EXPECT_EQ(GpuletsPolicy().name(), "gpulets");
+  EXPECT_EQ(MuxflowPolicy(oracle).name(), "MuxFlow");
+  EXPECT_EQ(RandomPolicy().name(), "Random");
+  EXPECT_EQ(OptimalPolicy().name(), "Optimal");
+}
+
+// ---------------------------------------------------------------------------
+// Preset factories
+// ---------------------------------------------------------------------------
+
+TEST(PresetsTest, PhysicalClusterMatchesPaperTopology) {
+  ExperimentOptions options = PhysicalClusterOptions();
+  EXPECT_EQ(options.num_nodes, 3);
+  EXPECT_EQ(options.gpus_per_node, 4);
+  EXPECT_EQ(options.num_services, 6u);
+  EXPECT_EQ(options.trace.num_tasks, 300u);
+  ASSERT_TRUE(options.qps_factory != nullptr);
+  // Rates centred near the paper's 200 QPS per replica.
+  auto profile = options.qps_factory(0, 0);
+  double q = profile->QpsAt(0.0);
+  EXPECT_GT(q, 100.0);
+  EXPECT_LT(q, 300.0);
+}
+
+TEST(PresetsTest, SimulatedClusterIsThousandGpus) {
+  ExperimentOptions options = SimulatedClusterOptions();
+  EXPECT_EQ(options.num_nodes * options.gpus_per_node, 1000);
+  EXPECT_EQ(options.trace.num_tasks, 5000u);
+  // Arrival process scaled ×80 (§7.1).
+  EXPECT_NEAR(PhysicalClusterOptions().trace.mean_interarrival_ms /
+                  options.trace.mean_interarrival_ms,
+              80.0, 1e-6);
+}
+
+TEST(PresetsTest, MakePolicyKnowsAllSystems) {
+  PerfOracle oracle(42);
+  for (const char* name : {"Mudi", "Mudi-more", "Mudi-cluster-only", "Mudi-device-only",
+                           "GSLICE", "gpulets", "MuxFlow", "Random", "Optimal"}) {
+    auto policy = MakePolicy(name, oracle);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(PresetsTest, EndToEndSystemsAreTheFigureEightSet) {
+  EXPECT_EQ(EndToEndSystemNames(),
+            (std::vector<std::string>{"Mudi", "GSLICE", "gpulets", "MuxFlow"}));
+}
+
+TEST(PresetsTest, MudiMoreAllowsThreeTrainings) {
+  PerfOracle oracle(42);
+  EXPECT_EQ(MakePolicy("Mudi-more", oracle)->MaxTrainingsPerDevice(), 3);
+  EXPECT_EQ(MakePolicy("Mudi", oracle)->MaxTrainingsPerDevice(), 1);
+}
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cluster/cluster_state.h"
+#include "src/cluster/kv_store.h"
+#include "src/cluster/monitor.h"
+#include "src/cluster/policy.h"
+#include "src/cluster/task_queue.h"
+
+namespace mudi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// KvStore
+// ---------------------------------------------------------------------------
+
+TEST(KvStoreTest, PutGet) {
+  KvStore kv;
+  kv.Put("config/device0/batch", "64");
+  auto v = kv.Get("config/device0/batch");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "64");
+  EXPECT_FALSE(kv.Get("missing").has_value());
+}
+
+TEST(KvStoreTest, PutOverwrites) {
+  KvStore kv;
+  kv.Put("k", "1");
+  kv.Put("k", "2");
+  EXPECT_EQ(*kv.Get("k"), "2");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStoreTest, RevisionIncreases) {
+  KvStore kv;
+  uint64_t r1 = kv.Put("a", "1");
+  uint64_t r2 = kv.Put("b", "2");
+  EXPECT_GT(r2, r1);
+  EXPECT_EQ(kv.revision(), r2);
+}
+
+TEST(KvStoreTest, ListByPrefixSorted) {
+  KvStore kv;
+  kv.Put("dev/1/x", "a");
+  kv.Put("dev/0/x", "b");
+  kv.Put("other", "c");
+  auto items = kv.List("dev/");
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].first, "dev/0/x");
+  EXPECT_EQ(items[1].first, "dev/1/x");
+}
+
+TEST(KvStoreTest, Delete) {
+  KvStore kv;
+  kv.Put("k", "v");
+  EXPECT_TRUE(kv.Delete("k"));
+  EXPECT_FALSE(kv.Delete("k"));
+  EXPECT_FALSE(kv.Get("k").has_value());
+}
+
+TEST(KvStoreTest, WatchFiresOnMatchingPrefix) {
+  KvStore kv;
+  std::vector<std::string> seen;
+  kv.Watch("config/", [&](const std::string& key, const std::string& value, uint64_t) {
+    seen.push_back(key + "=" + value);
+  });
+  kv.Put("config/a", "1");
+  kv.Put("other/b", "2");
+  kv.Put("config/c", "3");
+  EXPECT_EQ(seen, (std::vector<std::string>{"config/a=1", "config/c=3"}));
+}
+
+TEST(KvStoreTest, WatchReceivesRevision) {
+  KvStore kv;
+  uint64_t seen_rev = 0;
+  kv.Watch("", [&](const std::string&, const std::string&, uint64_t rev) { seen_rev = rev; });
+  uint64_t rev = kv.Put("k", "v");
+  EXPECT_EQ(seen_rev, rev);
+}
+
+TEST(KvStoreTest, UnwatchStopsDelivery) {
+  KvStore kv;
+  int count = 0;
+  auto id = kv.Watch("", [&](const std::string&, const std::string&, uint64_t) { ++count; });
+  kv.Put("a", "1");
+  EXPECT_TRUE(kv.Unwatch(id));
+  EXPECT_FALSE(kv.Unwatch(id));
+  kv.Put("b", "2");
+  EXPECT_EQ(count, 1);
+}
+
+TEST(KvStoreTest, WatcherMayAddWatchDuringCallback) {
+  KvStore kv;
+  int inner = 0;
+  kv.Watch("a", [&](const std::string&, const std::string&, uint64_t) {
+    kv.Watch("b", [&](const std::string&, const std::string&, uint64_t) { ++inner; });
+  });
+  kv.Put("a", "1");  // installs watcher on "b"
+  kv.Put("b", "2");
+  EXPECT_EQ(inner, 1);
+}
+
+// ---------------------------------------------------------------------------
+// TaskQueue
+// ---------------------------------------------------------------------------
+
+PendingTask MakeTask(int id, size_t type, double work, int priority = 0) {
+  PendingTask t;
+  t.arrival.task_id = id;
+  t.arrival.type_index = type;
+  t.arrival.work_full_gpu_ms = work;
+  t.priority = priority;
+  return t;
+}
+
+TEST(TaskQueueTest, FcfsOrder) {
+  TaskQueue q(QueuePolicy::kFcfs);
+  q.Push(MakeTask(1, 0, 100.0));
+  q.Push(MakeTask(2, 1, 1.0));
+  EXPECT_EQ(q.Pop()->arrival.task_id, 1);
+  EXPECT_EQ(q.Pop()->arrival.task_id, 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(TaskQueueTest, SjfPicksSmallestWork) {
+  TaskQueue q(QueuePolicy::kShortestJobFirst);
+  q.Push(MakeTask(1, 0, 100.0));
+  q.Push(MakeTask(2, 0, 5.0));
+  q.Push(MakeTask(3, 0, 50.0));
+  EXPECT_EQ(q.Pop()->arrival.task_id, 2);
+  EXPECT_EQ(q.Pop()->arrival.task_id, 3);
+  EXPECT_EQ(q.Pop()->arrival.task_id, 1);
+}
+
+TEST(TaskQueueTest, PriorityPicksHighest) {
+  TaskQueue q(QueuePolicy::kPriority);
+  q.Push(MakeTask(1, 0, 1.0, 1));
+  q.Push(MakeTask(2, 0, 1.0, 9));
+  q.Push(MakeTask(3, 0, 1.0, 9));  // tie: FCFS among equals
+  EXPECT_EQ(q.Pop()->arrival.task_id, 2);
+  EXPECT_EQ(q.Pop()->arrival.task_id, 3);
+  EXPECT_EQ(q.Pop()->arrival.task_id, 1);
+}
+
+TEST(TaskQueueTest, FairShareRoundRobinsTypes) {
+  TaskQueue q(QueuePolicy::kFairShare);
+  q.Push(MakeTask(1, 0, 1.0));
+  q.Push(MakeTask(2, 0, 1.0));
+  q.Push(MakeTask(3, 1, 1.0));
+  // First pop: cursor starts at type 0.
+  EXPECT_EQ(q.Pop()->arrival.task_id, 1);
+  // Cursor advanced past type 0 → type 1 next.
+  EXPECT_EQ(q.Pop()->arrival.task_id, 3);
+  EXPECT_EQ(q.Pop()->arrival.task_id, 2);
+}
+
+TEST(TaskQueueTest, PeekDoesNotRemove) {
+  TaskQueue q(QueuePolicy::kFcfs);
+  q.Push(MakeTask(1, 0, 1.0));
+  EXPECT_EQ(q.Peek()->arrival.task_id, 1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(TaskQueueTest, PolicyNames) {
+  EXPECT_STREQ(QueuePolicyName(QueuePolicy::kFcfs), "FCFS");
+  EXPECT_STREQ(QueuePolicyName(QueuePolicy::kShortestJobFirst), "SJF");
+  EXPECT_STREQ(QueuePolicyName(QueuePolicy::kPriority), "Priority");
+  EXPECT_STREQ(QueuePolicyName(QueuePolicy::kFairShare), "FairShare");
+}
+
+// ---------------------------------------------------------------------------
+// QpsMonitor
+// ---------------------------------------------------------------------------
+
+TEST(QpsMonitorTest, EstimatesRate) {
+  QpsMonitor monitor;
+  // 100 arrivals/second for 5 seconds.
+  for (TimeMs t = 0.0; t < 5000.0; t += 10.0) {
+    monitor.RecordArrivals(t, 1.0);
+  }
+  EXPECT_NEAR(monitor.CurrentQps(5000.0), 100.0, 5.0);
+}
+
+TEST(QpsMonitorTest, WindowEvictsOldArrivals) {
+  QpsMonitor::Options options;
+  options.window_ms = 1000.0;
+  QpsMonitor monitor(options);
+  monitor.RecordArrivals(0.0, 100.0);
+  EXPECT_GT(monitor.CurrentQps(500.0), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.CurrentQps(5000.0), 0.0);
+}
+
+TEST(QpsMonitorTest, FirstObservationTriggers) {
+  QpsMonitor monitor;
+  monitor.RecordArrivals(0.0, 10.0);
+  EXPECT_TRUE(monitor.QpsChangedBeyondThreshold(100.0));
+  monitor.AckQpsChange(100.0);
+  EXPECT_FALSE(monitor.QpsChangedBeyondThreshold(100.0));
+}
+
+TEST(QpsMonitorTest, FiftyPercentThreshold) {
+  QpsMonitor::Options options;
+  options.window_ms = 1000.0;
+  options.change_threshold = 0.5;
+  QpsMonitor monitor(options);
+  for (TimeMs t = 0.0; t < 1000.0; t += 10.0) {
+    monitor.RecordArrivals(t, 1.0);  // ~100 qps
+  }
+  monitor.AckQpsChange(1000.0);
+  // Rate grows to ~140 qps: below the 50% threshold.
+  for (TimeMs t = 1000.0; t < 2000.0; t += 10.0) {
+    monitor.RecordArrivals(t, 1.4);
+  }
+  EXPECT_FALSE(monitor.QpsChangedBeyondThreshold(2000.0));
+  // Rate triples: triggers.
+  for (TimeMs t = 2000.0; t < 3000.0; t += 10.0) {
+    monitor.RecordArrivals(t, 3.0);
+  }
+  EXPECT_TRUE(monitor.QpsChangedBeyondThreshold(3000.0));
+}
+
+TEST(QpsMonitorTest, P99LatencyWeighted) {
+  // P99 = smallest latency whose cumulative weight reaches 99% of the total.
+  QpsMonitor monitor;
+  monitor.RecordLatency(10.0, 98.0);
+  monitor.RecordLatency(100.0, 2.0);
+  EXPECT_DOUBLE_EQ(monitor.P99LatencyMs(), 100.0);  // cum(10) = 98% < 99%
+  monitor.RecordLatency(10.0, 1000.0);
+  EXPECT_DOUBLE_EQ(monitor.P99LatencyMs(), 10.0);  // cum(10) = 99.8%
+}
+
+TEST(QpsMonitorTest, P99EmptyIsZero) {
+  QpsMonitor monitor;
+  EXPECT_DOUBLE_EQ(monitor.P99LatencyMs(), 0.0);
+  EXPECT_FALSE(monitor.has_latency_samples());
+}
+
+TEST(QpsMonitorTest, LatencyWindowBounded) {
+  QpsMonitor::Options options;
+  options.latency_window = 4;
+  QpsMonitor monitor(options);
+  for (int i = 0; i < 100; ++i) {
+    monitor.RecordLatency(1000.0, 1.0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    monitor.RecordLatency(1.0, 1.0);
+  }
+  // Old high latencies fully evicted.
+  EXPECT_DOUBLE_EQ(monitor.P99LatencyMs(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterState / planning budget
+// ---------------------------------------------------------------------------
+
+TEST(ClusterStateTest, Topology) {
+  ClusterState cluster(3, NodeSpec{4, 40960.0});
+  EXPECT_EQ(cluster.num_devices(), 12u);
+  EXPECT_EQ(cluster.NodeOf(0), 0);
+  EXPECT_EQ(cluster.NodeOf(3), 0);
+  EXPECT_EQ(cluster.NodeOf(4), 1);
+  EXPECT_EQ(cluster.NodeOf(11), 2);
+  EXPECT_EQ(cluster.device(7).id(), 7);
+}
+
+TEST(PlanningBudgetTest, LowSloUsesSlo) {
+  // GPT2: SLO 100 < cap → budget = 100·b/W.
+  EXPECT_DOUBLE_EQ(PlanningLatencyBudgetMs(64, 200.0, 100.0), 100.0 * 64 / 200.0);
+}
+
+TEST(PlanningBudgetTest, HighSloCappedForStability) {
+  // YOLOS: SLO 2200 → stability cap applies.
+  EXPECT_DOUBLE_EQ(PlanningLatencyBudgetMs(64, 200.0, 2200.0), kStabilityCapMs * 64 / 200.0);
+}
+
+}  // namespace
+}  // namespace mudi

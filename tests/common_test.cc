@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/table.h"
+
+namespace mudi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, MeanBasic) { EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0); }
+
+TEST(StatsTest, StdDevBasic) {
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0);
+}
+
+TEST(StatsTest, StdDevOfSingleValueIsZero) { EXPECT_EQ(StdDev({5.0}), 0.0); }
+
+TEST(StatsTest, PercentileMedianInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+}
+
+TEST(StatsTest, PercentileExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 5.0);
+}
+
+TEST(StatsTest, PercentileSingleValue) { EXPECT_DOUBLE_EQ(Percentile({7.0}, 99.0), 7.0); }
+
+TEST(StatsTest, P99OfUniformSequence) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  EXPECT_NEAR(Percentile(v, 99.0), 99.01, 0.011);
+}
+
+TEST(StatsTest, EmpiricalCdfMonotone) {
+  std::vector<double> v{3.0, 1.0, 2.0, 5.0, 4.0};
+  auto cdf = EmpiricalCdf(v, 10);
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(StatsTest, EmpiricalCdfEmptyInput) { EXPECT_TRUE(EmpiricalCdf({}).empty()); }
+
+TEST(StatsTest, EwmaConvergesToConstant) {
+  Ewma ewma(0.3);
+  for (int i = 0; i < 100; ++i) {
+    ewma.Add(10.0);
+  }
+  EXPECT_NEAR(ewma.value(), 10.0, 1e-9);
+}
+
+TEST(StatsTest, EwmaFirstValueDominates) {
+  Ewma ewma(0.5);
+  ewma.Add(4.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 4.0);
+  ewma.Add(8.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 6.0);
+}
+
+TEST(StatsTest, EwmaReset) {
+  Ewma ewma(0.5);
+  ewma.Add(4.0);
+  ewma.Reset();
+  EXPECT_FALSE(ewma.has_value());
+}
+
+TEST(StatsTest, SlidingWindowEvictsOldest) {
+  SlidingWindow window(3);
+  window.Add(1.0);
+  window.Add(2.0);
+  window.Add(3.0);
+  window.Add(4.0);  // evicts 1.0
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window.Mean(), 3.0);
+}
+
+TEST(StatsTest, SlidingWindowPercentile) {
+  SlidingWindow window(10);
+  for (int i = 1; i <= 10; ++i) {
+    window.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(window.Percentile(50.0), 5.5, 1e-9);
+}
+
+TEST(StatsTest, TimeWeightedMeanWeighsByDuration) {
+  TimeWeightedMean twm;
+  twm.Add(1.0, 3.0);
+  twm.Add(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(twm.value(), 2.0);
+  EXPECT_DOUBLE_EQ(twm.total_duration(), 4.0);
+}
+
+TEST(StatsTest, TimeWeightedMeanEmptyIsZero) {
+  TimeWeightedMean twm;
+  EXPECT_EQ(twm.value(), 0.0);
+}
+
+TEST(StatsTest, HistogramBucketsAndCumulative) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_EQ(h.total_count(), 10u);
+  for (size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.buckets()[b], 1u);
+  }
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(4), 0.5);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(9), 1.0);
+}
+
+TEST(StatsTest, HistogramClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(StatsTest, HistogramBucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(4), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption) {
+  Rng a(42);
+  Rng fork_before = a.Fork(7);
+  a.Uniform();
+  a.Uniform();
+  Rng fork_after = a.Fork(7);
+  EXPECT_DOUBLE_EQ(fork_before.Uniform(), fork_after.Uniform());
+}
+
+TEST(RngTest, ForkDifferentTagsDiffer) {
+  Rng a(42);
+  Rng f1 = a.Fork(1);
+  Rng f2 = a.Fork(2);
+  EXPECT_NE(f1.Uniform(), f2.Uniform());
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, PoissonMeanApprox) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(4.0));
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(5);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ExponentialMeanApprox) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.ExponentialMean(7.0);
+  }
+  EXPECT_NEAR(sum / n, 7.0, 0.3);
+}
+
+TEST(RngTest, LogNormalFactorMeanIsOne) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.LogNormalFactor(0.05);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(RngTest, ParetoAtLeastScale) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> weights{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.35);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto copy = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad batch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad batch");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInfeasible), "INFEASIBLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition), "FAILED_PRECONDITION");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(NotFoundError("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOut) {
+  StatusOr<std::string> v(std::string("hello"));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"a", "long_header"});
+  t.AddRow({"xx", "1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("xx"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(TableTest, PctFormatting) { EXPECT_EQ(Table::Pct(0.256, 1), "25.6%"); }
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/exp/metrics.h"
+
+namespace mudi {
+namespace {
+
+TaskRecord Completed(int id, TimeMs arrival, TimeMs start, TimeMs completion) {
+  TaskRecord r;
+  r.task_id = id;
+  r.arrival_ms = arrival;
+  r.start_ms = start;
+  r.completion_ms = completion;
+  return r;
+}
+
+TEST(TaskRecordTest, DerivedDurations) {
+  TaskRecord r = Completed(1, 100.0, 150.0, 600.0);
+  EXPECT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.ct_ms(), 500.0);
+  EXPECT_DOUBLE_EQ(r.waiting_ms(), 50.0);
+}
+
+TEST(TaskRecordTest, UnfinishedTask) {
+  TaskRecord r;
+  r.arrival_ms = 100.0;
+  EXPECT_FALSE(r.completed());
+  EXPECT_LT(r.start_ms, 0.0);
+}
+
+TEST(ServiceMetricsTest, ViolationRate) {
+  ServiceMetrics m;
+  EXPECT_DOUBLE_EQ(m.slo_violation_rate(), 0.0);  // no windows yet
+  m.windows_total = 40;
+  m.windows_violated = 10;
+  EXPECT_DOUBLE_EQ(m.slo_violation_rate(), 0.25);
+}
+
+TEST(ExperimentResultTest, OverallRateWeightsWindows) {
+  ExperimentResult result;
+  result.per_service["A"].windows_total = 90;
+  result.per_service["A"].windows_violated = 0;
+  result.per_service["B"].windows_total = 10;
+  result.per_service["B"].windows_violated = 10;
+  EXPECT_DOUBLE_EQ(result.OverallSloViolationRate(), 0.1);
+}
+
+TEST(ExperimentResultTest, MeanCtSkipsUnfinished) {
+  ExperimentResult result;
+  result.tasks.push_back(Completed(1, 0.0, 0.0, 100.0));
+  result.tasks.push_back(Completed(2, 0.0, 0.0, 300.0));
+  TaskRecord unfinished;
+  unfinished.arrival_ms = 0.0;
+  result.tasks.push_back(unfinished);
+  EXPECT_DOUBLE_EQ(result.MeanCtMs(), 200.0);
+  EXPECT_EQ(result.CompletedTasks(), 2u);
+}
+
+TEST(ExperimentResultTest, MeanWaitCountsPlacedOnly) {
+  ExperimentResult result;
+  result.tasks.push_back(Completed(1, 0.0, 40.0, 100.0));
+  TaskRecord placed_not_done;
+  placed_not_done.arrival_ms = 0.0;
+  placed_not_done.start_ms = 60.0;
+  result.tasks.push_back(placed_not_done);
+  TaskRecord never_placed;
+  never_placed.arrival_ms = 0.0;
+  result.tasks.push_back(never_placed);
+  EXPECT_DOUBLE_EQ(result.MeanWaitingMs(), 50.0);
+}
+
+TEST(ExperimentResultTest, P95CtOfEmptyIsZero) {
+  ExperimentResult result;
+  EXPECT_DOUBLE_EQ(result.P95CtMs(), 0.0);
+  EXPECT_DOUBLE_EQ(result.MeanCtMs(), 0.0);
+}
+
+TEST(ExperimentResultTest, P95CtComputed) {
+  ExperimentResult result;
+  for (int i = 1; i <= 100; ++i) {
+    result.tasks.push_back(Completed(i, 0.0, 0.0, 10.0 * i));
+  }
+  EXPECT_NEAR(result.P95CtMs(), 950.0, 11.0);
+}
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/presets.h"
+
+namespace mudi {
+namespace {
+
+// Serving-path behaviours observed through public interfaces: overload
+// shedding, liveness backstop, probe semantics, pause effects.
+
+ExperimentOptions OneGpuOptions(size_t service, double qps, TimeMs horizon) {
+  ExperimentOptions options;
+  options.num_nodes = 1;
+  options.gpus_per_node = 1;
+  options.num_services = 1;
+  options.service_offset = service;
+  options.horizon_ms = horizon;
+  options.qps_factory = [qps](size_t, int) -> std::shared_ptr<const QpsProfile> {
+    return std::make_shared<ConstantQps>(qps);
+  };
+  return options;
+}
+
+TEST(ServingPathTest, ModerateLoadMeetsSloSolo) {
+  // ResNet50 at its nominal 200 QPS with no training: no violations.
+  ExperimentOptions options = OneGpuOptions(0, 200.0, 60.0 * kMsPerSecond);
+  PerfOracle oracle(options.oracle_seed);
+  auto policy = MakePolicy("GSLICE", oracle);
+  ClusterExperiment experiment(options, policy.get());
+  ExperimentResult result = experiment.Run();
+  EXPECT_DOUBLE_EQ(result.OverallSloViolationRate(), 0.0);
+  const auto& m = result.per_service.at("ResNet50");
+  EXPECT_GT(m.served_requests, 0.8 * 200.0 * 60.0);  // nearly all served
+  EXPECT_LT(m.mean_latency_ms, 150.0);
+}
+
+TEST(ServingPathTest, SustainedOverloadViolatesEveryWindow) {
+  // 20x the sustainable rate: queues explode / shed; every window violates.
+  ExperimentOptions options = OneGpuOptions(0, 4000.0, 60.0 * kMsPerSecond);
+  PerfOracle oracle(options.oracle_seed);
+  auto policy = MakePolicy("GSLICE", oracle);
+  ClusterExperiment experiment(options, policy.get());
+  ExperimentResult result = experiment.Run();
+  EXPECT_GT(result.OverallSloViolationRate(), 0.8);
+}
+
+TEST(ServingPathTest, LivenessBackstopTerminatesStuckRuns) {
+  // One enormous task on a device whose service needs the whole GPU at 20x
+  // load: training may stay preempted forever; max_sim_ms must end the run.
+  TrainingArrival task;
+  task.task_id = 0;
+  task.arrival_ms = 1000.0;
+  task.type_index = 6;
+  task.work_full_gpu_ms = 1e12;
+  ExperimentOptions options = OneGpuOptions(2, 4000.0, /*horizon=*/0.0);
+  options.trace_override = {task};
+  options.max_sim_ms = 90.0 * kMsPerSecond;
+  PerfOracle oracle(options.oracle_seed);
+  auto policy = MakePolicy("Mudi", oracle);
+  ClusterExperiment experiment(options, policy.get());
+  ExperimentResult result = experiment.Run();
+  EXPECT_EQ(result.CompletedTasks(), 0u);  // terminated by the backstop
+}
+
+TEST(ServingPathTest, ProbeOverridesDoNotMutateState) {
+  TrainingArrival task;
+  task.task_id = 0;
+  task.arrival_ms = 1000.0;
+  task.type_index = 1;
+  task.work_full_gpu_ms = 1e9;
+  ExperimentOptions options = OneGpuOptions(0, 200.0, 20.0 * kMsPerSecond);
+  options.trace_override = {task};
+  PerfOracle oracle(options.oracle_seed);
+  auto policy = MakePolicy("GSLICE", oracle);
+  ClusterExperiment experiment(options, policy.get());
+  experiment.Run();
+
+  const GpuDevice& dev = experiment.device(0);
+  ASSERT_EQ(dev.trainings().size(), 1u);
+  int batch_before = dev.inference().batch_size;
+  double frac_before = dev.inference().gpu_fraction;
+  double train_frac_before = dev.trainings()[0].gpu_fraction;
+
+  // What-if probes with overrides: observations come back, state unchanged.
+  double lat = experiment.ProbeInferenceLatencyMs(0, 512, 0.33);
+  double iter = experiment.ProbeTrainingIterMs(0, 0, 0.77, 512, 0.33);
+  EXPECT_GT(lat, 0.0);
+  EXPECT_GT(iter, 0.0);
+  EXPECT_EQ(dev.inference().batch_size, batch_before);
+  EXPECT_DOUBLE_EQ(dev.inference().gpu_fraction, frac_before);
+  EXPECT_DOUBLE_EQ(dev.trainings()[0].gpu_fraction, train_frac_before);
+}
+
+TEST(ServingPathTest, ProbeAnticipatesMemoryPressureOfLargeBatch) {
+  // A probe with a batch big enough to overflow device memory must report a
+  // slower (paged) training iteration than a small-batch probe.
+  TrainingArrival task;
+  task.task_id = 0;
+  task.arrival_ms = 1000.0;
+  task.type_index = 6;  // BERT: ~26 GB working set
+  task.work_full_gpu_ms = 1e9;
+  ExperimentOptions options = OneGpuOptions(2, 200.0, 20.0 * kMsPerSecond);  // GPT2 service
+  options.trace_override = {task};
+  PerfOracle oracle(options.oracle_seed);
+  auto policy = MakePolicy("Mudi", oracle);
+  ClusterExperiment experiment(options, policy.get());
+  experiment.Run();
+  ASSERT_NE(experiment.device(0).FindTraining(0), nullptr);
+
+  double small = 0.0;
+  double large = 0.0;
+  for (int i = 0; i < 32; ++i) {  // average out observation noise
+    small += experiment.ProbeTrainingIterMs(0, 0, 0.5, /*inf_batch=*/16, 0.5);
+    large += experiment.ProbeTrainingIterMs(0, 0, 0.5, /*inf_batch=*/512, 0.5);
+  }
+  EXPECT_GT(large, small * 1.2);
+}
+
+TEST(ServingPathTest, PausedTrainingMakesNoProgress) {
+  TrainingArrival task;
+  task.task_id = 0;
+  task.arrival_ms = 1000.0;
+  task.type_index = 3;  // NCF, small
+  task.work_full_gpu_ms = 1e9;
+  ExperimentOptions options = OneGpuOptions(0, 200.0, 30.0 * kMsPerSecond);
+  options.trace_override = {task};
+  PerfOracle oracle(options.oracle_seed);
+  auto policy = MakePolicy("Random", oracle);  // never pauses by itself
+  ClusterExperiment experiment(options, policy.get());
+  experiment.Run();
+  const TrainingInstance* t = experiment.device(0).FindTraining(0);
+  ASSERT_NE(t, nullptr);
+  // The task made progress while running...
+  EXPECT_LT(t->work_remaining_ms, 1e9);
+  EXPECT_FALSE(t->paused);
+}
+
+TEST(ServingPathTest, ServiceOffsetPinsService) {
+  for (size_t s = 0; s < ModelZoo::InferenceServices().size(); ++s) {
+    ExperimentOptions options = OneGpuOptions(s, 100.0, 1000.0);
+    PerfOracle oracle(options.oracle_seed);
+    auto policy = MakePolicy("Random", oracle);
+    ClusterExperiment experiment(options, policy.get());
+    EXPECT_EQ(experiment.ServiceOnDevice(0).name, ModelZoo::InferenceServices()[s].name);
+  }
+}
+
+TEST(ServingPathTest, CanFitTrainingTracksInferenceFootprint) {
+  ExperimentOptions options = OneGpuOptions(0, 100.0, 1000.0);
+  PerfOracle oracle(options.oracle_seed);
+  auto policy = MakePolicy("Random", oracle);
+  ClusterExperiment experiment(options, policy.get());
+  const TrainingTaskSpec& big = ModelZoo::TrainingTaskByName("BERT");
+  EXPECT_TRUE(experiment.CanFitTraining(0, big));
+  experiment.devices()[0].mutable_inference().mem_required_mb =
+      experiment.device(0).memory_mb() - 1000.0;
+  EXPECT_FALSE(experiment.CanFitTraining(0, big));
+}
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "src/gpu/gpu_device.h"
+
+namespace mudi {
+namespace {
+
+TrainingInstance MakeTraining(int id, double mem_mb, double fraction = 0.3) {
+  TrainingInstance t;
+  t.task_id = id;
+  t.type_index = 0;
+  t.gpu_fraction = fraction;
+  t.work_remaining_ms = 1000.0;
+  t.mem_required_mb = mem_mb;
+  return t;
+}
+
+TEST(GpuDeviceTest, ConstructionDefaults) {
+  GpuDevice dev(3);
+  EXPECT_EQ(dev.id(), 3);
+  EXPECT_DOUBLE_EQ(dev.memory_mb(), ModelZoo::kGpuMemoryMb);
+  EXPECT_DOUBLE_EQ(dev.compute_scale(), 1.0);
+  EXPECT_FALSE(dev.has_inference());
+  EXPECT_TRUE(dev.trainings().empty());
+}
+
+TEST(GpuDeviceTest, PlaceAndRemoveInference) {
+  GpuDevice dev(0);
+  InferenceInstance inf;
+  inf.service_index = 2;
+  inf.batch_size = 64;
+  inf.gpu_fraction = 0.5;
+  inf.mem_required_mb = 4000.0;
+  dev.PlaceInference(inf);
+  EXPECT_TRUE(dev.has_inference());
+  EXPECT_EQ(dev.inference().service_index, 2u);
+  EXPECT_DOUBLE_EQ(dev.MemoryResidentMb(), 4000.0);
+  dev.RemoveInference();
+  EXPECT_FALSE(dev.has_inference());
+  EXPECT_DOUBLE_EQ(dev.MemoryResidentMb(), 0.0);
+}
+
+TEST(GpuDeviceTest, AddFindRemoveTraining) {
+  GpuDevice dev(0);
+  dev.AddTraining(MakeTraining(7, 1000.0));
+  dev.AddTraining(MakeTraining(8, 2000.0));
+  EXPECT_EQ(dev.trainings().size(), 2u);
+  ASSERT_NE(dev.FindTraining(7), nullptr);
+  EXPECT_EQ(dev.FindTraining(99), nullptr);
+  TrainingInstance removed = dev.RemoveTraining(7);
+  EXPECT_EQ(removed.task_id, 7);
+  EXPECT_EQ(dev.trainings().size(), 1u);
+  EXPECT_EQ(dev.FindTraining(7), nullptr);
+}
+
+TEST(GpuDeviceTest, MemoryAccountingWithSwap) {
+  GpuDevice dev(0, 10000.0);
+  InferenceInstance inf;
+  inf.service_index = 0;
+  inf.batch_size = 32;
+  inf.gpu_fraction = 0.5;
+  inf.mem_required_mb = 6000.0;
+  dev.PlaceInference(inf);
+  dev.AddTraining(MakeTraining(1, 8000.0));
+
+  EXPECT_DOUBLE_EQ(dev.MemoryRequiredMb(), 14000.0);
+  EXPECT_DOUBLE_EQ(dev.MemoryResidentMb(), 14000.0);
+  EXPECT_DOUBLE_EQ(dev.MemoryDeficitMb(), 4000.0);
+
+  dev.FindTraining(1)->mem_swapped_mb = 5000.0;
+  EXPECT_DOUBLE_EQ(dev.MemoryResidentMb(), 9000.0);
+  EXPECT_DOUBLE_EQ(dev.MemoryFreeMb(), 1000.0);
+  EXPECT_DOUBLE_EQ(dev.MemoryRequiredMb(), 14000.0);  // unchanged by swap
+  EXPECT_LT(dev.MemoryDeficitMb(), 0.0);
+}
+
+TEST(GpuDeviceTest, NumActiveExcludesPaused) {
+  GpuDevice dev(0);
+  dev.AddTraining(MakeTraining(1, 100.0));
+  auto paused = MakeTraining(2, 100.0);
+  paused.paused = true;
+  dev.AddTraining(paused);
+  EXPECT_EQ(dev.num_active_trainings(), 1u);
+}
+
+TEST(GpuDeviceTest, UtilizationAccumulation) {
+  GpuDevice dev(0);
+  dev.AccumulateUsage(10.0, 0.4, 0.2);
+  dev.AccumulateUsage(30.0, 0.8, 0.6);
+  EXPECT_DOUBLE_EQ(dev.AverageSmUtil(), 0.7);
+  EXPECT_DOUBLE_EQ(dev.AverageMemUtil(), 0.5);
+}
+
+TEST(GpuDeviceTest, InstantMemUtilClamped) {
+  GpuDevice dev(0, 1000.0);
+  dev.AddTraining(MakeTraining(1, 5000.0));
+  EXPECT_DOUBLE_EQ(dev.InstantMemUtil(), 1.0);
+}
+
+TEST(GpuDeviceTest, MemoryFootprintHelpers) {
+  const auto& service = ModelZoo::InferenceServices()[0];
+  double small = InferenceMemoryMb(service, 16);
+  double big = InferenceMemoryMb(service, 512);
+  EXPECT_GT(big, small);
+  EXPECT_GT(small, service.weights_mb);
+
+  const auto& adam_task = ModelZoo::TrainingTaskByName("VGG16");   // Adam: 3x weights
+  const auto& sgd_task = ModelZoo::TrainingTaskByName("YOLOv5");   // SGD: 2x weights
+  EXPECT_GT(TrainingMemoryMb(adam_task),
+            adam_task.weights_mb * 3.0 + adam_task.activation_mb);
+  EXPECT_GT(TrainingMemoryMb(sgd_task), sgd_task.activation_mb);
+}
+
+TEST(MigTest, InstancesSplitMemoryAndCompute) {
+  auto instances = MakeMigInstances(10, 4, 40000.0);
+  ASSERT_EQ(instances.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(instances[static_cast<size_t>(i)].id(), 10 + i);
+    EXPECT_DOUBLE_EQ(instances[static_cast<size_t>(i)].memory_mb(), 10000.0);
+    EXPECT_DOUBLE_EQ(instances[static_cast<size_t>(i)].compute_scale(), 0.25);
+  }
+}
+
+TEST(MigTest, SingleInstanceIsWholeGpu) {
+  auto instances = MakeMigInstances(0, 1);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_DOUBLE_EQ(instances[0].compute_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(instances[0].memory_mb(), ModelZoo::kGpuMemoryMb);
+}
+
+}  // namespace
+}  // namespace mudi

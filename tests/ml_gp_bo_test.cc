@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/bayesopt.h"
+#include "src/ml/gaussian_process.h"
+
+namespace mudi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gaussian process
+// ---------------------------------------------------------------------------
+
+TEST(GaussianProcessTest, PriorIsZeroMeanSignalVar) {
+  GpOptions options;
+  options.signal_var = 2.5;
+  GaussianProcess gp(options);
+  GpPosterior post = gp.Predict({0.0});
+  EXPECT_DOUBLE_EQ(post.mean, 0.0);
+  EXPECT_DOUBLE_EQ(post.variance, 2.5);
+}
+
+TEST(GaussianProcessTest, InterpolatesObservations) {
+  GaussianProcess gp;
+  gp.AddObservation({0.0}, 1.0);
+  gp.AddObservation({1.0}, 3.0);
+  EXPECT_NEAR(gp.Predict({0.0}).mean, 1.0, 0.05);
+  EXPECT_NEAR(gp.Predict({1.0}).mean, 3.0, 0.05);
+}
+
+TEST(GaussianProcessTest, VarianceShrinksNearObservations) {
+  GaussianProcess gp;
+  gp.AddObservation({0.0}, 1.0);
+  double var_at_obs = gp.Predict({0.0}).variance;
+  double var_far = gp.Predict({10.0}).variance;
+  EXPECT_LT(var_at_obs, 0.01);
+  EXPECT_GT(var_far, 0.9);
+}
+
+TEST(GaussianProcessTest, MeanRevertsFarFromData) {
+  GaussianProcess gp;
+  gp.AddObservation({0.0}, 5.0);
+  gp.AddObservation({0.1}, 5.0);
+  // Far away, prediction reverts toward the observation mean.
+  EXPECT_NEAR(gp.Predict({100.0}).mean, 5.0, 0.2);
+}
+
+TEST(GaussianProcessTest, SetObservationsReplaces) {
+  GaussianProcess gp;
+  gp.AddObservation({0.0}, 1.0);
+  gp.SetObservations({{0.0}}, {42.0});
+  EXPECT_NEAR(gp.Predict({0.0}).mean, 42.0, 0.5);
+  EXPECT_EQ(gp.num_observations(), 1u);
+}
+
+TEST(GaussianProcessTest, SmoothInterpolationBetweenPoints) {
+  GaussianProcess gp;
+  gp.AddObservation({0.0}, 0.0);
+  gp.AddObservation({2.0}, 2.0);
+  double mid = gp.Predict({1.0}).mean;
+  EXPECT_GT(mid, 0.2);
+  EXPECT_LT(mid, 1.8);
+}
+
+TEST(GaussianProcessTest, VarianceNeverNegative) {
+  GaussianProcess gp;
+  for (int i = 0; i < 20; ++i) {
+    gp.AddObservation({static_cast<double>(i) * 0.1}, std::sin(i * 0.1));
+  }
+  for (double x = -1.0; x < 3.0; x += 0.05) {
+    EXPECT_GE(gp.Predict({x}).variance, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GP-LCB Bayesian optimization
+// ---------------------------------------------------------------------------
+
+TEST(GpLcbTest, BetaFormula) {
+  // β_n = 2·log(|R|/n²), clamped at 0.
+  EXPECT_NEAR(GpLcbOptimizer::Beta(100, 1), 2.0 * std::log(100.0), 1e-12);
+  EXPECT_NEAR(GpLcbOptimizer::Beta(100, 2), 2.0 * std::log(25.0), 1e-12);
+  EXPECT_DOUBLE_EQ(GpLcbOptimizer::Beta(100, 10), 0.0);   // 100/100 = 1 → log 0 = 0
+  EXPECT_DOUBLE_EQ(GpLcbOptimizer::Beta(100, 50), 0.0);   // clamped
+}
+
+TEST(GpLcbTest, FindsMinimumOfQuadratic) {
+  std::vector<double> candidates{16, 32, 64, 128, 256, 512};
+  GpLcbOptimizer opt(candidates);
+  auto objective = [](double b) { return (b - 128.0) * (b - 128.0) / 1000.0 + 5.0; };
+  auto result = opt.Minimize(objective, [](double) { return true; });
+  ASSERT_TRUE(result.best_candidate.has_value());
+  EXPECT_DOUBLE_EQ(*result.best_candidate, 128.0);
+  EXPECT_LE(result.iterations_used, 25u);
+}
+
+TEST(GpLcbTest, RespectsFeasibilityFilter) {
+  std::vector<double> candidates{16, 32, 64, 128, 256, 512};
+  GpLcbOptimizer opt(candidates);
+  // The true minimum (512) is infeasible; 256 is the best feasible.
+  auto result = opt.Minimize([](double b) { return 1000.0 - b; },
+                             [](double b) { return b <= 256.0; });
+  ASSERT_TRUE(result.best_candidate.has_value());
+  EXPECT_DOUBLE_EQ(*result.best_candidate, 256.0);
+}
+
+TEST(GpLcbTest, NoFeasibleCandidates) {
+  GpLcbOptimizer opt({1.0, 2.0, 3.0});
+  auto result = opt.Minimize([](double b) { return b; }, [](double) { return false; });
+  EXPECT_FALSE(result.best_candidate.has_value());
+  EXPECT_EQ(result.iterations_used, 0u);
+}
+
+TEST(GpLcbTest, ConvergesWithinPaperIterationBudget) {
+  // §7.5: GP-LCB converges within 25 iterations. Non-monotonic objective.
+  std::vector<double> candidates{16, 32, 64, 128, 256, 512};
+  GpLcbOptimizer opt(candidates);
+  auto objective = [](double b) {
+    return 100.0 / b + 0.3 * std::sqrt(b);  // U-shaped: min near 64-128
+  };
+  auto result = opt.Minimize(objective, [](double) { return true; });
+  ASSERT_TRUE(result.best_candidate.has_value());
+  EXPECT_LE(result.iterations_used, 25u);
+  // Best is one of the two central candidates.
+  EXPECT_TRUE(*result.best_candidate == 64.0 || *result.best_candidate == 128.0);
+}
+
+TEST(GpLcbTest, HistoryRecordsEvaluations) {
+  GpLcbOptimizer opt({1.0, 2.0});
+  auto result = opt.Minimize([](double b) { return b; }, [](double) { return true; });
+  EXPECT_EQ(result.history.size(), result.iterations_used);
+  for (const auto& [cand, obj] : result.history) {
+    EXPECT_DOUBLE_EQ(cand, obj);  // objective is identity here
+  }
+}
+
+TEST(GpLcbTest, SingleCandidateConvergesImmediately) {
+  GpLcbOptimizer opt({64.0});
+  auto result = opt.Minimize([](double) { return 3.0; }, [](double) { return true; });
+  ASSERT_TRUE(result.best_candidate.has_value());
+  EXPECT_DOUBLE_EQ(*result.best_candidate, 64.0);
+  EXPECT_LE(result.iterations_used, 5u);
+}
+
+// Property sweep: GP-LCB finds the true argmin (or a near-tie) for assorted
+// objective shapes over the paper's batch-size candidate set.
+class GpLcbObjectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpLcbObjectiveTest, FindsNearOptimalCandidate) {
+  std::vector<double> candidates{16, 32, 64, 128, 256, 512};
+  GpLcbOptimizer opt(candidates);
+  int shape = GetParam();
+  auto objective = [shape](double b) {
+    switch (shape) {
+      case 0:
+        return b;  // increasing: min at 16
+      case 1:
+        return -b;  // decreasing: min at 512
+      case 2:
+        return std::abs(b - 64.0);  // V at 64
+      case 3:
+        return std::abs(std::log2(b) - 8.0);  // V at 256 in log space
+      default:
+        return std::cos(b / 40.0) * 10.0;  // wavy
+    }
+  };
+  auto result = opt.Minimize(objective, [](double) { return true; });
+  ASSERT_TRUE(result.best_candidate.has_value());
+  double best_possible = objective(candidates[0]);
+  for (double c : candidates) {
+    best_possible = std::min(best_possible, objective(c));
+  }
+  EXPECT_NEAR(result.best_objective, best_possible, 1e-9) << "shape=" << shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(ObjectiveShapes, GpLcbObjectiveTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace mudi

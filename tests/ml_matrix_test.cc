@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/matrix.h"
+#include "src/ml/polynomial.h"
+
+namespace mudi {
+namespace {
+
+TEST(MatrixTest, IdentityMultiply) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 2.0;
+  a.At(1, 0) = 3.0;
+  a.At(1, 1) = 4.0;
+  Matrix i = Matrix::Identity(2);
+  Matrix prod = a.Multiply(i);
+  EXPECT_DOUBLE_EQ(prod.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(prod.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, MultiplyKnownResult) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      a.At(r, c) = v++;
+    }
+  }
+  v = 1;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      b.At(r, c) = v++;
+    }
+  }
+  Matrix p = a.Multiply(b);
+  // a = [1 2 3; 4 5 6], b = [1 2; 3 4; 5 6] -> p = [22 28; 49 64]
+  EXPECT_DOUBLE_EQ(p.At(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(p.At(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(p.At(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(p.At(1, 1), 64.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a.At(0, 2) = 7.0;
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 7.0);
+}
+
+TEST(MatrixTest, AddAndScale) {
+  Matrix a(1, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 2.0;
+  Matrix b = a.Scale(3.0).Add(a);
+  EXPECT_DOUBLE_EQ(b.At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(b.At(0, 1), 8.0);
+}
+
+TEST(MatrixTest, ColumnVectorAndColumn) {
+  Matrix v = Matrix::ColumnVector({1.0, 2.0, 3.0});
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 1u);
+  auto col = v.Column(0);
+  EXPECT_EQ(col, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(CholeskyTest, DecomposeAndSolve) {
+  // A = [4 2; 2 3], b = [8, 7]; x = [1.3, 1.466...]? Solve directly.
+  Matrix a(2, 2);
+  a.At(0, 0) = 4.0;
+  a.At(0, 1) = 2.0;
+  a.At(1, 0) = 2.0;
+  a.At(1, 1) = 3.0;
+  Matrix l;
+  ASSERT_TRUE(CholeskyDecompose(a, l));
+  // Verify L·Lᵀ = A.
+  Matrix rec = l.Multiply(l.Transpose());
+  EXPECT_NEAR(rec.At(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(rec.At(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(rec.At(1, 1), 3.0, 1e-12);
+
+  auto x = CholeskySolve(l, {8.0, 7.0});
+  // Check A·x = b.
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 8.0, 1e-10);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 7.0, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 2.0;
+  a.At(1, 0) = 2.0;
+  a.At(1, 1) = 1.0;  // eigenvalues 3, -1: not SPD
+  Matrix l;
+  EXPECT_FALSE(CholeskyDecompose(a, l));
+}
+
+TEST(RidgeTest, RecoversExactLinearSystem) {
+  // y = 2x0 - x1, no noise, tiny ridge.
+  Matrix x(4, 2);
+  std::vector<double> y(4);
+  double data[4][2] = {{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  for (size_t i = 0; i < 4; ++i) {
+    x.At(i, 0) = data[i][0];
+    x.At(i, 1) = data[i][1];
+    y[i] = 2.0 * data[i][0] - data[i][1];
+  }
+  auto w = RidgeSolve(x, y, 1e-10);
+  EXPECT_NEAR(w[0], 2.0, 1e-4);
+  EXPECT_NEAR(w[1], -1.0, 1e-4);
+}
+
+TEST(RidgeTest, RegularizationShrinksWeights) {
+  Matrix x(3, 1);
+  x.At(0, 0) = 1.0;
+  x.At(1, 0) = 2.0;
+  x.At(2, 0) = 3.0;
+  std::vector<double> y{2.0, 4.0, 6.0};
+  auto w_small = RidgeSolve(x, y, 1e-9);
+  auto w_big = RidgeSolve(x, y, 100.0);
+  EXPECT_NEAR(w_small[0], 2.0, 1e-6);
+  EXPECT_LT(w_big[0], w_small[0]);
+}
+
+TEST(PolynomialTest, FitsQuadraticExactly) {
+  std::vector<double> x, y;
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    x.push_back(t);
+    y.push_back(3.0 * t * t - 2.0 * t + 1.0);
+  }
+  PolynomialModel model = PolynomialModel::Fit(x, y, 2);
+  for (double t = 0.05; t < 1.0; t += 0.2) {
+    EXPECT_NEAR(model.Eval(t), 3.0 * t * t - 2.0 * t + 1.0, 1e-6);
+  }
+}
+
+TEST(PolynomialTest, DegreeZeroIsMean) {
+  PolynomialModel model = PolynomialModel::Fit({0.0, 1.0, 2.0}, {1.0, 2.0, 3.0}, 0);
+  EXPECT_NEAR(model.Eval(5.0), 2.0, 1e-6);  // ridge epsilon shifts the mean slightly
+}
+
+TEST(PolynomialTest, HighDegreeInterpolates) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, -1.0, 4.0, 0.0};
+  PolynomialModel model = PolynomialModel::Fit(x, y, 3);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(model.Eval(x[i]), y[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/ml/knn.h"
+#include "src/ml/linear_regression.h"
+#include "src/ml/mlp.h"
+#include "src/ml/model_selection.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/regressor.h"
+#include "src/ml/svr.h"
+
+namespace mudi {
+namespace {
+
+// Builds a dataset from a target function over a 2-D grid with mild noise.
+void MakeDataset(const std::function<double(double, double)>& f, size_t n, uint64_t seed,
+                 std::vector<std::vector<double>>* x, std::vector<double>* y,
+                 double noise_sigma = 0.0) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Uniform(0.0, 1.0);
+    double b = rng.Uniform(0.0, 1.0);
+    x->push_back({a, b});
+    double noise = noise_sigma > 0.0 ? rng.Normal(0.0, noise_sigma) : 0.0;
+    y->push_back(f(a, b) + noise);
+  }
+}
+
+double TestError(const Regressor& model, const std::function<double(double, double)>& f,
+                 uint64_t seed) {
+  Rng rng(seed);
+  double total = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    double a = rng.Uniform(0.05, 0.95);
+    double b = rng.Uniform(0.05, 0.95);
+    total += std::abs(model.Predict({a, b}) - f(a, b));
+  }
+  return total / n;
+}
+
+// ---------------------------------------------------------------------------
+// FeatureScaler
+// ---------------------------------------------------------------------------
+
+TEST(FeatureScalerTest, StandardizesToZeroMeanUnitVar) {
+  FeatureScaler scaler;
+  std::vector<std::vector<double>> x{{1.0, 100.0}, {2.0, 200.0}, {3.0, 300.0}};
+  scaler.Fit(x);
+  auto t = scaler.TransformAll(x);
+  double mean0 = (t[0][0] + t[1][0] + t[2][0]) / 3.0;
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(t[2][0] - t[0][0], 2.0 * t[2][0], 1e-9);  // symmetric around 0
+}
+
+TEST(FeatureScalerTest, ConstantFeatureDoesNotBlowUp) {
+  FeatureScaler scaler;
+  scaler.Fit({{5.0}, {5.0}, {5.0}});
+  auto t = scaler.Transform({5.0});
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Individual regressors
+// ---------------------------------------------------------------------------
+
+TEST(LinearRegressorTest, RecoversLinearFunction) {
+  auto f = [](double a, double b) { return 3.0 * a - 2.0 * b + 1.0; };
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset(f, 50, 1, &x, &y);
+  LinearRegressor model;
+  model.Fit(x, y);
+  EXPECT_LT(TestError(model, f, 99), 0.02);
+}
+
+TEST(LinearRegressorTest, NameIsLinear) { EXPECT_EQ(LinearRegressor().name(), "Linear"); }
+
+TEST(KnnRegressorTest, InterpolatesSmoothFunction) {
+  auto f = [](double a, double b) { return std::sin(3.0 * a) + b; };
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset(f, 400, 2, &x, &y);
+  KnnRegressor model(5);
+  model.Fit(x, y);
+  EXPECT_LT(TestError(model, f, 98), 0.12);
+}
+
+TEST(KnnRegressorTest, ExactOnTrainingPoint) {
+  KnnRegressor model(1);
+  model.Fit({{0.0, 0.0}, {1.0, 1.0}}, {5.0, 9.0});
+  EXPECT_NEAR(model.Predict({0.0, 0.0}), 5.0, 1e-3);
+  EXPECT_NEAR(model.Predict({1.0, 1.0}), 9.0, 1e-3);
+}
+
+TEST(RandomForestTest, LearnsNonlinearFunction) {
+  auto f = [](double a, double b) { return a * b + (a > 0.5 ? 2.0 : 0.0); };
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset(f, 600, 3, &x, &y);
+  RandomForestRegressor model;
+  model.Fit(x, y);
+  EXPECT_LT(TestError(model, f, 97), 0.35);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset([](double a, double b) { return a + b; }, 100, 4, &x, &y);
+  RandomForestRegressor m1, m2;
+  m1.Fit(x, y);
+  m2.Fit(x, y);
+  EXPECT_DOUBLE_EQ(m1.Predict({0.3, 0.7}), m2.Predict({0.3, 0.7}));
+}
+
+TEST(RandomForestTest, ConstantTargetYieldsConstant) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset([](double, double) { return 7.0; }, 50, 5, &x, &y);
+  RandomForestRegressor model;
+  model.Fit(x, y);
+  EXPECT_NEAR(model.Predict({0.5, 0.5}), 7.0, 1e-9);
+}
+
+TEST(SvrRegressorTest, LearnsSmoothFunction) {
+  auto f = [](double a, double b) { return std::exp(-a) + 0.5 * b; };
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset(f, 300, 6, &x, &y);
+  SvrRegressor model;
+  model.Fit(x, y);
+  EXPECT_LT(TestError(model, f, 96), 0.08);
+}
+
+TEST(SvrRegressorTest, CentersTarget) {
+  // Large constant offset should not hurt the kernel model.
+  auto f = [](double a, double b) { return 1000.0 + a + b; };
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset(f, 200, 7, &x, &y);
+  SvrRegressor model;
+  model.Fit(x, y);
+  EXPECT_LT(TestError(model, f, 95), 0.5);
+}
+
+TEST(MlpRegressorTest, LearnsNonlinearFunction) {
+  auto f = [](double a, double b) { return std::tanh(2.0 * a - 1.0) + 0.3 * b; };
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset(f, 300, 8, &x, &y);
+  MlpRegressor model;
+  model.Fit(x, y);
+  EXPECT_LT(TestError(model, f, 94), 0.12);
+}
+
+TEST(MlpRegressorTest, HandlesScaledTargets) {
+  auto f = [](double a, double b) { return 500.0 * a - 300.0 * b; };
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset(f, 300, 9, &x, &y);
+  MlpRegressor model;
+  model.Fit(x, y);
+  EXPECT_LT(TestError(model, f, 93), 30.0);
+}
+
+// Parameterized: every zoo regressor fits a simple linear map acceptably.
+class ZooRegressorTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ZooRegressorTest, FitsLinearMapReasonably) {
+  auto factories = DefaultRegressorZoo();
+  auto model = factories[GetParam()]();
+  auto f = [](double a, double b) { return 4.0 * a + b; };
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset(f, 250, 10 + GetParam(), &x, &y);
+  model->Fit(x, y);
+  EXPECT_LT(TestError(*model, f, 92), 0.6) << model->name();
+}
+
+TEST_P(ZooRegressorTest, RefitReplacesOldModel) {
+  auto factories = DefaultRegressorZoo();
+  auto model = factories[GetParam()]();
+  std::vector<std::vector<double>> x1, x2;
+  std::vector<double> y1, y2;
+  MakeDataset([](double a, double) { return a; }, 120, 20, &x1, &y1);
+  MakeDataset([](double a, double) { return -a; }, 120, 21, &x2, &y2);
+  model->Fit(x1, y1);
+  double before = model->Predict({0.9, 0.5});
+  model->Fit(x2, y2);
+  double after = model->Predict({0.9, 0.5});
+  EXPECT_GT(before, 0.3) << model->name();
+  EXPECT_LT(after, -0.3) << model->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, ZooRegressorTest, ::testing::Range<size_t>(0, 5));
+
+// ---------------------------------------------------------------------------
+// Model selection
+// ---------------------------------------------------------------------------
+
+TEST(ModelSelectionTest, KFoldErrorSmallForEasyProblem) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset([](double a, double b) { return 2.0 * a + b + 5.0; }, 100, 30, &x, &y);
+  double err = KFoldRelativeError(
+      [] { return std::unique_ptr<Regressor>(std::make_unique<LinearRegressor>()); }, x, y);
+  EXPECT_LT(err, 0.01);
+}
+
+TEST(ModelSelectionTest, SelectsLowCvErrorModel) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset([](double a, double b) { return 3.0 * a - b; }, 120, 31, &x, &y, 0.01);
+  auto result = SelectBestModel(DefaultRegressorZoo(), x, y);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_LT(result.cv_error, 0.6);
+  EXPECT_FALSE(result.model_name.empty());
+}
+
+TEST(ModelSelectionTest, WinnerIsRefitOnAllData) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeDataset([](double a, double b) { return a + b; }, 60, 32, &x, &y);
+  auto result = SelectBestModel(DefaultRegressorZoo(), x, y);
+  // Refit model should predict near truth on a training point.
+  EXPECT_NEAR(result.model->Predict(x[0]), y[0], 0.3);
+}
+
+TEST(ModelSelectionTest, DefaultZooHasFiveFamilies) {
+  EXPECT_EQ(DefaultRegressorZoo().size(), 5u);
+}
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+#include "src/sim/simulator.h"
+
+namespace mudi {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(20.0, [&] { order.push_back(2); });
+  sim.ScheduleAt(10.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(30.0, [&] { order.push_back(3); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30.0);
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(10.0, [&] {
+    sim.ScheduleAfter(5.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  sim.ScheduleAt(100.0, [] {});
+  sim.RunUntil(50.0);
+  EXPECT_EQ(sim.Now(), 50.0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  sim.RunUntil(150.0);
+  EXPECT_EQ(sim.Now(), 150.0);
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(50.0, [&] { fired = true; });
+  sim.RunUntil(50.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto id = sim.ScheduleAt(10.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  auto id = sim.ScheduleAt(10.0, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(Simulator::kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(9999));
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int count = 0;
+  sim.SchedulePeriodic(10.0, 10.0, [&] { ++count; });
+  sim.RunUntil(55.0);
+  EXPECT_EQ(count, 5);  // 10, 20, 30, 40, 50
+}
+
+TEST(SimulatorTest, PeriodicCanCancelItself) {
+  Simulator sim;
+  int count = 0;
+  Simulator::EventId id = Simulator::kInvalidEventId;
+  id = sim.SchedulePeriodic(10.0, 10.0, [&] {
+    if (++count == 3) {
+      sim.Cancel(id);
+    }
+  });
+  sim.RunUntil(1000.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, CancelPeriodicFromOutside) {
+  Simulator sim;
+  int count = 0;
+  auto id = sim.SchedulePeriodic(10.0, 10.0, [&] { ++count; });
+  sim.ScheduleAt(25.0, [&] { sim.Cancel(id); });
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.ScheduleAt(static_cast<double>(i), [] {});
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  auto id = sim.ScheduleAt(10.0, [] {});
+  sim.ScheduleAt(20.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, NestedSchedulingDuringRun) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.ScheduleAt(10.0, [&] {
+    times.push_back(sim.Now());
+    sim.ScheduleAt(10.0, [&] { times.push_back(sim.Now()); });  // same time, runs after
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 10.0);
+  EXPECT_EQ(times[1], 10.0);
+}
+
+// Randomized sweep: arbitrary schedule/cancel interleavings never run an
+// event out of order, never run a cancelled event, and fire periodic events
+// the exact number of times their period implies.
+TEST(SimulatorTest, RandomizedScheduleCancelInvariants) {
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    Simulator sim;
+    double last_seen = -1.0;
+    int fired = 0;
+    std::vector<Simulator::EventId> ids;
+    std::vector<Simulator::EventId> cancelled;
+    for (int i = 0; i < 200; ++i) {
+      double t = rng.Uniform(0.0, 1000.0);
+      ids.push_back(sim.ScheduleAt(t, [&, t] {
+        EXPECT_GE(t, last_seen);
+        last_seen = t;
+        ++fired;
+      }));
+    }
+    // Cancel a random third of them before running.
+    for (const auto& id : ids) {
+      if (rng.Uniform() < 0.33) {
+        if (sim.Cancel(id)) {
+          cancelled.push_back(id);
+        }
+      }
+    }
+    sim.RunUntilIdle();
+    // Exactly the non-cancelled events fired, in time order.
+    EXPECT_EQ(fired, 200 - static_cast<int>(cancelled.size()));
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+}
+
+TEST(SimulatorTest, RandomizedPeriodicCounts) {
+  Rng rng(100);
+  for (int trial = 0; trial < 10; ++trial) {
+    Simulator sim;
+    double period = rng.Uniform(1.0, 20.0);
+    double start = rng.Uniform(0.0, 10.0);
+    double horizon = rng.Uniform(100.0, 500.0);
+    int count = 0;
+    sim.SchedulePeriodic(start, period, [&] { ++count; });
+    sim.RunUntil(horizon);
+    int expected = horizon >= start
+                       ? 1 + static_cast<int>(std::floor((horizon - start) / period))
+                       : 0;
+    // Floating-point boundary firings may differ by one.
+    EXPECT_NEAR(count, expected, 1.0) << "period=" << period << " start=" << start;
+  }
+}
+
+TEST(SimulatorTest, TimeConstants) {
+  EXPECT_EQ(kMsPerSecond, 1000.0);
+  EXPECT_EQ(kMsPerMinute, 60000.0);
+  EXPECT_EQ(kMsPerHour, 3600000.0);
+}
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/solver/monotone_solver.h"
+
+namespace mudi {
+namespace {
+
+TEST(MonotoneSolverTest, FindsExactCrossing) {
+  // f(x) = 100 - 50x, target 60 → crossing at x = 0.8.
+  auto f = [](double x) { return 100.0 - 50.0 * x; };
+  auto x = MinFeasibleMonotone(f, 60.0, 0.0, 1.0, 1e-6);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 0.8, 1e-4);
+}
+
+TEST(MonotoneSolverTest, InfeasibleReturnsNullopt) {
+  auto f = [](double x) { return 100.0 - 10.0 * x; };
+  EXPECT_FALSE(MinFeasibleMonotone(f, 50.0, 0.0, 1.0).has_value());
+}
+
+TEST(MonotoneSolverTest, AlreadyFeasibleAtLowerBound) {
+  auto f = [](double x) { return 10.0 - x; };
+  auto x = MinFeasibleMonotone(f, 100.0, 0.2, 1.0);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ(*x, 0.2);
+}
+
+TEST(MonotoneSolverTest, NonlinearMonotone) {
+  auto f = [](double x) { return 50.0 / x; };  // decreasing on (0, ∞)
+  auto x = MinFeasibleMonotone(f, 100.0, 0.1, 1.0, 1e-7);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 0.5, 1e-4);
+}
+
+TEST(MonotoneSolverTest, SolutionIsMinimal) {
+  auto f = [](double x) { return 200.0 * std::exp(-3.0 * x); };
+  auto x = MinFeasibleMonotone(f, 80.0, 0.0, 1.0, 1e-7);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_LE(f(*x), 80.0 + 1e-3);
+  EXPECT_GT(f(*x - 1e-3), 80.0);  // one step lower violates
+}
+
+TEST(GridSearchTest, FindsConstrainedMinimum) {
+  auto result = ExhaustiveGridSearch(
+      {16, 32, 64}, {0.2, 0.5, 0.8},
+      [](int b, double g) { return std::abs(b - 32) + std::abs(g - 0.5) * 100.0; },
+      [](int b, double) { return b >= 32; });
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.best_batch, 32);
+  EXPECT_DOUBLE_EQ(result.best_fraction, 0.5);
+  EXPECT_EQ(result.evaluations, 9u);
+}
+
+TEST(GridSearchTest, AllInfeasible) {
+  auto result = ExhaustiveGridSearch({1}, {0.1}, [](int, double) { return 0.0; },
+                                     [](int, double) { return false; });
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.evaluations, 1u);
+}
+
+TEST(GridSearchTest, ConstraintExcludesGlobalOptimum) {
+  // Global min at (16, 0.1) but constraint requires g >= 0.5.
+  auto result = ExhaustiveGridSearch(
+      {16, 32}, {0.1, 0.5, 0.9},
+      [](int b, double g) { return b + g; },
+      [](int, double g) { return g >= 0.5; });
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.best_batch, 16);
+  EXPECT_DOUBLE_EQ(result.best_fraction, 0.5);
+}
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,196 @@
+// mudi_cli — run a multiplexing experiment from the command line.
+//
+// Examples:
+//   mudi_cli --policy Mudi --nodes 3 --gpus 4 --tasks 120
+//   mudi_cli --policy MuxFlow --tasks 300 --queue SJF --load 2.0 --csv out.csv
+//   mudi_cli --policy Mudi --nodes 250 --gpus 4 --tasks 2000 --tick-ms 20
+//
+// Prints the headline metrics; --csv appends one summary row per run, so a
+// shell loop over policies/seeds builds a results table.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/presets.h"
+
+namespace {
+
+struct CliArgs {
+  std::string policy = "Mudi";
+  int nodes = 3;
+  int gpus = 4;
+  size_t tasks = 120;
+  uint64_t seed = 5;
+  std::string queue = "FCFS";
+  double load = 1.0;
+  double compression = 800.0;
+  double tick_ms = 0.0;
+  std::string csv;
+  bool util_series = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: mudi_cli [options]\n"
+      "  --policy NAME      Mudi | Mudi-more | Mudi-cluster-only | Mudi-device-only |\n"
+      "                     GSLICE | gpulets | MuxFlow | Random | Optimal   (default Mudi)\n"
+      "  --nodes N          cluster nodes (default 3)\n"
+      "  --gpus N           GPUs per node (default 4)\n"
+      "  --tasks N          training tasks to replay (default 120)\n"
+      "  --seed S           RNG seed (default 5)\n"
+      "  --queue P          FCFS | SJF | Priority | FairShare (default FCFS)\n"
+      "  --load F           QPS scale factor (default 1.0)\n"
+      "  --compression F    duration compression (default 800)\n"
+      "  --tick-ms F        arrival cohort tick override (default auto)\n"
+      "  --util             record the utilization time series\n"
+      "  --csv FILE         append a summary row to FILE (with header if new)\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      args->help = true;
+      return true;
+    } else if (flag == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->policy = v;
+    } else if (flag == "--nodes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->nodes = std::atoi(v);
+    } else if (flag == "--gpus") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->gpus = std::atoi(v);
+    } else if (flag == "--tasks") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->tasks = static_cast<size_t>(std::atoll(v));
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--queue") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->queue = v;
+    } else if (flag == "--load") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->load = std::atof(v);
+    } else if (flag == "--compression") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->compression = std::atof(v);
+    } else if (flag == "--tick-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->tick_ms = std::atof(v);
+    } else if (flag == "--util") {
+      args->util_series = true;
+    } else if (flag == "--csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->csv = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+mudi::QueuePolicy ParseQueue(const std::string& name) {
+  if (name == "SJF") {
+    return mudi::QueuePolicy::kShortestJobFirst;
+  }
+  if (name == "Priority") {
+    return mudi::QueuePolicy::kPriority;
+  }
+  if (name == "FairShare") {
+    return mudi::QueuePolicy::kFairShare;
+  }
+  return mudi::QueuePolicy::kFcfs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mudi;
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 1;
+  }
+  if (args.help) {
+    PrintUsage();
+    return 0;
+  }
+
+  ExperimentOptions options = PhysicalClusterOptions(args.tasks, args.seed);
+  options.num_nodes = args.nodes;
+  options.gpus_per_node = args.gpus;
+  options.trace.duration_compression = args.compression;
+  options.queue_policy = ParseQueue(args.queue);
+  options.record_util_series = args.util_series;
+  if (args.tick_ms > 0.0) {
+    options.arrival_tick_ms = args.tick_ms;
+  }
+  if (args.load != 1.0) {
+    ScaleQps(options, args.load);
+  }
+
+  PerfOracle profiling_oracle(options.oracle_seed);
+  auto policy = MakePolicy(args.policy, profiling_oracle);
+  ClusterExperiment experiment(options, policy.get());
+  ExperimentResult result = experiment.Run();
+
+  std::printf("== mudi_cli: %s on %d nodes x %d GPUs, %zu tasks, queue=%s, load=%.1fx ==\n",
+              result.policy_name.c_str(), args.nodes, args.gpus, args.tasks,
+              args.queue.c_str(), args.load);
+  Table table({"metric", "value"});
+  table.AddRow({"completed tasks", std::to_string(result.CompletedTasks()) + "/" +
+                                       std::to_string(result.tasks.size())});
+  table.AddRow({"SLO violation rate", Table::Pct(result.OverallSloViolationRate(), 2)});
+  table.AddRow({"mean CT (s)", Table::Num(result.MeanCtMs() / kMsPerSecond, 1)});
+  table.AddRow({"P95 CT (s)", Table::Num(result.P95CtMs() / kMsPerSecond, 1)});
+  table.AddRow({"mean wait (s)", Table::Num(result.MeanWaitingMs() / kMsPerSecond, 1)});
+  table.AddRow({"makespan (s)", Table::Num(result.makespan_ms / kMsPerSecond, 1)});
+  table.AddRow({"avg SM util", Table::Pct(result.avg_sm_util, 1)});
+  table.AddRow({"avg mem util", Table::Pct(result.avg_mem_util, 1)});
+  table.AddRow({"swap events", std::to_string(result.swap_events)});
+  std::printf("%s", table.ToString().c_str());
+  for (const auto& [name, metrics] : result.per_service) {
+    std::printf("  %-10s SLO violation %s  (mean latency %.1f ms)\n", name.c_str(),
+                Table::Pct(metrics.slo_violation_rate(), 2).c_str(), metrics.mean_latency_ms);
+  }
+
+  if (!args.csv.empty()) {
+    bool fresh = !std::ifstream(args.csv).good();
+    std::ofstream out(args.csv, std::ios::app);
+    if (fresh) {
+      out << "policy,nodes,gpus,tasks,seed,queue,load,slo_violation,mean_ct_s,mean_wait_s,"
+             "makespan_s,avg_sm_util,avg_mem_util\n";
+    }
+    out << result.policy_name << ',' << args.nodes << ',' << args.gpus << ',' << args.tasks
+        << ',' << args.seed << ',' << args.queue << ',' << args.load << ','
+        << result.OverallSloViolationRate() << ',' << result.MeanCtMs() / kMsPerSecond << ','
+        << result.MeanWaitingMs() / kMsPerSecond << ',' << result.makespan_ms / kMsPerSecond
+        << ',' << result.avg_sm_util << ',' << result.avg_mem_util << '\n';
+  }
+  return 0;
+}
