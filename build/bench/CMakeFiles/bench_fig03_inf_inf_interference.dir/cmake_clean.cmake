@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_inf_inf_interference.dir/bench_fig03_inf_inf_interference.cpp.o"
+  "CMakeFiles/bench_fig03_inf_inf_interference.dir/bench_fig03_inf_inf_interference.cpp.o.d"
+  "bench_fig03_inf_inf_interference"
+  "bench_fig03_inf_inf_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_inf_inf_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_layer_census.dir/bench_fig07_layer_census.cpp.o"
+  "CMakeFiles/bench_fig07_layer_census.dir/bench_fig07_layer_census.cpp.o.d"
+  "bench_fig07_layer_census"
+  "bench_fig07_layer_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_layer_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_slo_violation.dir/bench_fig08_slo_violation.cpp.o"
+  "CMakeFiles/bench_fig08_slo_violation.dir/bench_fig08_slo_violation.cpp.o.d"
+  "bench_fig08_slo_violation"
+  "bench_fig08_slo_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_slo_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

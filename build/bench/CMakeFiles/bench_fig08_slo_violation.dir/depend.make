@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_slo_violation.
+# This may be replaced when dependencies are built.

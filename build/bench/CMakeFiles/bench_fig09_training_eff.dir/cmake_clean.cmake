@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_training_eff.dir/bench_fig09_training_eff.cpp.o"
+  "CMakeFiles/bench_fig09_training_eff.dir/bench_fig09_training_eff.cpp.o.d"
+  "bench_fig09_training_eff"
+  "bench_fig09_training_eff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_training_eff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_incremental.dir/bench_fig12_incremental.cpp.o"
+  "CMakeFiles/bench_fig12_incremental.dir/bench_fig12_incremental.cpp.o.d"
+  "bench_fig12_incremental"
+  "bench_fig12_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_bursty_case.dir/bench_fig16_bursty_case.cpp.o"
+  "CMakeFiles/bench_fig16_bursty_case.dir/bench_fig16_bursty_case.cpp.o.d"
+  "bench_fig16_bursty_case"
+  "bench_fig16_bursty_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_bursty_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

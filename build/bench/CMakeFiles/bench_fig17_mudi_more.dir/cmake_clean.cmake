@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_mudi_more.dir/bench_fig17_mudi_more.cpp.o"
+  "CMakeFiles/bench_fig17_mudi_more.dir/bench_fig17_mudi_more.cpp.o.d"
+  "bench_fig17_mudi_more"
+  "bench_fig17_mudi_more.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mudi_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_fitting_error.dir/bench_tab02_fitting_error.cpp.o"
+  "CMakeFiles/bench_tab02_fitting_error.dir/bench_tab02_fitting_error.cpp.o.d"
+  "bench_tab02_fitting_error"
+  "bench_tab02_fitting_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_fitting_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

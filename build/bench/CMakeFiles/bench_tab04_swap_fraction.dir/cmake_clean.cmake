@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_swap_fraction.dir/bench_tab04_swap_fraction.cpp.o"
+  "CMakeFiles/bench_tab04_swap_fraction.dir/bench_tab04_swap_fraction.cpp.o.d"
+  "bench_tab04_swap_fraction"
+  "bench_tab04_swap_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_swap_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_autoscaling.dir/bursty_autoscaling.cpp.o"
+  "CMakeFiles/bursty_autoscaling.dir/bursty_autoscaling.cpp.o.d"
+  "bursty_autoscaling"
+  "bursty_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bursty_autoscaling.
+# This may be replaced when dependencies are built.

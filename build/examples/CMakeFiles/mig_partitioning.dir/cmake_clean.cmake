@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_partitioning.dir/mig_partitioning.cpp.o"
+  "CMakeFiles/mig_partitioning.dir/mig_partitioning.cpp.o.d"
+  "mig_partitioning"
+  "mig_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_replay_scheduling.dir/trace_replay_scheduling.cpp.o"
+  "CMakeFiles/trace_replay_scheduling.dir/trace_replay_scheduling.cpp.o.d"
+  "trace_replay_scheduling"
+  "trace_replay_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_util.cc" "src/baselines/CMakeFiles/mudi_baselines.dir/baseline_util.cc.o" "gcc" "src/baselines/CMakeFiles/mudi_baselines.dir/baseline_util.cc.o.d"
+  "/root/repo/src/baselines/gpulets_policy.cc" "src/baselines/CMakeFiles/mudi_baselines.dir/gpulets_policy.cc.o" "gcc" "src/baselines/CMakeFiles/mudi_baselines.dir/gpulets_policy.cc.o.d"
+  "/root/repo/src/baselines/gslice_policy.cc" "src/baselines/CMakeFiles/mudi_baselines.dir/gslice_policy.cc.o" "gcc" "src/baselines/CMakeFiles/mudi_baselines.dir/gslice_policy.cc.o.d"
+  "/root/repo/src/baselines/muxflow_policy.cc" "src/baselines/CMakeFiles/mudi_baselines.dir/muxflow_policy.cc.o" "gcc" "src/baselines/CMakeFiles/mudi_baselines.dir/muxflow_policy.cc.o.d"
+  "/root/repo/src/baselines/optimal_policy.cc" "src/baselines/CMakeFiles/mudi_baselines.dir/optimal_policy.cc.o" "gcc" "src/baselines/CMakeFiles/mudi_baselines.dir/optimal_policy.cc.o.d"
+  "/root/repo/src/baselines/random_policy.cc" "src/baselines/CMakeFiles/mudi_baselines.dir/random_policy.cc.o" "gcc" "src/baselines/CMakeFiles/mudi_baselines.dir/random_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mudi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mudi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mudi_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mudi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mudi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

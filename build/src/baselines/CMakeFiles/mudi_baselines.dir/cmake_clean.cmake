@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_baselines.dir/baseline_util.cc.o"
+  "CMakeFiles/mudi_baselines.dir/baseline_util.cc.o.d"
+  "CMakeFiles/mudi_baselines.dir/gpulets_policy.cc.o"
+  "CMakeFiles/mudi_baselines.dir/gpulets_policy.cc.o.d"
+  "CMakeFiles/mudi_baselines.dir/gslice_policy.cc.o"
+  "CMakeFiles/mudi_baselines.dir/gslice_policy.cc.o.d"
+  "CMakeFiles/mudi_baselines.dir/muxflow_policy.cc.o"
+  "CMakeFiles/mudi_baselines.dir/muxflow_policy.cc.o.d"
+  "CMakeFiles/mudi_baselines.dir/optimal_policy.cc.o"
+  "CMakeFiles/mudi_baselines.dir/optimal_policy.cc.o.d"
+  "CMakeFiles/mudi_baselines.dir/random_policy.cc.o"
+  "CMakeFiles/mudi_baselines.dir/random_policy.cc.o.d"
+  "libmudi_baselines.a"
+  "libmudi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_state.cc" "src/cluster/CMakeFiles/mudi_cluster.dir/cluster_state.cc.o" "gcc" "src/cluster/CMakeFiles/mudi_cluster.dir/cluster_state.cc.o.d"
+  "/root/repo/src/cluster/kv_store.cc" "src/cluster/CMakeFiles/mudi_cluster.dir/kv_store.cc.o" "gcc" "src/cluster/CMakeFiles/mudi_cluster.dir/kv_store.cc.o.d"
+  "/root/repo/src/cluster/monitor.cc" "src/cluster/CMakeFiles/mudi_cluster.dir/monitor.cc.o" "gcc" "src/cluster/CMakeFiles/mudi_cluster.dir/monitor.cc.o.d"
+  "/root/repo/src/cluster/task_queue.cc" "src/cluster/CMakeFiles/mudi_cluster.dir/task_queue.cc.o" "gcc" "src/cluster/CMakeFiles/mudi_cluster.dir/task_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mudi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mudi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mudi_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mudi_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_cluster.dir/cluster_state.cc.o"
+  "CMakeFiles/mudi_cluster.dir/cluster_state.cc.o.d"
+  "CMakeFiles/mudi_cluster.dir/kv_store.cc.o"
+  "CMakeFiles/mudi_cluster.dir/kv_store.cc.o.d"
+  "CMakeFiles/mudi_cluster.dir/monitor.cc.o"
+  "CMakeFiles/mudi_cluster.dir/monitor.cc.o.d"
+  "CMakeFiles/mudi_cluster.dir/task_queue.cc.o"
+  "CMakeFiles/mudi_cluster.dir/task_queue.cc.o.d"
+  "libmudi_cluster.a"
+  "libmudi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

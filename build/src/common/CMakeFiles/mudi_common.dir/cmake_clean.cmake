@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_common.dir/logging.cc.o"
+  "CMakeFiles/mudi_common.dir/logging.cc.o.d"
+  "CMakeFiles/mudi_common.dir/stats.cc.o"
+  "CMakeFiles/mudi_common.dir/stats.cc.o.d"
+  "CMakeFiles/mudi_common.dir/status.cc.o"
+  "CMakeFiles/mudi_common.dir/status.cc.o.d"
+  "CMakeFiles/mudi_common.dir/table.cc.o"
+  "CMakeFiles/mudi_common.dir/table.cc.o.d"
+  "libmudi_common.a"
+  "libmudi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

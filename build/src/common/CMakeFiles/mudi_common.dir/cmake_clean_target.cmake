@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmudi_common.a"
+)

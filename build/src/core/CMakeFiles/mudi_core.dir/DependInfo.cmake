@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/interference_modeler.cc" "src/core/CMakeFiles/mudi_core.dir/interference_modeler.cc.o" "gcc" "src/core/CMakeFiles/mudi_core.dir/interference_modeler.cc.o.d"
+  "/root/repo/src/core/latency_profiler.cc" "src/core/CMakeFiles/mudi_core.dir/latency_profiler.cc.o" "gcc" "src/core/CMakeFiles/mudi_core.dir/latency_profiler.cc.o.d"
+  "/root/repo/src/core/memory_manager.cc" "src/core/CMakeFiles/mudi_core.dir/memory_manager.cc.o" "gcc" "src/core/CMakeFiles/mudi_core.dir/memory_manager.cc.o.d"
+  "/root/repo/src/core/mudi_policy.cc" "src/core/CMakeFiles/mudi_core.dir/mudi_policy.cc.o" "gcc" "src/core/CMakeFiles/mudi_core.dir/mudi_policy.cc.o.d"
+  "/root/repo/src/core/online_multiplexer.cc" "src/core/CMakeFiles/mudi_core.dir/online_multiplexer.cc.o" "gcc" "src/core/CMakeFiles/mudi_core.dir/online_multiplexer.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/mudi_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/mudi_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mudi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mudi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mudi_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mudi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mudi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mudi_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mudi_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_core.dir/interference_modeler.cc.o"
+  "CMakeFiles/mudi_core.dir/interference_modeler.cc.o.d"
+  "CMakeFiles/mudi_core.dir/latency_profiler.cc.o"
+  "CMakeFiles/mudi_core.dir/latency_profiler.cc.o.d"
+  "CMakeFiles/mudi_core.dir/memory_manager.cc.o"
+  "CMakeFiles/mudi_core.dir/memory_manager.cc.o.d"
+  "CMakeFiles/mudi_core.dir/mudi_policy.cc.o"
+  "CMakeFiles/mudi_core.dir/mudi_policy.cc.o.d"
+  "CMakeFiles/mudi_core.dir/online_multiplexer.cc.o"
+  "CMakeFiles/mudi_core.dir/online_multiplexer.cc.o.d"
+  "CMakeFiles/mudi_core.dir/tuner.cc.o"
+  "CMakeFiles/mudi_core.dir/tuner.cc.o.d"
+  "libmudi_core.a"
+  "libmudi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_exp.dir/cluster_experiment.cc.o"
+  "CMakeFiles/mudi_exp.dir/cluster_experiment.cc.o.d"
+  "CMakeFiles/mudi_exp.dir/metrics.cc.o"
+  "CMakeFiles/mudi_exp.dir/metrics.cc.o.d"
+  "CMakeFiles/mudi_exp.dir/presets.cc.o"
+  "CMakeFiles/mudi_exp.dir/presets.cc.o.d"
+  "libmudi_exp.a"
+  "libmudi_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

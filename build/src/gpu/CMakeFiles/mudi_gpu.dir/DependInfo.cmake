@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_device.cc" "src/gpu/CMakeFiles/mudi_gpu.dir/gpu_device.cc.o" "gcc" "src/gpu/CMakeFiles/mudi_gpu.dir/gpu_device.cc.o.d"
+  "/root/repo/src/gpu/perf_oracle.cc" "src/gpu/CMakeFiles/mudi_gpu.dir/perf_oracle.cc.o" "gcc" "src/gpu/CMakeFiles/mudi_gpu.dir/perf_oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mudi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mudi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mudi_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

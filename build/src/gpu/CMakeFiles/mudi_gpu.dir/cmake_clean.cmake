@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_gpu.dir/gpu_device.cc.o"
+  "CMakeFiles/mudi_gpu.dir/gpu_device.cc.o.d"
+  "CMakeFiles/mudi_gpu.dir/perf_oracle.cc.o"
+  "CMakeFiles/mudi_gpu.dir/perf_oracle.cc.o.d"
+  "libmudi_gpu.a"
+  "libmudi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bayesopt.cc" "src/ml/CMakeFiles/mudi_ml.dir/bayesopt.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/bayesopt.cc.o.d"
+  "/root/repo/src/ml/gaussian_process.cc" "src/ml/CMakeFiles/mudi_ml.dir/gaussian_process.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/gaussian_process.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/mudi_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/ml/CMakeFiles/mudi_ml.dir/linear_regression.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/linear_regression.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/mudi_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/mudi_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model_selection.cc" "src/ml/CMakeFiles/mudi_ml.dir/model_selection.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/model_selection.cc.o.d"
+  "/root/repo/src/ml/piecewise_linear.cc" "src/ml/CMakeFiles/mudi_ml.dir/piecewise_linear.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/piecewise_linear.cc.o.d"
+  "/root/repo/src/ml/polynomial.cc" "src/ml/CMakeFiles/mudi_ml.dir/polynomial.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/polynomial.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/mudi_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/regressor.cc" "src/ml/CMakeFiles/mudi_ml.dir/regressor.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/regressor.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/ml/CMakeFiles/mudi_ml.dir/svr.cc.o" "gcc" "src/ml/CMakeFiles/mudi_ml.dir/svr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mudi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_ml.dir/bayesopt.cc.o"
+  "CMakeFiles/mudi_ml.dir/bayesopt.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/gaussian_process.cc.o"
+  "CMakeFiles/mudi_ml.dir/gaussian_process.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/knn.cc.o"
+  "CMakeFiles/mudi_ml.dir/knn.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/mudi_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/matrix.cc.o"
+  "CMakeFiles/mudi_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/mlp.cc.o"
+  "CMakeFiles/mudi_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/model_selection.cc.o"
+  "CMakeFiles/mudi_ml.dir/model_selection.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/piecewise_linear.cc.o"
+  "CMakeFiles/mudi_ml.dir/piecewise_linear.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/polynomial.cc.o"
+  "CMakeFiles/mudi_ml.dir/polynomial.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/random_forest.cc.o"
+  "CMakeFiles/mudi_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/regressor.cc.o"
+  "CMakeFiles/mudi_ml.dir/regressor.cc.o.d"
+  "CMakeFiles/mudi_ml.dir/svr.cc.o"
+  "CMakeFiles/mudi_ml.dir/svr.cc.o.d"
+  "libmudi_ml.a"
+  "libmudi_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_sim.dir/simulator.cc.o"
+  "CMakeFiles/mudi_sim.dir/simulator.cc.o.d"
+  "libmudi_sim.a"
+  "libmudi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_solver.dir/monotone_solver.cc.o"
+  "CMakeFiles/mudi_solver.dir/monotone_solver.cc.o.d"
+  "libmudi_solver.a"
+  "libmudi_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/layers.cc" "src/workload/CMakeFiles/mudi_workload.dir/layers.cc.o" "gcc" "src/workload/CMakeFiles/mudi_workload.dir/layers.cc.o.d"
+  "/root/repo/src/workload/models.cc" "src/workload/CMakeFiles/mudi_workload.dir/models.cc.o" "gcc" "src/workload/CMakeFiles/mudi_workload.dir/models.cc.o.d"
+  "/root/repo/src/workload/request_generator.cc" "src/workload/CMakeFiles/mudi_workload.dir/request_generator.cc.o" "gcc" "src/workload/CMakeFiles/mudi_workload.dir/request_generator.cc.o.d"
+  "/root/repo/src/workload/training_trace.cc" "src/workload/CMakeFiles/mudi_workload.dir/training_trace.cc.o" "gcc" "src/workload/CMakeFiles/mudi_workload.dir/training_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mudi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mudi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

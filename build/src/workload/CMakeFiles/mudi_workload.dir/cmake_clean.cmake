@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_workload.dir/layers.cc.o"
+  "CMakeFiles/mudi_workload.dir/layers.cc.o.d"
+  "CMakeFiles/mudi_workload.dir/models.cc.o"
+  "CMakeFiles/mudi_workload.dir/models.cc.o.d"
+  "CMakeFiles/mudi_workload.dir/request_generator.cc.o"
+  "CMakeFiles/mudi_workload.dir/request_generator.cc.o.d"
+  "CMakeFiles/mudi_workload.dir/training_trace.cc.o"
+  "CMakeFiles/mudi_workload.dir/training_trace.cc.o.d"
+  "libmudi_workload.a"
+  "libmudi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/mudi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mudi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mudi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mudi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/mudi_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mudi_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mudi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mudi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mudi_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mudi_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

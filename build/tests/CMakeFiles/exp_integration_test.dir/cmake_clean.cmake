@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_integration_test.dir/exp_integration_test.cc.o"
+  "CMakeFiles/exp_integration_test.dir/exp_integration_test.cc.o.d"
+  "exp_integration_test"
+  "exp_integration_test.pdb"
+  "exp_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_metrics_test.dir/exp_metrics_test.cc.o"
+  "CMakeFiles/exp_metrics_test.dir/exp_metrics_test.cc.o.d"
+  "exp_metrics_test"
+  "exp_metrics_test.pdb"
+  "exp_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

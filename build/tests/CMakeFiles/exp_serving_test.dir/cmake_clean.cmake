@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_serving_test.dir/exp_serving_test.cc.o"
+  "CMakeFiles/exp_serving_test.dir/exp_serving_test.cc.o.d"
+  "exp_serving_test"
+  "exp_serving_test.pdb"
+  "exp_serving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_serving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

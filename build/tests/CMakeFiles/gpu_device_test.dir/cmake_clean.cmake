@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_device_test.dir/gpu_device_test.cc.o"
+  "CMakeFiles/gpu_device_test.dir/gpu_device_test.cc.o.d"
+  "gpu_device_test"
+  "gpu_device_test.pdb"
+  "gpu_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

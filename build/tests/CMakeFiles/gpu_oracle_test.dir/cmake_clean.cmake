@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_oracle_test.dir/gpu_oracle_test.cc.o"
+  "CMakeFiles/gpu_oracle_test.dir/gpu_oracle_test.cc.o.d"
+  "gpu_oracle_test"
+  "gpu_oracle_test.pdb"
+  "gpu_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

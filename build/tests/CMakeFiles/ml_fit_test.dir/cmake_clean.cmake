@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_fit_test.dir/ml_fit_test.cc.o"
+  "CMakeFiles/ml_fit_test.dir/ml_fit_test.cc.o.d"
+  "ml_fit_test"
+  "ml_fit_test.pdb"
+  "ml_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

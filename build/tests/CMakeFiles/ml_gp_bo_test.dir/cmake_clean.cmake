@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_gp_bo_test.dir/ml_gp_bo_test.cc.o"
+  "CMakeFiles/ml_gp_bo_test.dir/ml_gp_bo_test.cc.o.d"
+  "ml_gp_bo_test"
+  "ml_gp_bo_test.pdb"
+  "ml_gp_bo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_gp_bo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_matrix_test.dir/ml_matrix_test.cc.o"
+  "CMakeFiles/ml_matrix_test.dir/ml_matrix_test.cc.o.d"
+  "ml_matrix_test"
+  "ml_matrix_test.pdb"
+  "ml_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_regressor_test.dir/ml_regressor_test.cc.o"
+  "CMakeFiles/ml_regressor_test.dir/ml_regressor_test.cc.o.d"
+  "ml_regressor_test"
+  "ml_regressor_test.pdb"
+  "ml_regressor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_regressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/core_tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_serving_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_device_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_fit_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_gp_bo_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_regressor_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudi_cli.dir/mudi_cli.cpp.o"
+  "CMakeFiles/mudi_cli.dir/mudi_cli.cpp.o.d"
+  "mudi_cli"
+  "mudi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
