@@ -21,6 +21,12 @@ int main() {
   mudi::ExperimentOptions options = mudi::PhysicalClusterOptions(/*num_tasks=*/60);
   options.record_util_series = true;
 
+  // Record an event trace of the run: open the file in Perfetto
+  // (https://ui.perfetto.dev) or chrome://tracing, or summarize it with
+  // ./build/tools/trace_summary mudi_quickstart.trace.json
+  options.telemetry.enabled = true;
+  options.telemetry.trace_file = "mudi_quickstart.trace.json";
+
   // The profiling oracle stands in for Mudi's offline profiling GPU: it must
   // describe the same hardware as the experiment (same oracle seed).
   mudi::PerfOracle profiling_oracle(options.oracle_seed);
@@ -48,5 +54,7 @@ int main() {
                   mudi::Table::Num(metrics.mean_latency_ms, 1)});
   }
   std::printf("%s\n", table.ToString().c_str());
+  std::printf("trace written to mudi_quickstart.trace.json (open in Perfetto, or run\n"
+              "./build/tools/trace_summary mudi_quickstart.trace.json)\n");
   return 0;
 }

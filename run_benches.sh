@@ -9,7 +9,11 @@ for b in bench_fig01_traces bench_fig02_training_traces bench_fig03_inf_inf_inte
          bench_fig15_load_sensitivity bench_fig14_max_throughput bench_fig18_overhead \
          bench_fig08_slo_violation bench_fig09_training_eff; do
   echo "=== RUNNING $b ==="
-  ./build/bench/$b > bench_results/$b.txt 2> bench_results/$b.err
+  # Each experiment run appends one labeled JSON line (counters, gauges,
+  # histograms — queue depth, utilization, decision counts) to the bench's
+  # telemetry file, giving every bench table its scheduling context.
+  MUDI_TELEMETRY_JSON=bench_results/BENCH_$b.json \
+    ./build/bench/$b > bench_results/$b.txt 2> bench_results/$b.err
   echo "=== DONE $b (rc=$?) ==="
 done
 echo CAMPAIGN_COMPLETE

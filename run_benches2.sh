@@ -3,14 +3,17 @@ cd /root/repo
 for b in bench_fig15_load_sensitivity bench_fig17_mudi_more bench_tab04_swap_fraction \
          bench_fig14_max_throughput bench_fig18_overhead; do
   echo "=== RUNNING $b ==="
-  ./build/bench/$b > bench_results/$b.txt 2> bench_results/$b.err
+  MUDI_TELEMETRY_JSON=bench_results/BENCH_$b.json \
+    ./build/bench/$b > bench_results/$b.txt 2> bench_results/$b.err
   echo "=== DONE $b (rc=$?) ==="
 done
 export MUDI_BENCH_SCALE=0.3
 echo "=== RUNNING bench_fig08_slo_violation (scale 0.3) ==="
-./build/bench/bench_fig08_slo_violation > bench_results/bench_fig08_slo_violation.txt 2> bench_results/bench_fig08_slo_violation.err
+MUDI_TELEMETRY_JSON=bench_results/BENCH_bench_fig08_slo_violation.json \
+  ./build/bench/bench_fig08_slo_violation > bench_results/bench_fig08_slo_violation.txt 2> bench_results/bench_fig08_slo_violation.err
 echo "=== DONE bench_fig08_slo_violation (rc=$?) ==="
 echo "=== RUNNING bench_fig09_training_eff (scale 0.3) ==="
-./build/bench/bench_fig09_training_eff > bench_results/bench_fig09_training_eff.txt 2> bench_results/bench_fig09_training_eff.err
+MUDI_TELEMETRY_JSON=bench_results/BENCH_bench_fig09_training_eff.json \
+  ./build/bench/bench_fig09_training_eff > bench_results/bench_fig09_training_eff.txt 2> bench_results/bench_fig09_training_eff.err
 echo "=== DONE bench_fig09_training_eff (rc=$?) ==="
 echo CAMPAIGN2_COMPLETE

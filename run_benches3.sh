@@ -3,7 +3,8 @@ cd /root/repo
 until grep -q CAMPAIGN2_COMPLETE bench_results/campaign2.log; do sleep 30; done
 for b in bench_fig17_mudi_more bench_fig14_max_throughput; do
   echo "=== RUNNING $b ==="
-  ./build/bench/$b > bench_results/$b.txt 2> bench_results/$b.err
+  MUDI_TELEMETRY_JSON=bench_results/BENCH_$b.json \
+    ./build/bench/$b > bench_results/$b.txt 2> bench_results/$b.err
   echo "=== DONE $b (rc=$?) ==="
 done
 echo CAMPAIGN3_COMPLETE

@@ -1,0 +1,39 @@
+#!/bin/bash
+# Repo health gate: configure + build with -Wall -Wextra treated as a gate
+# (any warning fails), then run the full tier-1 test suite.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -u
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure (${BUILD_DIR}) =="
+cmake -B "$BUILD_DIR" -S . || exit 1
+
+echo "== build (warning gate) =="
+BUILD_LOG=$(mktemp)
+cmake --build "$BUILD_DIR" -j "$(nproc)" 2>&1 | tee "$BUILD_LOG"
+BUILD_RC=${PIPESTATUS[0]}
+if [ "$BUILD_RC" -ne 0 ]; then
+  echo "CHECK FAILED: build error"
+  rm -f "$BUILD_LOG"
+  exit 1
+fi
+# The toolchain already compiles with -Wall -Wextra (see CMakeLists.txt);
+# the gate is that the log stays warning-free.
+if grep -E "warning:" "$BUILD_LOG" > /dev/null; then
+  echo "CHECK FAILED: compiler warnings:"
+  grep -E "warning:" "$BUILD_LOG" | sort -u
+  rm -f "$BUILD_LOG"
+  exit 1
+fi
+rm -f "$BUILD_LOG"
+
+echo "== tier-1 tests =="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+CTEST_RC=$?
+if [ "$CTEST_RC" -ne 0 ]; then
+  echo "CHECK FAILED: tests"
+  exit 1
+fi
+echo "CHECK OK"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mudi {
 
@@ -58,7 +59,21 @@ bool QpsMonitor::QpsChangedBeyondThreshold(TimeMs now) {
   return std::abs(qps - base_qps_) / base > options_.change_threshold;
 }
 
-void QpsMonitor::AckQpsChange(TimeMs now) { base_qps_ = CurrentQps(now); }
+void QpsMonitor::SetTelemetry(Telemetry* telemetry, int device_id) {
+  telemetry_ = (telemetry != nullptr && telemetry->enabled()) ? telemetry : nullptr;
+  device_id_ = device_id;
+}
+
+void QpsMonitor::AckQpsChange(TimeMs now) {
+  double previous = base_qps_;
+  base_qps_ = CurrentQps(now);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().GetCounter("monitor.qps_reacks").Increment();
+    MUDI_TRACE_INSTANT(telemetry_, "monitor", "qps_reack", device_id_, now,
+                       telemetry::TraceArgs{telemetry::TraceArg::Num("qps", base_qps_),
+                                            telemetry::TraceArg::Num("prev_qps", previous)});
+  }
+}
 
 double QpsMonitor::P99LatencyMs() const {
   if (latencies_.empty()) {

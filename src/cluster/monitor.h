@@ -14,6 +14,8 @@
 
 namespace mudi {
 
+class Telemetry;
+
 class QpsMonitor {
  public:
   struct Options {
@@ -48,9 +50,15 @@ class QpsMonitor {
   bool has_latency_samples() const { return !latencies_.empty(); }
   void ClearLatencyWindow() { latencies_.clear(); }
 
+  // Emits a "monitor/qps_reack" instant event on the device's trace lane and
+  // counts re-acks each time the tuner acknowledges a QPS change.
+  void SetTelemetry(Telemetry* telemetry, int device_id);
+
  private:
   void EvictOld(TimeMs now);
 
+  Telemetry* telemetry_ = nullptr;
+  int device_id_ = -1;
   Options options_;
   std::deque<std::pair<TimeMs, double>> arrivals_;  // (time, count) cohorts
   double arrivals_in_window_ = 0.0;

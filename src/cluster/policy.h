@@ -26,6 +26,8 @@
 
 namespace mudi {
 
+class Telemetry;
+
 // Planning latency budget for one batch (paper Eq. 2 first constraint):
 // (W/b)·P <= SLO  ⇔  P <= SLO·b/W. The literal constraint alone permits
 // busy-time above one second per second whenever SLO > 1000 ms (YOLOS),
@@ -90,6 +92,10 @@ class SchedulingEnv {
 
   // Ground truth — Optimal baseline ONLY (see file comment).
   virtual const PerfOracle& oracle() const = 0;
+
+  // Telemetry sink for decision tracing; null when the harness runs without
+  // telemetry. Policies must treat it as observational only.
+  virtual Telemetry* telemetry() { return nullptr; }
 };
 
 class MultiplexPolicy {

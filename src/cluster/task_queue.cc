@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -23,7 +24,26 @@ const char* QueuePolicyName(QueuePolicy policy) {
 
 TaskQueue::TaskQueue(QueuePolicy policy) : policy_(policy) {}
 
-void TaskQueue::Push(PendingTask task) { tasks_.push_back(std::move(task)); }
+void TaskQueue::SetTelemetry(Telemetry* telemetry) {
+  telemetry_ = (telemetry != nullptr && telemetry->enabled()) ? telemetry : nullptr;
+}
+
+void TaskQueue::UpdateDepthMetrics() {
+  max_depth_ = std::max(max_depth_, tasks_.size());
+  if (telemetry_ != nullptr) {
+    auto& metrics = telemetry_->metrics();
+    metrics.GetGauge("queue.depth").Set(static_cast<double>(tasks_.size()));
+    metrics.GetGauge("queue.max_depth").Set(static_cast<double>(max_depth_));
+  }
+}
+
+void TaskQueue::Push(PendingTask task) {
+  tasks_.push_back(std::move(task));
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().GetCounter("queue.pushed").Increment();
+  }
+  UpdateDepthMetrics();
+}
 
 std::optional<size_t> TaskQueue::SelectIndex() const {
   if (tasks_.empty()) {
@@ -78,6 +98,10 @@ std::optional<PendingTask> TaskQueue::Pop() {
   if (policy_ == QueuePolicy::kFairShare) {
     fair_cursor_ = (task.arrival.type_index + 1) % ModelZoo::TrainingTasks().size();
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().GetCounter("queue.popped").Increment();
+  }
+  UpdateDepthMetrics();
   return task;
 }
 

@@ -19,6 +19,8 @@
 
 namespace mudi {
 
+class Telemetry;
+
 enum class QueuePolicy : int {
   kFcfs = 0,          // first come, first served (default, §6)
   kShortestJobFirst,  // smallest remaining work first
@@ -48,15 +50,23 @@ class TaskQueue {
   size_t size() const { return tasks_.size(); }
   bool empty() const { return tasks_.empty(); }
   QueuePolicy policy() const { return policy_; }
+  size_t max_depth() const { return max_depth_; }
+
+  // Queue-depth gauge + push/pop counters ("queue.*"). Observational only.
+  void SetTelemetry(Telemetry* telemetry);
 
  private:
   // Index of the task Pop would return, or nullopt when empty.
   std::optional<size_t> SelectIndex() const;
 
+  void UpdateDepthMetrics();
+
   QueuePolicy policy_;
   std::deque<PendingTask> tasks_;
   // kFairShare round-robin cursor over task types.
   mutable size_t fair_cursor_ = 0;
+  size_t max_depth_ = 0;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace mudi

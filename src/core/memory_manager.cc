@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mudi {
 
@@ -47,7 +48,9 @@ double MemoryManager::Rebalance(GpuDevice& device, TimeMs now) {
       double ms = mb / options_.pcie_mb_per_ms;
       transfer_ms += ms;
       total_swapped_out_mb_ += mb;
-      records_.push_back(SwapRecord{now, device.id(), t->task_id, mb, /*to_host=*/true, ms});
+      SwapRecord record{now, device.id(), t->task_id, mb, /*to_host=*/true, ms};
+      RecordSwap(record);
+      records_.push_back(record);
     }
   }
 
@@ -66,10 +69,37 @@ double MemoryManager::Rebalance(GpuDevice& device, TimeMs now) {
       headroom -= mb;
       double ms = mb / options_.pcie_mb_per_ms;
       transfer_ms += ms;
-      records_.push_back(SwapRecord{now, device.id(), t.task_id, mb, /*to_host=*/false, ms});
+      SwapRecord record{now, device.id(), t.task_id, mb, /*to_host=*/false, ms};
+      RecordSwap(record);
+      records_.push_back(record);
     }
   }
   return transfer_ms;
+}
+
+void MemoryManager::SetTelemetry(Telemetry* telemetry) {
+  telemetry_ = (telemetry != nullptr && telemetry->enabled()) ? telemetry : nullptr;
+}
+
+void MemoryManager::RecordSwap(const SwapRecord& record) {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  auto& metrics = telemetry_->metrics();
+  const char* name = record.to_host ? "swap_out" : "swap_in";
+  if (record.to_host) {
+    metrics.GetCounter("memory.swaps_out").Increment();
+    metrics.GetCounter("memory.swapped_out_mb").Increment(record.mb);
+  } else {
+    metrics.GetCounter("memory.swaps_in").Increment();
+    metrics.GetCounter("memory.swapped_in_mb").Increment(record.mb);
+  }
+  metrics.GetCounter("memory.transfer_ms").Increment(record.transfer_ms);
+  MUDI_TRACE_INSTANT(telemetry_, "memory", name, record.device_id, record.time_ms,
+                     telemetry::TraceArgs{
+                         telemetry::TraceArg::Num("task_id", record.task_id),
+                         telemetry::TraceArg::Num("mb", record.mb),
+                         telemetry::TraceArg::Num("transfer_ms", record.transfer_ms)});
 }
 
 double MemoryManager::SwapSlowdownFactor(const TrainingInstance& training) {

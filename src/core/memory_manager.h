@@ -16,6 +16,8 @@
 
 namespace mudi {
 
+class Telemetry;
+
 struct SwapRecord {
   TimeMs time_ms = 0.0;
   int device_id = -1;
@@ -53,10 +55,17 @@ class MemoryManager {
   const std::vector<SwapRecord>& records() const { return records_; }
   double total_swapped_out_mb() const { return total_swapped_out_mb_; }
 
+  // Emits "memory/swap_out" / "memory/swap_in" instant events on the affected
+  // device's trace lane and maintains "memory.*" counters. Observational only.
+  void SetTelemetry(Telemetry* telemetry);
+
  private:
+  void RecordSwap(const SwapRecord& record);
+
   Options options_;
   std::vector<SwapRecord> records_;
   double total_swapped_out_mb_ = 0.0;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace mudi

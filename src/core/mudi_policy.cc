@@ -7,6 +7,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mudi {
 
@@ -173,13 +174,85 @@ void MudiPolicy::TuneDevice(SchedulingEnv& env, int device_id, bool on_placement
     result.feasible = false;
   }
 
+  Telemetry* telemetry = env.telemetry();
+
+  if (!result.feasible && device.trainings().size() > 1) {
+    // The full mix is infeasible, but §5.3.2's "until suitable resources
+    // become available" applies per task, not per device: a subset of the
+    // co-located trainings may still multiplex within the SLO (all-or-nothing
+    // resume latches packed devices into a permanent pause otherwise). Search
+    // admission-ordered prefixes for the largest feasible subset, resume
+    // exactly those tasks, and keep the rest preempted.
+    std::vector<int> task_ids;
+    std::vector<size_t> types;
+    std::vector<bool> was_paused;
+    for (const auto& t : device.trainings()) {
+      task_ids.push_back(t.task_id);
+      types.push_back(t.type_index);
+      was_paused.push_back(t.paused);
+    }
+    for (size_t keep = task_ids.size(); keep-- > 0;) {
+      std::vector<size_t> submix(types.begin(), types.begin() + static_cast<long>(keep));
+      auto sub_provider = [&](int batch) {
+        return predictor_->PredictCurve(service_index, submix, batch);
+      };
+      Tuner::Result sub = tuner_.TuneOnQpsChange(sub_provider, objective, ProfilingBatchSizes(),
+                                                 current_batch, qps, service.slo_ms);
+      RecordTuningIterations(sub.bo_iterations);
+      if (!sub.feasible) {
+        continue;
+      }
+      bool resumes_paused = false;
+      for (size_t i = 0; i < keep; ++i) {
+        resumes_paused |= was_paused[i];
+      }
+      if (resumes_paused && !tuner_.BatchFeasible(sub_provider(sub.batch), sub.batch, qps * 1.08,
+                                                  service.slo_ms)) {
+        continue;  // resume hysteresis, as for the full mix
+      }
+      for (size_t i = 0; i < task_ids.size(); ++i) {
+        env.SetTrainingPaused(device_id, task_ids[i], i >= keep);
+      }
+      env.ApplyInferenceConfig(device_id, sub.batch, sub.inference_fraction);
+      DistributeTrainingShares(env, device_id, sub.inference_fraction);
+      if (telemetry != nullptr && telemetry->enabled()) {
+        telemetry->metrics().GetCounter("policy.partial_resumes").Increment();
+        MUDI_TRACE_INSTANT(telemetry, "tuning", "tune_partial_resume", device_id, env.Now(),
+                           telemetry::TraceArgs{
+                               telemetry::TraceArg::Num("qps", qps),
+                               telemetry::TraceArg::Num("batch", sub.batch),
+                               telemetry::TraceArg::Num("fraction", sub.inference_fraction),
+                               telemetry::TraceArg::Num("kept", static_cast<double>(keep)),
+                               telemetry::TraceArg::Num(
+                                   "paused", static_cast<double>(task_ids.size() - keep))});
+      }
+      return;
+    }
+  }
+
   if (!result.feasible) {
     // §5.3.2: bursty load beyond what multiplexing can absorb — preempt the
     // training tasks and give the service the maximum partition.
+    size_t paused_now = 0;
     for (const auto& t : device.trainings()) {
+      if (!t.paused) {
+        ++paused_now;
+      }
       env.SetTrainingPaused(device_id, t.task_id, true);
     }
     env.ApplyInferenceConfig(device_id, current_batch, tuner_.options().max_fraction);
+    if (telemetry != nullptr && telemetry->enabled()) {
+      auto& metrics = telemetry->metrics();
+      metrics.GetCounter("policy.tunes_infeasible").Increment();
+      metrics.GetCounter("policy.preempt_pauses").Increment(static_cast<double>(paused_now));
+      MUDI_TRACE_INSTANT(telemetry, "tuning", "tune_infeasible", device_id, env.Now(),
+                         telemetry::TraceArgs{
+                             telemetry::TraceArg::Num("qps", qps),
+                             telemetry::TraceArg::Num("batch", current_batch),
+                             telemetry::TraceArg::Num("bo_iters",
+                                                      static_cast<double>(result.bo_iterations)),
+                             telemetry::TraceArg::Num("paused", static_cast<double>(paused_now))});
+    }
     return;
   }
 
@@ -217,6 +290,18 @@ void MudiPolicy::TuneDevice(SchedulingEnv& env, int device_id, bool on_placement
 
   env.ApplyInferenceConfig(device_id, result.batch, result.inference_fraction);
   DistributeTrainingShares(env, device_id, result.inference_fraction);
+
+  if (telemetry != nullptr && telemetry->enabled()) {
+    telemetry->metrics().GetCounter("policy.tunes").Increment();
+    MUDI_TRACE_INSTANT(telemetry, "tuning", on_placement ? "tune_on_placement" : "tune_on_qps",
+                       device_id, env.Now(),
+                       telemetry::TraceArgs{
+                           telemetry::TraceArg::Num("qps", qps),
+                           telemetry::TraceArg::Num("batch", result.batch),
+                           telemetry::TraceArg::Num("fraction", result.inference_fraction),
+                           telemetry::TraceArg::Num("bo_iters",
+                                                    static_cast<double>(result.bo_iterations))});
+  }
 }
 
 void MudiPolicy::ApplyStaticConfig(SchedulingEnv& env, int device_id) {

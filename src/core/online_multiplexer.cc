@@ -62,6 +62,7 @@ DeviceSelector::DeviceSelector(const InterferencePredictor* predictor, Constrain
 
 bool DeviceSelector::Eligible(const SchedulingEnv& env, const GpuDevice& device,
                               const TrainingTaskInfo& task) const {
+  (void)env;  // kept for interface symmetry with Select
   if (!device.has_inference()) {
     return false;
   }

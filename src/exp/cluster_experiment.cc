@@ -42,6 +42,11 @@ double WeightedP99(const std::vector<std::pair<double, double>>& samples) {
 ClusterExperiment::ClusterExperiment(ExperimentOptions options, MultiplexPolicy* policy)
     : options_(std::move(options)),
       policy_(policy),
+      telemetry_([this] {
+        TelemetryOptions t = options_.telemetry;
+        t.ApplyEnvOverrides();
+        return t;
+      }()),
       oracle_(options_.oracle_seed),
       cluster_(options_.num_nodes, NodeSpec{options_.gpus_per_node, ModelZoo::kGpuMemoryMb}),
       rng_(options_.seed),
@@ -70,6 +75,26 @@ ClusterExperiment::ClusterExperiment(ExperimentOptions options, MultiplexPolicy*
     } else {
       r.qps = std::make_shared<ConstantQps>(kDefaultReplicaQps);
     }
+  }
+
+  // Telemetry wiring: every instrumented component checks enabled() itself
+  // and keeps a null sink otherwise, so this is safe unconditionally.
+  sim_.SetTelemetry(&telemetry_);
+  oracle_.SetTelemetry(&telemetry_);
+  queue_.SetTelemetry(&telemetry_);
+  memory_manager_.SetTelemetry(&telemetry_);
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    cluster_.device(d).SetTelemetry(&telemetry_);
+    replicas_[d].monitor.SetTelemetry(&telemetry_, static_cast<int>(d));
+  }
+  if (telemetry_.tracing_enabled()) {
+    telemetry_.trace().SetProcessName("mudi-cluster-experiment");
+    for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+      telemetry_.trace().SetThreadName(
+          static_cast<int>(d),
+          "gpu" + std::to_string(d) + " [" + ServiceOnDevice(static_cast<int>(d)).name + "]");
+    }
+    telemetry_.trace().SetThreadName(static_cast<int>(cluster_.num_devices()), "scheduler");
   }
 }
 
@@ -201,6 +226,13 @@ void ClusterExperiment::ApplyInferenceConfig(int device_id, int batch, double gp
     r.pending_event = Simulator::kInvalidEventId;
   }
   r.pending_config = {batch, gpu_fraction};
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("serving.reconfigs").Increment();
+    MUDI_TRACE_INSTANT(&telemetry_, "config", "reconfig_start", device_id, sim_.Now(),
+                       telemetry::TraceArgs{
+                           telemetry::TraceArg::Num("batch", batch),
+                           telemetry::TraceArg::Num("fraction", gpu_fraction)});
+  }
   r.pending_event = sim_.ScheduleAfter(options_.reconfig_latency_ms, [this, device_id] {
     Replica& rep = replicas_[static_cast<size_t>(device_id)];
     if (!rep.pending_config.has_value()) {
@@ -213,6 +245,9 @@ void ClusterExperiment::ApplyInferenceConfig(int device_id, int batch, double gp
     d.mutable_inference().batch_size = b;
     d.mutable_inference().gpu_fraction = g;
     d.mutable_inference().mem_required_mb = InferenceMemoryMb(ServiceOnDevice(device_id), b);
+    MUDI_TRACE_INSTANT(&telemetry_, "config", "reconfig_done", device_id, sim_.Now(),
+                       telemetry::TraceArgs{telemetry::TraceArg::Num("batch", b),
+                                            telemetry::TraceArg::Num("fraction", g)});
     RebalanceMemory(device_id);
     UpdateTrainingSpeeds(device_id);
   });
@@ -238,6 +273,14 @@ void ClusterExperiment::SetTrainingPaused(int device_id, int task_id, bool pause
   }
   SyncTrainingProgress(device_id, task_id);
   instance->paused = paused;
+  if (telemetry_.enabled()) {
+    telemetry_.metrics()
+        .GetCounter(paused ? "training.pauses" : "training.resumes")
+        .Increment();
+    MUDI_TRACE_INSTANT(&telemetry_, "tuning", paused ? "pause_training" : "resume_training",
+                       device_id, sim_.Now(),
+                       telemetry::TraceArgs{telemetry::TraceArg::Num("task_id", task_id)});
+  }
   UpdateTrainingSpeeds(device_id);
 }
 
@@ -287,6 +330,11 @@ void ClusterExperiment::ArrivalTick(int device_id) {
       double penalty = 10.0 * ServiceOnDevice(device_id).slo_ms;
       r.window_latencies.emplace_back(penalty, shed.count);
       r.monitor.RecordLatency(penalty, shed.count);
+      if (telemetry_.enabled()) {
+        telemetry_.metrics().GetCounter("serving.shed_requests").Increment(shed.count);
+        MUDI_TRACE_INSTANT(&telemetry_, "serving", "shed", device_id, now,
+                           telemetry::TraceArgs{telemetry::TraceArg::Num("count", shed.count)});
+      }
     }
     TryStartBatch(device_id);
   }
@@ -358,7 +406,7 @@ void ClusterExperiment::FinishBatch(int device_id, double latency_ms,
   TimeMs now = sim_.Now();
   r.busy = false;
   r.busy_accum_ms += now - r.busy_start;
-  (void)latency_ms;
+  double batch_requests = 0.0;
   for (const auto& [arrival, count] : consumed) {
     // End-to-end latency = queueing + batch service time.
     double e2e = now - arrival;
@@ -366,6 +414,19 @@ void ClusterExperiment::FinishBatch(int device_id, double latency_ms,
     r.monitor.RecordLatency(e2e, count);
     r.latency_weighted_sum += e2e * count;
     r.served += count;
+    batch_requests += count;
+  }
+  if (telemetry_.enabled()) {
+    auto& metrics = telemetry_.metrics();
+    metrics.GetCounter("serving.batches").Increment();
+    metrics.GetCounter("serving.requests").Increment(batch_requests);
+    metrics.GetHistogram("serving.batch_latency_ms", telemetry::MetricsRegistry::DefaultLatencyBucketsMs())
+        .Observe(latency_ms);
+    MUDI_TRACE_COMPLETE(&telemetry_, "serving", "batch", device_id, r.busy_start,
+                        now - r.busy_start,
+                        telemetry::TraceArgs{
+                            telemetry::TraceArg::Num("requests", batch_requests),
+                            telemetry::TraceArg::Num("latency_ms", latency_ms)});
   }
   TryStartBatch(device_id);
 }
@@ -377,8 +438,19 @@ void ClusterExperiment::CloseSloWindow(int device_id) {
   }
   double p99 = WeightedP99(r.window_latencies);
   ++r.windows_total;
-  if (p99 > ServiceOnDevice(device_id).slo_ms) {
+  bool violated = p99 > ServiceOnDevice(device_id).slo_ms;
+  if (violated) {
     ++r.windows_violated;
+  }
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("slo.windows_total").Increment();
+    if (violated) {
+      telemetry_.metrics().GetCounter("slo.windows_violated").Increment();
+      MUDI_TRACE_INSTANT(&telemetry_, "slo", "window_violation", device_id, sim_.Now(),
+                         telemetry::TraceArgs{
+                             telemetry::TraceArg::Num("p99_ms", p99),
+                             telemetry::TraceArg::Num("slo_ms", ServiceOnDevice(device_id).slo_ms)});
+    }
   }
   r.window_latencies.clear();
 }
@@ -393,6 +465,15 @@ void ClusterExperiment::OnTrainingArrival(const TrainingArrival& arrival) {
   record.type_index = arrival.type_index;
   record.arrival_ms = arrival.arrival_ms;
   task_records_[arrival.task_id] = record;
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("training.arrivals").Increment();
+    MUDI_TRACE_INSTANT(&telemetry_, "training", "task_arrival",
+                       static_cast<int>(cluster_.num_devices()), arrival.arrival_ms,
+                       telemetry::TraceArgs{
+                           telemetry::TraceArg::Num("task_id", arrival.task_id),
+                           telemetry::TraceArg::Str(
+                               "type", ModelZoo::TrainingTasks()[arrival.type_index].name)});
+  }
   queue_.Push(PendingTask{arrival, /*priority=*/0});
   TryDispatchQueue();
 }
@@ -436,6 +517,19 @@ void ClusterExperiment::PlaceTask(const TrainingArrival& arrival, int device_id)
   TaskRecord& record = task_records_[arrival.task_id];
   record.start_ms = sim_.Now();
   record.device_id = device_id;
+
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("training.placements").Increment();
+    telemetry_.metrics()
+        .GetHistogram("training.queue_wait_ms", telemetry::MetricsRegistry::DefaultLatencyBucketsMs())
+        .Observe(record.start_ms - arrival.arrival_ms);
+    MUDI_TRACE_INSTANT(&telemetry_, "placement", "place", device_id, record.start_ms,
+                       telemetry::TraceArgs{
+                           telemetry::TraceArg::Num("task_id", arrival.task_id),
+                           telemetry::TraceArg::Str("type", spec.name),
+                           telemetry::TraceArg::Num("queue_wait_ms",
+                                                    record.start_ms - arrival.arrival_ms)});
+  }
 
   TrainingTaskInfo info;
   info.task_id = arrival.task_id;
@@ -515,6 +609,14 @@ void ClusterExperiment::OnTrainingComplete(int device_id, int task_id) {
   MUDI_CHECK_GT(tasks_remaining_, 0u);
   --tasks_remaining_;
 
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("training.completions").Increment();
+    MUDI_TRACE_COMPLETE(&telemetry_, "training",
+                        ModelZoo::TrainingTasks()[record.type_index].name, device_id,
+                        record.start_ms, record.completion_ms - record.start_ms,
+                        telemetry::TraceArgs{telemetry::TraceArg::Num("task_id", task_id)});
+  }
+
   RebalanceMemory(device_id);
   policy_->OnTrainingCompleted(*this, device_id, task_id);
   UpdateTrainingSpeeds(device_id);
@@ -583,6 +685,12 @@ void ClusterExperiment::UtilSampleTick() {
     sm_sum += sm;
     mem_sum += mem;
 
+    // Per-device counter tracks carrying the exact samples fed to
+    // AccumulateUsage: trace_summary recomputes the same time-weighted
+    // average, so its per-device utilization agrees with exp/metrics.
+    MUDI_TRACE_COUNTER(&telemetry_, "sm_util", static_cast<int>(d), now, sm);
+    MUDI_TRACE_COUNTER(&telemetry_, "mem_util", static_cast<int>(d), now, mem);
+
     // Swap-time accounting (Tab. 4).
     bool any_swapped = false;
     for (const auto& t : dev.trainings()) {
@@ -597,6 +705,17 @@ void ClusterExperiment::UtilSampleTick() {
     r.observed_time_ms += dt;
   }
   double n = static_cast<double>(cluster_.num_devices());
+  if (telemetry_.enabled()) {
+    auto& metrics = telemetry_.metrics();
+    metrics.GetGauge("cluster.sm_util").Set(sm_sum / n);
+    metrics.GetGauge("cluster.mem_util").Set(mem_sum / n);
+    metrics.GetGauge("cluster.active_trainings").Set(static_cast<double>(running_.size()));
+    metrics
+        .GetHistogram("queue.depth_samples",
+                      {0.5, 1.5, 2.5, 4.5, 8.5, 16.5, 32.5, 64.5, 128.5})
+        .Observe(static_cast<double>(queue_.size()));
+    metrics.RecordSnapshot(now);
+  }
   if (options_.record_util_series) {
     util_series_.push_back(UtilSample{now, sm_sum / n, mem_sum / n});
   }
@@ -716,6 +835,15 @@ ExperimentResult ClusterExperiment::Run() {
   result.device_series = device_series_;
   result.placement_overheads_ms = policy_->placement_overheads_ms();
   result.tuning_iterations = policy_->tuning_iterations();
+
+  if (telemetry_.enabled()) {
+    auto& metrics = telemetry_.metrics();
+    metrics.GetGauge("exp.makespan_ms").Set(result.makespan_ms);
+    metrics.GetGauge("exp.avg_sm_util").Set(result.avg_sm_util);
+    metrics.GetGauge("exp.avg_mem_util").Set(result.avg_mem_util);
+    metrics.GetGauge("queue.final_max_depth").Set(static_cast<double>(queue_.max_depth()));
+    telemetry_.Flush(result.policy_name);
+  }
   return result;
 }
 

@@ -29,6 +29,7 @@
 #include "src/exp/metrics.h"
 #include "src/gpu/perf_oracle.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/request_generator.h"
 #include "src/workload/training_trace.h"
 
@@ -81,6 +82,10 @@ struct ExperimentOptions {
 
   uint64_t seed = 5;
   uint64_t oracle_seed = 42;
+
+  // Telemetry sinks (off by default; env vars like MUDI_TRACE_FILE override —
+  // see TelemetryOptions::ApplyEnvOverrides, applied in the constructor).
+  TelemetryOptions telemetry;
 };
 
 class ClusterExperiment : public SchedulingEnv {
@@ -106,8 +111,10 @@ class ClusterExperiment : public SchedulingEnv {
   void SetTrainingPaused(int device_id, int task_id, bool paused) override;
   bool CanFitTraining(int device_id, const TrainingTaskSpec& spec) const override;
   const PerfOracle& oracle() const override { return oracle_; }
+  Telemetry* telemetry() override { return telemetry_.enabled() ? &telemetry_ : nullptr; }
 
   const PerfOracle& ground_truth() const { return oracle_; }
+  const Telemetry& telemetry_sink() const { return telemetry_; }
 
  private:
   struct Cohort {
@@ -172,6 +179,7 @@ class ClusterExperiment : public SchedulingEnv {
 
   ExperimentOptions options_;
   MultiplexPolicy* policy_;
+  Telemetry telemetry_;
   Simulator sim_;
   PerfOracle oracle_;
   ClusterState cluster_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mudi {
 
@@ -51,10 +52,32 @@ void GpuDevice::RemoveInference() {
   inference_.reset();
 }
 
+void GpuDevice::SetTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr || !telemetry->enabled()) {
+    added_counter_ = nullptr;
+    removed_counter_ = nullptr;
+    overcommit_counter_ = nullptr;
+    active_trainings_gauge_ = nullptr;
+    return;
+  }
+  auto& metrics = telemetry->metrics();
+  added_counter_ = &metrics.GetCounter("device.trainings_added");
+  removed_counter_ = &metrics.GetCounter("device.trainings_removed");
+  overcommit_counter_ = &metrics.GetCounter("device.overcommit_admissions");
+  active_trainings_gauge_ = &metrics.GetGauge("device.active_trainings");
+}
+
 void GpuDevice::AddTraining(TrainingInstance instance) {
   MUDI_CHECK(FindTraining(instance.task_id) == nullptr);
   MUDI_CHECK_GE(instance.gpu_fraction, 0.0);
   trainings_.push_back(std::move(instance));
+  if (added_counter_ != nullptr) {
+    added_counter_->Increment();
+    active_trainings_gauge_->Add(1.0);
+    if (MemoryRequiredMb() > memory_mb_) {
+      overcommit_counter_->Increment();
+    }
+  }
 }
 
 TrainingInstance GpuDevice::RemoveTraining(int task_id) {
@@ -62,6 +85,10 @@ TrainingInstance GpuDevice::RemoveTraining(int task_id) {
     if (trainings_[i].task_id == task_id) {
       TrainingInstance out = std::move(trainings_[i]);
       trainings_.erase(trainings_.begin() + static_cast<long>(i));
+      if (removed_counter_ != nullptr) {
+        removed_counter_->Increment();
+        active_trainings_gauge_->Add(-1.0);
+      }
       return out;
     }
   }

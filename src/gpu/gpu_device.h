@@ -19,6 +19,12 @@
 
 namespace mudi {
 
+class Telemetry;
+namespace telemetry {
+class Counter;
+class Gauge;
+}  // namespace telemetry
+
 // A training task resident on a device.
 struct TrainingInstance {
   int task_id = -1;
@@ -89,6 +95,11 @@ class GpuDevice {
   // Instantaneous memory utilization in [0, 1].
   double InstantMemUtil() const;
 
+  // Cluster-wide training-residency metrics ("device.trainings_added",
+  // "device.trainings_removed", gauge "device.active_trainings",
+  // "device.overcommit_admissions"). Observational only; survives copies.
+  void SetTelemetry(Telemetry* telemetry);
+
  private:
   int id_;
   double memory_mb_;
@@ -97,6 +108,10 @@ class GpuDevice {
   std::vector<TrainingInstance> trainings_;
   TimeWeightedMean sm_accum_;
   TimeWeightedMean mem_accum_;
+  telemetry::Counter* added_counter_ = nullptr;
+  telemetry::Counter* removed_counter_ = nullptr;
+  telemetry::Counter* overcommit_counter_ = nullptr;
+  telemetry::Gauge* active_trainings_gauge_ = nullptr;
 };
 
 // Splits one physical GPU into `num_instances` MIG-style instances, each

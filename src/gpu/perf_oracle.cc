@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/common/check.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mudi {
 
@@ -193,7 +194,31 @@ InferencePhaseLatency PerfOracle::ObserveInferenceBatchLatency(
   latency.preprocess_ms *= rng.LogNormalFactor(kNoiseSigma);
   latency.transfer_ms *= rng.LogNormalFactor(kNoiseSigma);
   latency.execute_ms *= rng.LogNormalFactor(kNoiseSigma);
+  if (preprocess_hist_ != nullptr) {
+    preprocess_hist_->Observe(latency.preprocess_ms);
+    transfer_hist_->Observe(latency.transfer_ms);
+    execute_hist_->Observe(latency.execute_ms);
+    inference_total_hist_->Observe(latency.total_ms());
+  }
   return latency;
+}
+
+void PerfOracle::SetTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr || !telemetry->enabled()) {
+    preprocess_hist_ = nullptr;
+    transfer_hist_ = nullptr;
+    execute_hist_ = nullptr;
+    inference_total_hist_ = nullptr;
+    training_iter_hist_ = nullptr;
+    return;
+  }
+  auto& metrics = telemetry->metrics();
+  const auto buckets = telemetry::MetricsRegistry::DefaultLatencyBucketsMs();
+  preprocess_hist_ = &metrics.GetHistogram("oracle.inference.preprocess_ms", buckets);
+  transfer_hist_ = &metrics.GetHistogram("oracle.inference.transfer_ms", buckets);
+  execute_hist_ = &metrics.GetHistogram("oracle.inference.execute_ms", buckets);
+  inference_total_hist_ = &metrics.GetHistogram("oracle.inference.total_ms", buckets);
+  training_iter_hist_ = &metrics.GetHistogram("oracle.training.iter_ms", buckets);
 }
 
 double PerfOracle::TrainingIterationMs(const TrainingTaskSpec& task, double gpu_fraction,
@@ -243,8 +268,12 @@ double PerfOracle::TrainingIterationMs(const TrainingTaskSpec& task, double gpu_
 double PerfOracle::ObserveTrainingIterationMs(
     const TrainingTaskSpec& task, double gpu_fraction, const InferenceLoad& inference,
     const std::vector<ColocatedTraining>& other_training, Rng& rng) const {
-  return TrainingIterationMs(task, gpu_fraction, inference, other_training) *
-         rng.LogNormalFactor(kNoiseSigma);
+  double iter = TrainingIterationMs(task, gpu_fraction, inference, other_training) *
+                rng.LogNormalFactor(kNoiseSigma);
+  if (training_iter_hist_ != nullptr) {
+    training_iter_hist_->Observe(iter);
+  }
+  return iter;
 }
 
 }  // namespace mudi

@@ -38,6 +38,11 @@
 
 namespace mudi {
 
+class Telemetry;
+namespace telemetry {
+class Histogram;
+}  // namespace telemetry
+
 // One co-located training task as the oracle sees it.
 struct ColocatedTraining {
   const TrainingTaskSpec* spec = nullptr;
@@ -110,6 +115,10 @@ class PerfOracle {
   // Observation noise sigma (log-normal) used by the Observe* methods.
   static constexpr double kNoiseSigma = 0.04;
 
+  // Per-phase latency sample histograms ("oracle.inference.*_ms",
+  // "oracle.training.iter_ms") for every Observe* call. Observational only.
+  void SetTelemetry(Telemetry* telemetry);
+
  private:
   double CpuContentionFactor(const InferenceServiceSpec& service, double sensitivity,
                              const std::vector<ColocatedTraining>& training,
@@ -118,6 +127,13 @@ class PerfOracle {
   // Per-service random projection weights over the layer-census features.
   std::vector<std::vector<double>> affinity_weights_;
   std::vector<double> affinity_bias_;
+
+  // Cached registry histograms (stable addresses); null when detached.
+  telemetry::Histogram* preprocess_hist_ = nullptr;
+  telemetry::Histogram* transfer_hist_ = nullptr;
+  telemetry::Histogram* execute_hist_ = nullptr;
+  telemetry::Histogram* inference_total_hist_ = nullptr;
+  telemetry::Histogram* training_iter_hist_ = nullptr;
 };
 
 }  // namespace mudi

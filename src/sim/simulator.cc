@@ -3,14 +3,31 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mudi {
+
+void Simulator::SetTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr || !telemetry->enabled()) {
+    fired_counter_ = nullptr;
+    scheduled_counter_ = nullptr;
+    cancelled_counter_ = nullptr;
+    return;
+  }
+  fired_counter_ = &telemetry->metrics().GetCounter("sim.events_fired");
+  scheduled_counter_ = &telemetry->metrics().GetCounter("sim.events_scheduled");
+  cancelled_counter_ = &telemetry->metrics().GetCounter("sim.events_cancelled");
+}
 
 Simulator::EventId Simulator::Push(TimeMs t, TimeMs period, Callback cb, EventId reuse_id) {
   MUDI_CHECK_GE(t, now_);
   MUDI_CHECK(cb != nullptr);
   EventId id = reuse_id != kInvalidEventId ? reuse_id : next_id_++;
   queue_.push(Entry{t, next_seq_++, id, period, std::move(cb)});
+  ++events_scheduled_;
+  if (scheduled_counter_ != nullptr) {
+    scheduled_counter_->Increment();
+  }
   return id;
 }
 
@@ -36,6 +53,10 @@ bool Simulator::Cancel(EventId id) {
   (void)it;
   if (inserted) {
     ++stale_cancellations_;
+    ++events_cancelled_;
+    if (cancelled_counter_ != nullptr) {
+      cancelled_counter_->Increment();
+    }
   }
   return inserted;
 }
@@ -64,6 +85,9 @@ bool Simulator::Step() {
   MUDI_CHECK_GE(entry.time, now_);
   now_ = entry.time;
   ++events_processed_;
+  if (fired_counter_ != nullptr) {
+    fired_counter_->Increment();
+  }
   if (entry.period > 0.0) {
     // Re-arm before running so the callback can Cancel() its own id.
     Push(entry.time + entry.period, entry.period, entry.cb, entry.id);

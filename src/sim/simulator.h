@@ -17,6 +17,11 @@
 
 namespace mudi {
 
+class Telemetry;
+namespace telemetry {
+class Counter;
+}  // namespace telemetry
+
 // Virtual time in milliseconds since simulation start.
 using TimeMs = double;
 
@@ -62,6 +67,12 @@ class Simulator {
 
   size_t pending_events() const { return queue_.size() - stale_cancellations_; }
   uint64_t events_processed() const { return events_processed_; }
+  uint64_t events_scheduled() const { return events_scheduled_; }
+  uint64_t events_cancelled() const { return events_cancelled_; }
+
+  // Optional event-dispatch stats (scheduled/fired/cancelled counters).
+  // Purely observational; passing nullptr detaches.
+  void SetTelemetry(Telemetry* telemetry);
 
  private:
   struct Entry {
@@ -89,7 +100,14 @@ class Simulator {
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   uint64_t events_processed_ = 0;
+  uint64_t events_scheduled_ = 0;
+  uint64_t events_cancelled_ = 0;
   size_t stale_cancellations_ = 0;
+  // Cached registry objects (stable addresses) so the hot path pays one
+  // branch + one add per event.
+  telemetry::Counter* fired_counter_ = nullptr;
+  telemetry::Counter* scheduled_counter_ = nullptr;
+  telemetry::Counter* cancelled_counter_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
   std::unordered_set<EventId> cancelled_;
 };

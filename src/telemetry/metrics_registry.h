@@ -1,0 +1,112 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms with
+// periodic time-series snapshots (paper §7 reports aggregates; the registry
+// records how they evolved). Metric objects are owned by the registry and
+// have stable addresses, so hot paths cache a pointer once and pay a single
+// branch + add per update. Iteration order is the metric name order
+// (std::map), so every export is deterministic.
+#ifndef SRC_TELEMETRY_METRICS_REGISTRY_H_
+#define SRC_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mudi {
+namespace telemetry {
+
+class Counter {
+ public:
+  void Increment(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram: `upper_bounds` are ascending inclusive upper edges;
+// an implicit +inf bucket catches the overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // bucket_counts().size() == upper_bounds().size() + 1 (last = overflow).
+  const std::vector<uint64_t>& bucket_counts() const { return bucket_counts_; }
+
+  // Linear-interpolated quantile estimate from the bucket counts, q in [0, 1].
+  double ApproxQuantile(double q) const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<uint64_t> bucket_counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Get-or-create; returned references stay valid for the registry lifetime.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // `upper_bounds` is only consulted on first creation.
+  Histogram& GetHistogram(const std::string& name, std::vector<double> upper_bounds);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  // Geometric 1ms..60s latency-style bucket edges (shared default).
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+  // --- time series ---
+  // Captures the current value of every counter and gauge plus (count, mean)
+  // of every histogram, stamped with the virtual time.
+  void RecordSnapshot(double time_ms);
+
+  struct Snapshot {
+    double time_ms = 0.0;
+    // Sorted by key (flattened "histname.count"-style keys for histograms).
+    std::vector<std::pair<std::string, double>> values;
+  };
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+
+  // CSV with one row per snapshot; the column set is the union over all
+  // snapshots (metrics created mid-run backfill as empty cells).
+  void WriteSnapshotsCsv(std::ostream& os) const;
+
+  // Current values of everything, as one JSON object (no trailing newline).
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace telemetry
+}  // namespace mudi
+
+#endif  // SRC_TELEMETRY_METRICS_REGISTRY_H_

@@ -1,0 +1,587 @@
+#include "src/telemetry/trace_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace mudi {
+namespace telemetry {
+
+namespace {
+
+// --- minimal JSON value + recursive-descent parser --------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+  double NumberOr(double fallback) const { return type == Type::kNumber ? number : fallback; }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " (offset " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    auto match = [&](const char* kw) {
+      size_t len = std::string(kw).size();
+      if (text_.compare(pos_, len, kw) == 0) {
+        pos_ += len;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return Fail("invalid keyword");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("invalid number");
+    }
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("invalid number token '" + token + "'");
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("truncated \\u escape");
+            }
+            unsigned code = static_cast<unsigned>(
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            // ASCII only (all the recorder emits); others degrade to '?'.
+            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) {
+      return Fail("expected '['");
+    }
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      out->array.push_back(std::move(element));
+      if (Consume(']')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) {
+      return Fail("expected '{'");
+    }
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume('}')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+template <typename T>
+bool ReadRaw(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return is.good() || (is.eof() && is.gcount() == sizeof(T));
+}
+
+bool ReadLenString(std::istream& is, std::string* out) {
+  uint32_t len = 0;
+  if (!ReadRaw(is, &len) || len > (1u << 28)) {
+    return false;
+  }
+  out->resize(len);
+  if (len > 0) {
+    is.read(out->data(), len);
+  }
+  return !is.fail();
+}
+
+}  // namespace
+
+bool ParseChromeTraceJson(std::istream& is, ParsedTrace* out, std::string* error) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string text = buf.str();
+
+  JsonValue root;
+  JsonParser parser(text, error);
+  if (!parser.Parse(&root)) {
+    return false;
+  }
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::kObject) {
+    events = root.Find("traceEvents");
+    if (const JsonValue* other = root.Find("otherData");
+        other != nullptr && other->type == JsonValue::Type::kObject) {
+      if (const JsonValue* d = other->Find("droppedEvents")) {
+        out->dropped_events = static_cast<uint64_t>(d->NumberOr(0.0));
+      }
+      if (const JsonValue* t = other->Find("totalRecorded")) {
+        out->total_recorded = static_cast<uint64_t>(t->NumberOr(0.0));
+      }
+    }
+  } else if (root.type == JsonValue::Type::kArray) {
+    events = &root;  // bare-array trace files are also valid Chrome traces
+  }
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    if (error != nullptr) {
+      *error = "no traceEvents array found";
+    }
+    return false;
+  }
+
+  for (const JsonValue& ev : events->array) {
+    if (ev.type != JsonValue::Type::kObject) {
+      if (error != nullptr) {
+        *error = "trace event is not an object";
+      }
+      return false;
+    }
+    const JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString || ph->str.empty()) {
+      if (error != nullptr) {
+        *error = "trace event missing 'ph'";
+      }
+      return false;
+    }
+    int tid = static_cast<int>(ev.Find("tid") ? ev.Find("tid")->NumberOr(0.0) : 0.0);
+    if (ph->str == "M") {
+      const JsonValue* name = ev.Find("name");
+      const JsonValue* args = ev.Find("args");
+      const JsonValue* value =
+          (args != nullptr && args->type == JsonValue::Type::kObject) ? args->Find("name")
+                                                                      : nullptr;
+      if (name != nullptr && value != nullptr && value->type == JsonValue::Type::kString) {
+        if (name->str == "thread_name") {
+          out->thread_names[tid] = value->str;
+        } else if (name->str == "process_name") {
+          out->process_name = value->str;
+        }
+      }
+      continue;
+    }
+    TraceEvent e;
+    e.phase = ph->str[0];
+    e.tid = tid;
+    e.pid = static_cast<int>(ev.Find("pid") ? ev.Find("pid")->NumberOr(0.0) : 0.0);
+    e.ts_ms = (ev.Find("ts") ? ev.Find("ts")->NumberOr(0.0) : 0.0) / 1000.0;
+    e.dur_ms = (ev.Find("dur") ? ev.Find("dur")->NumberOr(0.0) : 0.0) / 1000.0;
+    if (const JsonValue* name = ev.Find("name"); name != nullptr) {
+      e.name = name->str;
+    }
+    if (const JsonValue* cat = ev.Find("cat"); cat != nullptr) {
+      e.cat = cat->str;
+    }
+    if (const JsonValue* args = ev.Find("args");
+        args != nullptr && args->type == JsonValue::Type::kObject) {
+      for (const auto& [key, value] : args->object) {
+        if (value.type == JsonValue::Type::kNumber) {
+          e.args.push_back(TraceArg::Num(key, value.number));
+        } else if (value.type == JsonValue::Type::kString) {
+          e.args.push_back(TraceArg::Str(key, value.str));
+        }
+      }
+    }
+    out->events.push_back(std::move(e));
+  }
+  return true;
+}
+
+bool ReadBinaryTrace(std::istream& is, ParsedTrace* out, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  char magic[8];
+  is.read(magic, 8);
+  if (!is.good() || std::string(magic, 8) != "MUDITRC1") {
+    return fail("bad magic (not a mudi binary trace)");
+  }
+  uint64_t event_count = 0;
+  if (!ReadRaw(is, &event_count) || !ReadRaw(is, &out->dropped_events) ||
+      !ReadRaw(is, &out->total_recorded)) {
+    return fail("truncated header");
+  }
+  if (!ReadLenString(is, &out->process_name)) {
+    return fail("truncated process name");
+  }
+  uint32_t num_threads = 0;
+  if (!ReadRaw(is, &num_threads)) {
+    return fail("truncated thread table");
+  }
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    int32_t tid = 0;
+    std::string name;
+    if (!ReadRaw(is, &tid) || !ReadLenString(is, &name)) {
+      return fail("truncated thread table entry");
+    }
+    out->thread_names[tid] = std::move(name);
+  }
+  uint32_t num_strings = 0;
+  if (!ReadRaw(is, &num_strings)) {
+    return fail("truncated string table");
+  }
+  std::vector<std::string> table(num_strings);
+  for (uint32_t i = 0; i < num_strings; ++i) {
+    if (!ReadLenString(is, &table[i])) {
+      return fail("truncated string table entry");
+    }
+  }
+  auto lookup = [&](uint32_t idx, std::string* s) {
+    if (idx >= table.size()) {
+      return false;
+    }
+    *s = table[idx];
+    return true;
+  };
+  out->events.reserve(event_count);
+  for (uint64_t i = 0; i < event_count; ++i) {
+    TraceEvent e;
+    int32_t pid = 0;
+    int32_t tid = 0;
+    uint8_t phase = 0;
+    uint32_t name_idx = 0;
+    uint32_t cat_idx = 0;
+    uint16_t n_args = 0;
+    if (!ReadRaw(is, &e.ts_ms) || !ReadRaw(is, &e.dur_ms) || !ReadRaw(is, &pid) ||
+        !ReadRaw(is, &tid) || !ReadRaw(is, &phase) || !ReadRaw(is, &name_idx) ||
+        !ReadRaw(is, &cat_idx) || !ReadRaw(is, &n_args)) {
+      return fail("truncated event record");
+    }
+    e.pid = pid;
+    e.tid = tid;
+    e.phase = static_cast<char>(phase);
+    if (!lookup(name_idx, &e.name) || !lookup(cat_idx, &e.cat)) {
+      return fail("string index out of range");
+    }
+    for (uint16_t a = 0; a < n_args; ++a) {
+      uint32_t key_idx = 0;
+      uint8_t is_num = 0;
+      if (!ReadRaw(is, &key_idx) || !ReadRaw(is, &is_num)) {
+        return fail("truncated arg record");
+      }
+      TraceArg arg;
+      if (!lookup(key_idx, &arg.key)) {
+        return fail("arg key index out of range");
+      }
+      arg.is_number = is_num != 0;
+      if (arg.is_number) {
+        if (!ReadRaw(is, &arg.number)) {
+          return fail("truncated numeric arg");
+        }
+      } else {
+        uint32_t text_idx = 0;
+        if (!ReadRaw(is, &text_idx) || !lookup(text_idx, &arg.text)) {
+          return fail("truncated string arg");
+        }
+      }
+      e.args.push_back(std::move(arg));
+    }
+    out->events.push_back(std::move(e));
+  }
+  return true;
+}
+
+bool LoadTraceFile(const std::string& path, ParsedTrace* out, std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  char first = static_cast<char>(is.peek());
+  if (first == 'M') {  // "MUDITRC1"
+    return ReadBinaryTrace(is, out, error);
+  }
+  return ParseChromeTraceJson(is, out, error);
+}
+
+// --- aggregation ------------------------------------------------------------
+
+TraceSummary SummarizeTrace(const ParsedTrace& trace) {
+  TraceSummary summary;
+  struct Weighted {
+    double weighted_sum = 0.0;
+    double total_dt = 0.0;
+    double last_ts = 0.0;  // matches the experiment's t=0 sampling origin
+  };
+  std::map<int, Weighted> sm_acc;
+  std::map<int, Weighted> mem_acc;
+
+  for (const TraceEvent& e : trace.events) {
+    summary.span_ms = std::max(summary.span_ms, e.ts_ms + e.dur_ms);
+    ++summary.events_by_category[e.cat];
+    LaneSummary& lane = summary.lanes[e.tid];
+    lane.tid = e.tid;
+    if (e.phase == kPhaseComplete && e.cat == "serving") {
+      lane.serving_busy_fraction += e.dur_ms;  // normalized after the span is known
+      ++lane.serving_batches;
+    } else if (e.phase == kPhaseInstant) {
+      ++lane.decision_counts[e.cat + "/" + e.name];
+    } else if (e.phase == kPhaseCounter && (e.name == "sm_util" || e.name == "mem_util")) {
+      double value = 0.0;
+      for (const TraceArg& a : e.args) {
+        if (a.key == "value" && a.is_number) {
+          value = a.number;
+        }
+      }
+      Weighted& acc = e.name == "sm_util" ? sm_acc[e.tid] : mem_acc[e.tid];
+      double dt = e.ts_ms - acc.last_ts;
+      if (dt > 0.0) {
+        acc.weighted_sum += value * dt;
+        acc.total_dt += dt;
+        acc.last_ts = e.ts_ms;
+      }
+    }
+  }
+
+  for (auto& [tid, lane] : summary.lanes) {
+    auto it = trace.thread_names.find(tid);
+    if (it != trace.thread_names.end()) {
+      lane.name = it->second;
+    }
+    if (summary.span_ms > 0.0) {
+      lane.serving_busy_fraction =
+          std::clamp(lane.serving_busy_fraction / summary.span_ms, 0.0, 1.0);
+    }
+  }
+  double sm_sum = 0.0;
+  size_t sm_n = 0;
+  for (const auto& [tid, acc] : sm_acc) {
+    if (acc.total_dt > 0.0) {
+      summary.lanes[tid].avg_sm_util = acc.weighted_sum / acc.total_dt;
+      sm_sum += summary.lanes[tid].avg_sm_util;
+      ++sm_n;
+    }
+  }
+  double mem_sum = 0.0;
+  size_t mem_n = 0;
+  for (const auto& [tid, acc] : mem_acc) {
+    if (acc.total_dt > 0.0) {
+      summary.lanes[tid].avg_mem_util = acc.weighted_sum / acc.total_dt;
+      mem_sum += summary.lanes[tid].avg_mem_util;
+      ++mem_n;
+    }
+  }
+  summary.cluster_avg_sm_util = sm_n == 0 ? 0.0 : sm_sum / static_cast<double>(sm_n);
+  summary.cluster_avg_mem_util = mem_n == 0 ? 0.0 : mem_sum / static_cast<double>(mem_n);
+  return summary;
+}
+
+void PrintTraceSummary(const TraceSummary& summary, std::ostream& os) {
+  os << "trace span: " << summary.span_ms / 1000.0 << " s\n";
+  os << "events by category:";
+  for (const auto& [cat, n] : summary.events_by_category) {
+    os << "  " << cat << "=" << n;
+  }
+  os << "\n\nper-device lanes:\n";
+  for (const auto& [tid, lane] : summary.lanes) {
+    bool has_util = lane.avg_sm_util > 0.0 || lane.avg_mem_util > 0.0;
+    if (!has_util && lane.serving_batches == 0 && lane.decision_counts.empty()) {
+      continue;
+    }
+    os << "  lane " << tid;
+    if (!lane.name.empty()) {
+      os << " (" << lane.name << ")";
+    }
+    os << ": sm_util=" << lane.avg_sm_util << " mem_util=" << lane.avg_mem_util
+       << " serving_busy=" << lane.serving_busy_fraction
+       << " batches=" << lane.serving_batches << "\n";
+    for (const auto& [key, n] : lane.decision_counts) {
+      os << "      " << key << ": " << n << "\n";
+    }
+  }
+  os << "\ncluster avg sm_util: " << summary.cluster_avg_sm_util
+     << "  mem_util: " << summary.cluster_avg_mem_util << "\n";
+}
+
+}  // namespace telemetry
+}  // namespace mudi

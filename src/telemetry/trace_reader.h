@@ -1,0 +1,71 @@
+// Readers for the two trace formats TraceRecorder writes (Chrome trace_event
+// JSON and the compact binary dump), plus the per-device aggregation that
+// backs `tools/trace_summary` and the telemetry tests.
+#ifndef SRC_TELEMETRY_TRACE_READER_H_
+#define SRC_TELEMETRY_TRACE_READER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/trace_recorder.h"
+
+namespace mudi {
+namespace telemetry {
+
+struct ParsedTrace {
+  std::vector<TraceEvent> events;  // metadata events excluded
+  std::map<int, std::string> thread_names;
+  std::string process_name;
+  uint64_t dropped_events = 0;
+  uint64_t total_recorded = 0;
+};
+
+// Parses a Chrome trace_event JSON document (as ExportChromeJson writes it;
+// tolerant of any standard JSON layout). Returns false with `*error` set on
+// malformed input.
+bool ParseChromeTraceJson(std::istream& is, ParsedTrace* out, std::string* error);
+
+// Reads the "MUDITRC1" binary format.
+bool ReadBinaryTrace(std::istream& is, ParsedTrace* out, std::string* error);
+
+// Dispatches on the magic bytes / first character.
+bool LoadTraceFile(const std::string& path, ParsedTrace* out, std::string* error);
+
+// --- aggregation -----------------------------------------------------------
+
+struct LaneSummary {
+  int tid = 0;
+  std::string name;
+  // Time-weighted averages of the "sm_util" / "mem_util" counter samples
+  // (matches GpuDevice::AccumulateUsage weighting, so it agrees with the
+  // exp/metrics cluster-utilization aggregates).
+  double avg_sm_util = 0.0;
+  double avg_mem_util = 0.0;
+  // Fraction of the trace span covered by "serving" complete spans.
+  double serving_busy_fraction = 0.0;
+  uint64_t serving_batches = 0;
+  // Instant-event counts keyed by "cat/name" (placements, tunes, swaps, ...).
+  std::map<std::string, uint64_t> decision_counts;
+};
+
+struct TraceSummary {
+  double span_ms = 0.0;  // max event end time
+  std::map<int, LaneSummary> lanes;
+  std::map<std::string, uint64_t> events_by_category;
+  // Mean of avg_sm_util over lanes that carried sm_util samples.
+  double cluster_avg_sm_util = 0.0;
+  double cluster_avg_mem_util = 0.0;
+};
+
+TraceSummary SummarizeTrace(const ParsedTrace& trace);
+
+// Human-readable report (what `tools/trace_summary` prints).
+void PrintTraceSummary(const TraceSummary& summary, std::ostream& os);
+
+}  // namespace telemetry
+}  // namespace mudi
+
+#endif  // SRC_TELEMETRY_TRACE_READER_H_

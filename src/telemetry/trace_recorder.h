@@ -1,0 +1,115 @@
+// Typed event tracing with virtual timestamps on per-device "thread" lanes.
+//
+// Events follow the Chrome trace_event model (phases X/i/C plus thread-name
+// metadata), so an exported trace loads directly in chrome://tracing or
+// Perfetto. Two retention modes: unbounded (small runs, tests) and a fixed
+// ring buffer that overwrites the oldest events so tracing memory stays
+// bounded on 1000-GPU campaigns; the recorder counts what it dropped.
+// A compact binary dump (`WriteBinary`) avoids JSON cost for large traces —
+// `tools/trace_summary` and the reader in trace_reader.h consume both.
+#ifndef SRC_TELEMETRY_TRACE_RECORDER_H_
+#define SRC_TELEMETRY_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mudi {
+namespace telemetry {
+
+// One event argument: a number or a string (shown in the trace viewer).
+struct TraceArg {
+  std::string key;
+  bool is_number = true;
+  double number = 0.0;
+  std::string text;
+
+  static TraceArg Num(std::string key, double value) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.number = value;
+    return a;
+  }
+  static TraceArg Str(std::string key, std::string value) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.is_number = false;
+    a.text = std::move(value);
+    return a;
+  }
+};
+using TraceArgs = std::vector<TraceArg>;
+
+// Chrome trace_event phases used here.
+inline constexpr char kPhaseComplete = 'X';  // span with duration
+inline constexpr char kPhaseInstant = 'i';   // point event
+inline constexpr char kPhaseCounter = 'C';   // sampled counter value
+
+struct TraceEvent {
+  double ts_ms = 0.0;   // virtual time (simulation ms)
+  double dur_ms = 0.0;  // only for kPhaseComplete
+  int pid = 0;
+  int tid = 0;  // lane: device id, or a control lane past the last device
+  char phase = kPhaseInstant;
+  std::string name;
+  std::string cat;
+  TraceArgs args;
+};
+
+class TraceRecorder {
+ public:
+  struct Options {
+    // 0 = unbounded; otherwise keep only the newest `ring_capacity` events.
+    size_t ring_capacity = 0;
+  };
+
+  TraceRecorder() = default;
+  explicit TraceRecorder(Options options) : options_(options) {}
+
+  void Complete(const std::string& cat, const std::string& name, int tid, double start_ms,
+                double dur_ms, TraceArgs args = {});
+  void Instant(const std::string& cat, const std::string& name, int tid, double ts_ms,
+               TraceArgs args = {});
+  // Counter sample: shown as a per-lane counter track; the value rides in
+  // args["value"] so readers need no special case.
+  void Counter(const std::string& name, int tid, double ts_ms, double value);
+
+  // Lane labels, exported as thread_name metadata events.
+  void SetThreadName(int tid, const std::string& name);
+  void SetProcessName(const std::string& name) { process_name_ = name; }
+
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t dropped_events() const { return dropped_; }
+  size_t size() const { return events_.size(); }
+  const Options& options() const { return options_; }
+  const std::map<int, std::string>& thread_names() const { return thread_names_; }
+
+  // Retained events, oldest first (ring unwrapped into insertion order).
+  std::vector<TraceEvent> ChronologicalEvents() const;
+
+  // Chrome trace_event JSON ({"traceEvents": [...]}; ts/dur in microseconds).
+  void ExportChromeJson(std::ostream& os) const;
+
+  // Compact binary dump with a string table; see trace_reader.h.
+  void WriteBinary(std::ostream& os) const;
+
+  void Clear();
+
+ private:
+  void Push(TraceEvent event);
+
+  Options options_;
+  std::vector<TraceEvent> events_;
+  size_t ring_head_ = 0;  // next overwrite position once the ring is full
+  uint64_t total_recorded_ = 0;
+  uint64_t dropped_ = 0;
+  std::map<int, std::string> thread_names_;
+  std::string process_name_;
+};
+
+}  // namespace telemetry
+}  // namespace mudi
+
+#endif  // SRC_TELEMETRY_TRACE_RECORDER_H_

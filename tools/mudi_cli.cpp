@@ -31,6 +31,10 @@ struct CliArgs {
   double tick_ms = 0.0;
   std::string csv;
   bool util_series = false;
+  std::string trace_file;
+  size_t trace_ring = 0;
+  std::string metrics_json;
+  std::string metrics_csv;
   bool help = false;
 };
 
@@ -48,7 +52,11 @@ void PrintUsage() {
       "  --compression F    duration compression (default 800)\n"
       "  --tick-ms F        arrival cohort tick override (default auto)\n"
       "  --util             record the utilization time series\n"
-      "  --csv FILE         append a summary row to FILE (with header if new)\n");
+      "  --csv FILE         append a summary row to FILE (with header if new)\n"
+      "  --trace FILE       write an event trace (.json = Chrome trace, else binary)\n"
+      "  --trace-ring N     bound the trace to the newest N events (0 = unbounded)\n"
+      "  --metrics-json F   append a telemetry metrics JSON line to F\n"
+      "  --metrics-csv F    write the telemetry snapshot time series to F\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -106,6 +114,22 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->csv = v;
+    } else if (flag == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_file = v;
+    } else if (flag == "--trace-ring") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_ring = static_cast<size_t>(std::atoll(v));
+    } else if (flag == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->metrics_json = v;
+    } else if (flag == "--metrics-csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->metrics_csv = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -152,6 +176,13 @@ int main(int argc, char** argv) {
   }
   if (args.load != 1.0) {
     ScaleQps(options, args.load);
+  }
+  if (!args.trace_file.empty() || !args.metrics_json.empty() || !args.metrics_csv.empty()) {
+    options.telemetry.enabled = true;
+    options.telemetry.trace_file = args.trace_file;
+    options.telemetry.trace_ring_capacity = args.trace_ring;
+    options.telemetry.metrics_json = args.metrics_json;
+    options.telemetry.metrics_csv = args.metrics_csv;
   }
 
   PerfOracle profiling_oracle(options.oracle_seed);

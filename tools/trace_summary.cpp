@@ -1,0 +1,34 @@
+// trace_summary: load a Mudi trace (Chrome JSON or binary) and print
+// per-device utilization, serving busy time, and decision counts.
+//
+// Usage: trace_summary <trace-file> [more-trace-files...]
+#include <iostream>
+#include <string>
+
+#include "src/telemetry/trace_reader.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <trace.json | trace.bin> [...]\n"
+              << "Prints per-device utilization and decision counts from a\n"
+              << "trace written by MUDI_TRACE_FILE / --trace.\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string path = argv[i];
+    mudi::telemetry::ParsedTrace trace;
+    std::string error;
+    if (!mudi::telemetry::LoadTraceFile(path, &trace, &error)) {
+      std::cerr << path << ": " << error << "\n";
+      ++failures;
+      continue;
+    }
+    if (argc > 2) {
+      std::cout << "=== " << path << " ===\n";
+    }
+    mudi::telemetry::TraceSummary summary = mudi::telemetry::SummarizeTrace(trace);
+    mudi::telemetry::PrintTraceSummary(summary, std::cout);
+  }
+  return failures == 0 ? 0 : 1;
+}
