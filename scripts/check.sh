@@ -2,13 +2,36 @@
 # Repo health gate: configure + build with -Wall -Wextra treated as a gate
 # (any warning fails), then run the full tier-1 test suite.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [--sanitize] [build-dir]
+#   default build dir: build (or build-asan with --sanitize)
+#
+# --sanitize builds a separate tree with AddressSanitizer + UBSan
+# (-fno-sanitize-recover=all, so any report aborts the test) and runs the
+# full suite under it.
 set -u
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+
+SANITIZE=0
+if [ "${1:-}" = "--sanitize" ]; then
+  SANITIZE=1
+  shift
+fi
+if [ "$SANITIZE" -eq 1 ]; then
+  BUILD_DIR="${1:-build-asan}"
+else
+  BUILD_DIR="${1:-build}"
+fi
 
 echo "== configure (${BUILD_DIR}) =="
-cmake -B "$BUILD_DIR" -S . || exit 1
+if [ "$SANITIZE" -eq 1 ]; then
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" || exit 1
+else
+  cmake -B "$BUILD_DIR" -S . || exit 1
+fi
 
 echo "== build (warning gate) =="
 BUILD_LOG=$(mktemp)
@@ -30,6 +53,10 @@ fi
 rm -f "$BUILD_LOG"
 
 echo "== tier-1 tests =="
+if [ "$SANITIZE" -eq 1 ]; then
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1"
+fi
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 CTEST_RC=$?
 if [ "$CTEST_RC" -ne 0 ]; then

@@ -6,7 +6,7 @@ std::vector<int> EligibleDevices(SchedulingEnv& env, const TrainingTaskInfo& tas
                                  int max_trainings, bool require_fit) {
   std::vector<int> out;
   for (const GpuDevice& device : env.devices()) {
-    if (!device.has_inference()) {
+    if (!device.healthy() || !device.has_inference()) {
       continue;
     }
     if (device.trainings().size() >= static_cast<size_t>(max_trainings)) {

@@ -40,7 +40,27 @@ std::vector<std::pair<std::string, std::string>> KvStore::List(const std::string
   return out;
 }
 
+StatusOr<std::string> KvStore::GetRequired(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return NotFoundError("kv: no such key: " + key);
+  }
+  return it->second;
+}
+
 bool KvStore::Delete(const std::string& key) { return data_.erase(key) > 0; }
+
+size_t KvStore::DeletePrefix(const std::string& prefix) {
+  auto first = data_.lower_bound(prefix);
+  auto last = first;
+  size_t count = 0;
+  while (last != data_.end() && HasPrefix(last->first, prefix)) {
+    ++last;
+    ++count;
+  }
+  data_.erase(first, last);
+  return count;
+}
 
 KvStore::WatchId KvStore::Watch(const std::string& prefix, WatchCallback callback) {
   WatchId id = next_watch_id_++;

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace mudi {
 
 class KvStore {
@@ -28,12 +30,20 @@ class KvStore {
 
   std::optional<std::string> Get(const std::string& key) const;
 
+  // Like Get, but a missing key is an error the caller must handle — the
+  // graceful-degradation path for entries a failed device deregistered.
+  StatusOr<std::string> GetRequired(const std::string& key) const;
+
   // All (key, value) pairs whose key starts with `prefix`, key-ordered.
   std::vector<std::pair<std::string, std::string>> List(const std::string& prefix) const;
 
   // Deletes a key (no watch notification, matching etcd's delete-event being
   // unused by the paper's agents). Returns true if the key existed.
   bool Delete(const std::string& key);
+
+  // Deletes every key starting with `prefix` (a failed device's whole
+  // subtree in one call); returns the number of keys removed.
+  size_t DeletePrefix(const std::string& prefix);
 
   // Registers a callback fired on every Put whose key starts with `prefix`.
   WatchId Watch(const std::string& prefix, WatchCallback callback);

@@ -29,6 +29,9 @@ void QpsMonitor::EvictOld(TimeMs now) {
 
 void QpsMonitor::RecordArrivals(TimeMs now, double count) {
   MUDI_CHECK_GE(count, 0.0);
+  if (feedback_lost_) {
+    return;  // Samples from the device never reach the monitor.
+  }
   arrivals_.emplace_back(now, count);
   arrivals_in_window_ += count;
   EvictOld(now);
@@ -36,7 +39,7 @@ void QpsMonitor::RecordArrivals(TimeMs now, double count) {
 
 void QpsMonitor::RecordLatency(double latency_ms, double weight) {
   MUDI_CHECK_GE(weight, 0.0);
-  if (weight == 0.0) {
+  if (weight == 0.0 || feedback_lost_) {
     return;
   }
   if (latencies_.size() == options_.latency_window) {
@@ -46,17 +49,50 @@ void QpsMonitor::RecordLatency(double latency_ms, double weight) {
 }
 
 double QpsMonitor::CurrentQps(TimeMs now) {
+  if (feedback_lost_ || now < stale_until_ms_) {
+    return frozen_qps_;
+  }
   EvictOld(now);
   return arrivals_in_window_ / options_.window_ms * kMsPerSecond;
 }
 
 bool QpsMonitor::QpsChangedBeyondThreshold(TimeMs now) {
+  if (feedback_lost_ || now < stale_until_ms_) {
+    return false;  // A frozen estimate carries no new information.
+  }
   double qps = CurrentQps(now);
   if (base_qps_ < 0.0) {
     return qps > 0.0;  // first observation always triggers initial tuning
   }
   double base = std::max(base_qps_, 1e-9);
   return std::abs(qps - base_qps_) / base > options_.change_threshold;
+}
+
+void QpsMonitor::SetFeedbackLost(bool lost, TimeMs now) {
+  if (lost == feedback_lost_) {
+    return;
+  }
+  if (lost) {
+    frozen_qps_ = CurrentQps(now);
+    frozen_at_ms_ = now;
+    feedback_lost_ = true;
+    stale_until_ms_ = -1.0;
+  } else {
+    feedback_lost_ = false;
+    // Whatever survived in the window predates the outage; drop it and keep
+    // serving the frozen value until a full window of fresh samples exists.
+    arrivals_.clear();
+    arrivals_in_window_ = 0.0;
+    latencies_.clear();
+    stale_until_ms_ = now + options_.window_ms;
+  }
+}
+
+std::optional<TimeMs> QpsMonitor::StalenessMs(TimeMs now) const {
+  if (feedback_lost_ || now < stale_until_ms_) {
+    return now - frozen_at_ms_;
+  }
+  return std::nullopt;
 }
 
 void QpsMonitor::SetTelemetry(Telemetry* telemetry, int device_id) {

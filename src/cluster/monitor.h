@@ -8,6 +8,7 @@
 #define SRC_CLUSTER_MONITOR_H_
 
 #include <deque>
+#include <optional>
 #include <utility>
 
 #include "src/sim/simulator.h"
@@ -50,6 +51,18 @@ class QpsMonitor {
   bool has_latency_samples() const { return !latencies_.empty(); }
   void ClearLatencyWindow() { latencies_.clear(); }
 
+  // --- feedback loss (fault injection) ---
+  // While feedback is lost the monitor stops ingesting samples and freezes
+  // CurrentQps at its value when the loss began; QpsChangedBeyondThreshold
+  // never triggers on frozen data. After restoration the estimate stays
+  // frozen for one window (the arrivals buffer must refill) before going
+  // live again — StalenessMs reports how old the frozen value is.
+  void SetFeedbackLost(bool lost, TimeMs now);
+  bool feedback_lost() const { return feedback_lost_; }
+  // Age of the value CurrentQps would return, or nullopt when the estimate
+  // is live (not frozen, not warming up).
+  std::optional<TimeMs> StalenessMs(TimeMs now) const;
+
   // Emits a "monitor/qps_reack" instant event on the device's trace lane and
   // counts re-acks each time the tuner acknowledges a QPS change.
   void SetTelemetry(Telemetry* telemetry, int device_id);
@@ -64,6 +77,10 @@ class QpsMonitor {
   double arrivals_in_window_ = 0.0;
   double base_qps_ = -1.0;  // rate at last Ack; <0 until first Ack
   std::deque<std::pair<double, double>> latencies_;  // (latency, weight)
+  bool feedback_lost_ = false;
+  double frozen_qps_ = 0.0;       // CurrentQps captured when feedback was lost
+  TimeMs frozen_at_ms_ = -1.0;    // when the frozen value was last fresh
+  TimeMs stale_until_ms_ = -1.0;  // post-restore warm-up deadline
 };
 
 }  // namespace mudi

@@ -127,6 +127,28 @@ class MultiplexPolicy {
     (void)device_id;
   }
 
+  // --- failure notifications (fault-injection harness) ---
+  // The device died. `displaced` lists the training tasks that were resident
+  // there; the harness has already removed them, rolled their progress back
+  // to the last checkpoint, and requeued them — the policy only needs to
+  // drop any per-device state (cached profiles, pending tuning). The device
+  // must not be probed or reconfigured from here. Default: no-op, which is
+  // safe for the stateless baselines.
+  virtual void OnDeviceFailed(SchedulingEnv& env, int device_id,
+                              const std::vector<TrainingTaskInfo>& displaced) {
+    (void)env;
+    (void)device_id;
+    (void)displaced;
+  }
+
+  // The device came back after a transient failure: its inference replica
+  // was restarted with the initial configuration and its monitor starts
+  // fresh (the next QPS observation re-triggers tuning). Default: no-op.
+  virtual void OnDeviceRecovered(SchedulingEnv& env, int device_id) {
+    (void)env;
+    (void)device_id;
+  }
+
   // Max co-located training tasks per device (1 for Mudi, 3 for Mudi-more).
   virtual int MaxTrainingsPerDevice() const { return 1; }
 

@@ -51,6 +51,8 @@ double MemoryManager::Rebalance(GpuDevice& device, TimeMs now) {
       SwapRecord record{now, device.id(), t->task_id, mb, /*to_host=*/true, ms};
       RecordSwap(record);
       records_.push_back(record);
+      TimeMs& busy = transfer_busy_until_[{device.id(), t->task_id}];
+      busy = std::max(busy, now + ms);
     }
   }
 
@@ -72,9 +74,45 @@ double MemoryManager::Rebalance(GpuDevice& device, TimeMs now) {
       SwapRecord record{now, device.id(), t.task_id, mb, /*to_host=*/false, ms};
       RecordSwap(record);
       records_.push_back(record);
+      TimeMs& busy = transfer_busy_until_[{device.id(), t.task_id}];
+      busy = std::max(busy, now + ms);
     }
   }
   return transfer_ms;
+}
+
+Status MemoryManager::Release(GpuDevice& device, int task_id, TimeMs now) {
+  TrainingInstance* training = device.FindTraining(task_id);
+  if (training == nullptr) {
+    return NotFoundError("memory manager: task " + std::to_string(task_id) +
+                         " not resident on device " + std::to_string(device.id()));
+  }
+  auto busy_it = transfer_busy_until_.find({device.id(), task_id});
+  bool aborted = busy_it != transfer_busy_until_.end() && now < busy_it->second;
+  if (aborted) {
+    ++aborted_transfers_;
+  }
+  if (busy_it != transfer_busy_until_.end()) {
+    transfer_busy_until_.erase(busy_it);
+  }
+  double reclaimed = training->mem_swapped_mb;
+  reclaimed_swap_mb_ += reclaimed;
+  training->mem_swapped_mb = 0.0;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().GetCounter("memory.releases").Increment();
+    if (aborted) {
+      telemetry_->metrics().GetCounter("memory.aborted_transfers").Increment();
+    }
+    if (reclaimed > 0.0) {
+      telemetry_->metrics().GetCounter("memory.reclaimed_mb").Increment(reclaimed);
+    }
+    MUDI_TRACE_INSTANT(telemetry_, "memory", "release", device.id(), now,
+                       telemetry::TraceArgs{
+                           telemetry::TraceArg::Num("task_id", task_id),
+                           telemetry::TraceArg::Num("reclaimed_mb", reclaimed),
+                           telemetry::TraceArg::Num("aborted", aborted ? 1.0 : 0.0)});
+  }
+  return Status::Ok();
 }
 
 void MemoryManager::SetTelemetry(Telemetry* telemetry) {

@@ -9,8 +9,11 @@
 #ifndef SRC_CORE_MEMORY_MANAGER_H_
 #define SRC_CORE_MEMORY_MANAGER_H_
 
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/gpu/gpu_device.h"
 #include "src/sim/simulator.h"
 
@@ -52,8 +55,18 @@ class MemoryManager {
   // current swap state: paged access over UM stalls compute.
   static double SwapSlowdownFactor(const TrainingInstance& training);
 
+  // Drops all manager state for `task_id` on `device`: host-swapped pages are
+  // reclaimed and a PCIe transfer still in flight for the task (one issued at
+  // time t completes at t + transfer_ms) is aborted and counted. Call when a
+  // task completes or its device fails, before removing the instance.
+  // Returns NotFoundError when the task is not resident on `device` — never
+  // admitted, already removed, or a double release.
+  Status Release(GpuDevice& device, int task_id, TimeMs now);
+
   const std::vector<SwapRecord>& records() const { return records_; }
   double total_swapped_out_mb() const { return total_swapped_out_mb_; }
+  size_t aborted_transfers() const { return aborted_transfers_; }
+  double reclaimed_swap_mb() const { return reclaimed_swap_mb_; }
 
   // Emits "memory/swap_out" / "memory/swap_in" instant events on the affected
   // device's trace lane and maintains "memory.*" counters. Observational only.
@@ -65,6 +78,10 @@ class MemoryManager {
   Options options_;
   std::vector<SwapRecord> records_;
   double total_swapped_out_mb_ = 0.0;
+  size_t aborted_transfers_ = 0;
+  double reclaimed_swap_mb_ = 0.0;
+  // (device_id, task_id) -> virtual time the task's last PCIe transfer lands.
+  std::map<std::pair<int, int>, TimeMs> transfer_busy_until_;
   Telemetry* telemetry_ = nullptr;
 };
 

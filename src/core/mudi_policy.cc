@@ -351,6 +351,34 @@ void MudiPolicy::OnTrainingCompleted(SchedulingEnv& env, int device_id, int task
   DistributeTrainingShares(env, device_id, device.inference().gpu_fraction);
 }
 
+void MudiPolicy::OnDeviceFailed(SchedulingEnv& env, int device_id,
+                                const std::vector<TrainingTaskInfo>& displaced) {
+  (void)device_id;
+  // Cached interference scores were computed against a cluster snapshot that
+  // included the dead device; drop them so displaced tasks are re-placed
+  // against fresh state.
+  predictor_->InvalidateCache();
+  if (env.telemetry() != nullptr && env.telemetry()->enabled()) {
+    env.telemetry()->metrics().GetCounter("policy.device_failures").Increment();
+    env.telemetry()->metrics().GetCounter("policy.trainings_displaced")
+        .Increment(static_cast<double>(displaced.size()));
+  }
+}
+
+void MudiPolicy::OnDeviceRecovered(SchedulingEnv& env, int device_id) {
+  predictor_->InvalidateCache();
+  if (options_.device_policy == DevicePolicy::kStatic) {
+    ApplyStaticConfig(env, device_id);
+    return;
+  }
+  // The restarted replica boots with the initial config; re-tune right away
+  // if the monitor already sees load, otherwise the next monitor trigger
+  // (first observation on a fresh monitor) handles it.
+  if (env.MeasuredQps(device_id) > 0.0) {
+    OnQpsChange(env, device_id);
+  }
+}
+
 void MudiPolicy::OnQpsChange(SchedulingEnv& env, int device_id) {
   if (options_.device_policy == DevicePolicy::kStatic) {
     return;

@@ -60,6 +60,14 @@ class MudiPolicy : public MultiplexPolicy {
                         const TrainingTaskInfo& task) override;
   void OnTrainingCompleted(SchedulingEnv& env, int device_id, int task_id) override;
   void OnQpsChange(SchedulingEnv& env, int device_id) override;
+  // Failure handling: a dead device invalidates the predictor's cached
+  // interference scores (its profile snapshot no longer describes anything
+  // placeable); displaced trainings are re-placed by the harness through the
+  // normal SelectDevice path. Recovery re-tunes the restarted replica as
+  // soon as its monitor reports measurable load.
+  void OnDeviceFailed(SchedulingEnv& env, int device_id,
+                      const std::vector<TrainingTaskInfo>& displaced) override;
+  void OnDeviceRecovered(SchedulingEnv& env, int device_id) override;
   int MaxTrainingsPerDevice() const override { return options_.max_trainings_per_device; }
   bool SupportsMemorySwap() const override { return true; }
 

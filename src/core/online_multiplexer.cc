@@ -63,7 +63,7 @@ DeviceSelector::DeviceSelector(const InterferencePredictor* predictor, Constrain
 bool DeviceSelector::Eligible(const SchedulingEnv& env, const GpuDevice& device,
                               const TrainingTaskInfo& task) const {
   (void)env;  // kept for interface symmetry with Select
-  if (!device.has_inference()) {
+  if (!device.healthy() || !device.has_inference()) {
     return false;
   }
   if (device.trainings().size() >=

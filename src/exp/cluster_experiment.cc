@@ -55,6 +55,10 @@ ClusterExperiment::ClusterExperiment(ExperimentOptions options, MultiplexPolicy*
   MUDI_CHECK(policy_ != nullptr);
   MUDI_CHECK_GT(options_.num_services, 0u);
   MUDI_CHECK_LE(options_.num_services, ModelZoo::InferenceServices().size());
+  MUDI_CHECK_GT(options_.checkpoint_period_ms, 0.0);
+  fault_injector_ = std::make_unique<FaultInjector>(&sim_, this,
+                                                    static_cast<int>(cluster_.num_devices()),
+                                                    options_.num_nodes, &telemetry_);
 
   // Place one inference replica per device, service round-robin.
   replicas_.resize(cluster_.num_devices());
@@ -75,6 +79,7 @@ ClusterExperiment::ClusterExperiment(ExperimentOptions options, MultiplexPolicy*
     } else {
       r.qps = std::make_shared<ConstantQps>(kDefaultReplicaQps);
     }
+    registry_.Put(DeviceStatusKey(static_cast<int>(d)), "up");
   }
 
   // Telemetry wiring: every instrumented component checks enabled() itself
@@ -150,7 +155,7 @@ double ClusterExperiment::ProbeInferenceLatencyMs(int device_id, int batch,
                    .ObserveInferenceBatchLatency(ServiceOnDevice(device_id), batch, gpu_fraction,
                                                  colocated, probe_rng_)
                    .total_ms();
-  return lat / dev.compute_scale();
+  return lat / dev.EffectiveComputeScale();
 }
 
 double ClusterExperiment::ProbeTrainingIterMs(int device_id, int task_id, double train_fraction,
@@ -190,7 +195,7 @@ double ClusterExperiment::ProbeTrainingIterMs(int device_id, int task_id, double
     double deficit = std::max(0.0, required - dev.memory_mb());
     hypothetical.mem_swapped_mb = std::min(deficit, 0.85 * instance->mem_required_mb);
   }
-  return iter * MemoryManager::SwapSlowdownFactor(hypothetical) / dev.compute_scale();
+  return iter * MemoryManager::SwapSlowdownFactor(hypothetical) / dev.EffectiveComputeScale();
 }
 
 void ClusterExperiment::ApplyInferenceConfig(int device_id, int batch, double gpu_fraction) {
@@ -198,6 +203,9 @@ void ClusterExperiment::ApplyInferenceConfig(int device_id, int batch, double gp
   MUDI_CHECK_GT(gpu_fraction, 0.0);
   MUDI_CHECK_LE(gpu_fraction, 1.0);
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  if (!dev.healthy()) {
+    return;  // dead replica: nothing to configure (degrade gracefully)
+  }
   Replica& r = replicas_[static_cast<size_t>(device_id)];
   InferenceInstance& inf = dev.mutable_inference();
 
@@ -257,6 +265,9 @@ void ClusterExperiment::ApplyInferenceConfig(int device_id, int batch, double gp
 void ClusterExperiment::ApplyTrainingFraction(int device_id, int task_id, double fraction) {
   MUDI_CHECK_GT(fraction, 0.0);
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  if (!dev.healthy()) {
+    return;
+  }
   TrainingInstance* instance = dev.FindTraining(task_id);
   MUDI_CHECK(instance != nullptr);
   SyncTrainingProgress(device_id, task_id);
@@ -266,6 +277,9 @@ void ClusterExperiment::ApplyTrainingFraction(int device_id, int task_id, double
 
 void ClusterExperiment::SetTrainingPaused(int device_id, int task_id, bool paused) {
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  if (!dev.healthy()) {
+    return;
+  }
   TrainingInstance* instance = dev.FindTraining(task_id);
   MUDI_CHECK(instance != nullptr);
   if (instance->paused == paused) {
@@ -306,13 +320,20 @@ TimeMs ClusterExperiment::WaitTimeoutMs(int device_id) const {
   return std::clamp(0.25 * spec.slo_ms, 5.0, 400.0);
 }
 
+TimeMs ClusterExperiment::ArrivalTickMs(int device_id) const {
+  if (options_.arrival_tick_ms > 0.0) {
+    return options_.arrival_tick_ms;
+  }
+  return std::clamp(ServiceOnDevice(device_id).slo_ms / 15.0, 5.0, 100.0);
+}
+
 void ClusterExperiment::ArrivalTick(int device_id) {
   Replica& r = replicas_[static_cast<size_t>(device_id)];
-  TimeMs now = sim_.Now();
-  double tick = options_.arrival_tick_ms;
-  if (tick <= 0.0) {
-    tick = std::clamp(ServiceOnDevice(device_id).slo_ms / 15.0, 5.0, 100.0);
+  if (!device(device_id).healthy()) {
+    return;  // the periodic event is cancelled at failure; belt and braces
   }
+  TimeMs now = sim_.Now();
+  double tick = ArrivalTickMs(device_id);
   double mean = r.qps->QpsAt(now) * tick / kMsPerSecond;
   auto count = static_cast<double>(rng_.Poisson(mean));
   if (count > 0.0) {
@@ -346,6 +367,9 @@ void ClusterExperiment::TryStartBatch(int device_id) {
     return;
   }
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  if (!dev.healthy()) {
+    return;
+  }
   int target_batch = std::max(dev.inference().batch_size, 1);
   TimeMs now = sim_.Now();
   TimeMs oldest_age = now - r.queue.front().arrival_ms;
@@ -392,12 +416,14 @@ void ClusterExperiment::TryStartBatch(int device_id) {
                                                      dev.inference().gpu_fraction, colocated,
                                                      rng_)
                        .total_ms() /
-                   dev.compute_scale();
+                   dev.EffectiveComputeScale();
   r.busy = true;
   r.busy_start = now;
-  sim_.ScheduleAfter(latency, [this, device_id, latency, consumed = std::move(consumed)] {
-    FinishBatch(device_id, latency, consumed);
-  });
+  r.inflight = consumed;
+  r.batch_event =
+      sim_.ScheduleAfter(latency, [this, device_id, latency, consumed = std::move(consumed)] {
+        FinishBatch(device_id, latency, consumed);
+      });
 }
 
 void ClusterExperiment::FinishBatch(int device_id, double latency_ms,
@@ -405,6 +431,8 @@ void ClusterExperiment::FinishBatch(int device_id, double latency_ms,
   Replica& r = replicas_[static_cast<size_t>(device_id)];
   TimeMs now = sim_.Now();
   r.busy = false;
+  r.batch_event = Simulator::kInvalidEventId;
+  r.inflight.clear();
   r.busy_accum_ms += now - r.busy_start;
   double batch_requests = 0.0;
   for (const auto& [arrival, count] : consumed) {
@@ -433,6 +461,8 @@ void ClusterExperiment::FinishBatch(int device_id, double latency_ms,
 
 void ClusterExperiment::CloseSloWindow(int device_id) {
   Replica& r = replicas_[static_cast<size_t>(device_id)];
+  bool tainted = r.window_failure_tainted;
+  r.window_failure_tainted = false;
   if (r.window_latencies.empty()) {
     return;  // idle window: nothing to judge
   }
@@ -441,18 +471,273 @@ void ClusterExperiment::CloseSloWindow(int device_id) {
   bool violated = p99 > ServiceOnDevice(device_id).slo_ms;
   if (violated) {
     ++r.windows_violated;
+    if (tainted) {
+      ++r.windows_violated_failure;
+    }
   }
   if (telemetry_.enabled()) {
     telemetry_.metrics().GetCounter("slo.windows_total").Increment();
     if (violated) {
       telemetry_.metrics().GetCounter("slo.windows_violated").Increment();
+      if (tainted) {
+        telemetry_.metrics().GetCounter("slo.windows_violated_failure").Increment();
+      }
       MUDI_TRACE_INSTANT(&telemetry_, "slo", "window_violation", device_id, sim_.Now(),
                          telemetry::TraceArgs{
                              telemetry::TraceArg::Num("p99_ms", p99),
-                             telemetry::TraceArg::Num("slo_ms", ServiceOnDevice(device_id).slo_ms)});
+                             telemetry::TraceArg::Num("slo_ms", ServiceOnDevice(device_id).slo_ms),
+                             telemetry::TraceArg::Num("failure_attributed", tainted ? 1.0 : 0.0)});
     }
   }
   r.window_latencies.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Fault path
+// ---------------------------------------------------------------------------
+
+std::string ClusterExperiment::DeviceStatusKey(int device_id) const {
+  return "/devices/" + std::to_string(device_id) + "/status";
+}
+
+std::string ClusterExperiment::DeviceTaskKey(int device_id, int task_id) const {
+  return "/devices/" + std::to_string(device_id) + "/tasks/" + std::to_string(task_id);
+}
+
+void ClusterExperiment::RouteCohort(int failed_device, const Cohort& cohort) {
+  Replica& failed = replicas_[static_cast<size_t>(failed_device)];
+  size_t service = device(failed_device).inference().service_index;
+  std::vector<int> survivors;
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    if (static_cast<int>(d) == failed_device) {
+      continue;
+    }
+    const GpuDevice& dev = device(static_cast<int>(d));
+    if (dev.healthy() && dev.has_inference() && dev.inference().service_index == service) {
+      survivors.push_back(static_cast<int>(d));
+    }
+  }
+  TimeMs now = sim_.Now();
+  if (survivors.empty()) {
+    // No surviving replica of this service: the requests are lost.
+    failed_requests_ += cohort.count;
+    if (telemetry_.enabled()) {
+      telemetry_.metrics().GetCounter("fault.failed_requests").Increment(cohort.count);
+    }
+    return;
+  }
+  int target = survivors[failed.reroute_cursor % survivors.size()];
+  ++failed.reroute_cursor;
+  Replica& r = replicas_[static_cast<size_t>(target)];
+  // The cohort keeps its original arrival time: failover detour latency
+  // counts against the SLO, and the window is failure-attributed.
+  r.queue.push_back(cohort);
+  r.queued += cohort.count;
+  r.monitor.RecordArrivals(now, cohort.count);
+  r.window_failure_tainted = true;
+  rerouted_requests_ += cohort.count;
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("fault.rerouted_requests").Increment(cohort.count);
+    MUDI_TRACE_INSTANT(&telemetry_, "fault", "reroute", target, now,
+                       telemetry::TraceArgs{
+                           telemetry::TraceArg::Num("from_device", failed_device),
+                           telemetry::TraceArg::Num("count", cohort.count)});
+  }
+  TryStartBatch(target);
+}
+
+void ClusterExperiment::FailoverArrivalTick(int failed_device) {
+  Replica& r = replicas_[static_cast<size_t>(failed_device)];
+  TimeMs now = sim_.Now();
+  double tick = ArrivalTickMs(failed_device);
+  double mean = r.qps->QpsAt(now) * tick / kMsPerSecond;
+  auto count = static_cast<double>(rng_.Poisson(mean));
+  if (count > 0.0) {
+    RouteCohort(failed_device, Cohort{now, count});
+  }
+}
+
+std::vector<TrainingTaskInfo> ClusterExperiment::DisplaceTrainings(int device_id, TimeMs now) {
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  std::vector<int> task_ids;
+  for (const auto& t : dev.trainings()) {
+    task_ids.push_back(t.task_id);
+  }
+  std::vector<TrainingTaskInfo> displaced;
+  for (int task_id : task_ids) {
+    auto it = running_.find(task_id);
+    MUDI_CHECK(it != running_.end());
+    // Settle progress first so the checkpoint ledger covers every boundary
+    // crossed before the failure instant.
+    SyncTrainingProgress(device_id, task_id);
+    RunningTask& running = it->second;
+    if (running.completion_event != Simulator::kInvalidEventId) {
+      sim_.Cancel(running.completion_event);
+    }
+    if (policy_->SupportsMemorySwap()) {
+      MUDI_CHECK(memory_manager_.Release(dev, task_id, now).ok());
+    }
+    TrainingInstance instance = dev.RemoveTraining(task_id);
+    registry_.Delete(DeviceTaskKey(device_id, task_id));
+    // Checkpoint rollback: the task resumes from its last periodic
+    // checkpoint, redoing the progress made since.
+    double resume_work = std::max(running.work_at_checkpoint, instance.work_remaining_ms);
+    double lost = std::max(0.0, resume_work - instance.work_remaining_ms);
+    running_.erase(it);
+
+    TaskRecord& record = task_records_[task_id];
+    ++record.failures;
+    record.work_lost_ms += lost;
+    work_lost_ms_ += lost;
+    ++trainings_displaced_;
+    displaced_at_[task_id] = now;
+
+    TrainingArrival requeue;
+    requeue.task_id = task_id;
+    requeue.arrival_ms = now;
+    requeue.type_index = instance.type_index;
+    requeue.work_full_gpu_ms = std::max(resume_work, 1.0);
+    queue_.Push(PendingTask{requeue, /*priority=*/0});
+
+    TrainingTaskInfo info;
+    info.task_id = task_id;
+    info.type_index = instance.type_index;
+    info.spec = &ModelZoo::TrainingTasks()[instance.type_index];
+    displaced.push_back(info);
+
+    if (telemetry_.enabled()) {
+      telemetry_.metrics().GetCounter("fault.trainings_displaced").Increment();
+      MUDI_TRACE_INSTANT(&telemetry_, "fault", "training_displaced", device_id, now,
+                         telemetry::TraceArgs{
+                             telemetry::TraceArg::Num("task_id", task_id),
+                             telemetry::TraceArg::Num("work_lost_ms", lost),
+                             telemetry::TraceArg::Num("resume_work_ms", requeue.work_full_gpu_ms)});
+    }
+  }
+  return displaced;
+}
+
+void ClusterExperiment::OnDeviceDown(int device_id, bool permanent, TimeMs now) {
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  MUDI_CHECK(dev.healthy());
+  dev.SetHealthy(false);
+  Replica& r = replicas_[static_cast<size_t>(device_id)];
+
+  // Stop every per-device event: arrivals, SLO windows, batch formation
+  // timeouts, the in-flight batch, and any shadow-instance reconfiguration.
+  for (Simulator::EventId* ev :
+       {&r.arrival_event, &r.slo_event, &r.timeout_event, &r.batch_event, &r.pending_event}) {
+    if (*ev != Simulator::kInvalidEventId) {
+      sim_.Cancel(*ev);
+      *ev = Simulator::kInvalidEventId;
+    }
+  }
+  r.pending_config.reset();
+
+  // In-flight requests die with the device: worst-case penalty latency in
+  // the (failure-attributed) SLO window, counted as failed.
+  if (r.busy) {
+    r.busy = false;
+    r.busy_accum_ms += now - r.busy_start;
+    double penalty = 10.0 * ServiceOnDevice(device_id).slo_ms;
+    for (const auto& [arrival, count] : r.inflight) {
+      r.window_latencies.emplace_back(penalty, count);
+      failed_requests_ += count;
+      if (telemetry_.enabled()) {
+        telemetry_.metrics().GetCounter("fault.failed_requests").Increment(count);
+      }
+    }
+    r.inflight.clear();
+    r.window_failure_tainted = true;
+  }
+  // Queued cohorts fail over to surviving replicas of the same service.
+  std::deque<Cohort> queued;
+  queued.swap(r.queue);
+  r.queued = 0.0;
+  for (const auto& cohort : queued) {
+    RouteCohort(device_id, cohort);
+  }
+  // Judge the partial window now; subsequent windows belong to the failover
+  // replicas (this replica's window clock stops until recovery).
+  if (!r.window_latencies.empty()) {
+    r.window_failure_tainted = true;
+  }
+  CloseSloWindow(device_id);
+  r.window_failure_tainted = false;
+
+  // The service's request stream does not stop because a replica died:
+  // future arrivals are generated on the dead replica's profile and re-routed.
+  TimeMs tick = ArrivalTickMs(device_id);
+  r.failover_event = sim_.SchedulePeriodic(now + tick, tick,
+                                           [this, device_id] { FailoverArrivalTick(device_id); });
+
+  std::vector<TrainingTaskInfo> displaced = DisplaceTrainings(device_id, now);
+
+  registry_.Put(DeviceStatusKey(device_id), permanent ? "failed" : "down");
+
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("fault.device_down").Increment();
+  }
+  MUDI_LOG(Info) << "device " << device_id << (permanent ? " permanently" : "") << " failed at t="
+                 << now / kMsPerSecond << "s: " << displaced.size() << " training(s) displaced";
+
+  policy_->OnDeviceFailed(*this, device_id, displaced);
+  TryDispatchQueue();
+}
+
+void ClusterExperiment::OnDeviceUp(int device_id, TimeMs now) {
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  MUDI_CHECK(!dev.healthy());
+  dev.SetHealthy(true);
+  Replica& r = replicas_[static_cast<size_t>(device_id)];
+
+  // The replica restarts from the initial serving configuration (a rebooted
+  // server does not remember its tuned state) with a fresh monitor.
+  InferenceInstance& inf = dev.mutable_inference();
+  inf.batch_size = kInitialBatch;
+  inf.gpu_fraction = kInitialInferenceFraction;
+  inf.mem_required_mb = InferenceMemoryMb(ServiceOnDevice(device_id), kInitialBatch);
+  r.monitor = QpsMonitor();
+  r.monitor.SetTelemetry(&telemetry_, device_id);
+  r.window_latencies.clear();
+  r.window_failure_tainted = false;
+
+  if (r.failover_event != Simulator::kInvalidEventId) {
+    sim_.Cancel(r.failover_event);
+    r.failover_event = Simulator::kInvalidEventId;
+  }
+  TimeMs tick = ArrivalTickMs(device_id);
+  r.arrival_event =
+      sim_.SchedulePeriodic(now + tick, tick, [this, device_id] { ArrivalTick(device_id); });
+  r.slo_event = sim_.SchedulePeriodic(now + options_.slo_window_ms, options_.slo_window_ms,
+                                      [this, device_id] { CloseSloWindow(device_id); });
+
+  registry_.Put(DeviceStatusKey(device_id), "up");
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("fault.device_up").Increment();
+  }
+  MUDI_LOG(Info) << "device " << device_id << " recovered at t=" << now / kMsPerSecond << "s";
+
+  policy_->OnDeviceRecovered(*this, device_id);
+  TryDispatchQueue();
+}
+
+void ClusterExperiment::OnStragglerFactor(int device_id, double factor, TimeMs /*now*/) {
+  GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  dev.SetSlowdown(factor);
+  // Training progress is settled at the old speed inside UpdateTrainingSpeeds
+  // (SyncTrainingProgress runs before the speed is recomputed), so the
+  // inflection is exact. In-flight inference batches keep their pre-straggler
+  // latency; subsequent batches observe the slowdown.
+  UpdateTrainingSpeeds(device_id);
+}
+
+void ClusterExperiment::OnFeedbackLost(int device_id, TimeMs now) {
+  replicas_[static_cast<size_t>(device_id)].monitor.SetFeedbackLost(true, now);
+}
+
+void ClusterExperiment::OnFeedbackRestored(int device_id, TimeMs now) {
+  replicas_[static_cast<size_t>(device_id)].monitor.SetFeedbackLost(false, now);
 }
 
 // ---------------------------------------------------------------------------
@@ -490,6 +775,11 @@ void ClusterExperiment::TryDispatchQueue() {
     if (!choice.has_value()) {
       return;  // no capacity: stay queued
     }
+    if (!device(*choice).healthy()) {
+      MUDI_LOG(Warning) << "policy selected unhealthy device " << *choice << " for task "
+                     << info.task_id << "; leaving it queued";
+      return;
+    }
     TrainingArrival arrival = queue_.Pop()->arrival;
     PlaceTask(arrival, *choice);
   }
@@ -512,11 +802,31 @@ void ClusterExperiment::PlaceTask(const TrainingArrival& arrival, int device_id)
   RunningTask running;
   running.device_id = device_id;
   running.last_sync_ms = sim_.Now();
+  running.next_checkpoint_ms = sim_.Now() + options_.checkpoint_period_ms;
+  running.work_at_checkpoint = arrival.work_full_gpu_ms;
   running_[arrival.task_id] = running;
 
   TaskRecord& record = task_records_[arrival.task_id];
-  record.start_ms = sim_.Now();
+  if (record.start_ms < 0.0) {
+    record.start_ms = sim_.Now();  // keep the first placement's queue wait
+  }
   record.device_id = device_id;
+  registry_.Put(DeviceTaskKey(device_id, arrival.task_id), spec.name);
+
+  // Re-placement of a fault-displaced task: time from displacement to the new
+  // placement is the recovery latency reported in FaultMetrics.
+  auto displaced_it = displaced_at_.find(arrival.task_id);
+  if (displaced_it != displaced_at_.end()) {
+    replacement_time_sum_ms_ += sim_.Now() - displaced_it->second;
+    ++trainings_replaced_;
+    displaced_at_.erase(displaced_it);
+    if (telemetry_.enabled()) {
+      telemetry_.metrics().GetCounter("fault.trainings_replaced").Increment();
+      MUDI_TRACE_INSTANT(&telemetry_, "fault", "training_replaced", device_id, sim_.Now(),
+                         telemetry::TraceArgs{
+                             telemetry::TraceArg::Num("task_id", arrival.task_id)});
+    }
+  }
 
   if (telemetry_.enabled()) {
     telemetry_.metrics().GetCounter("training.placements").Increment();
@@ -549,6 +859,17 @@ void ClusterExperiment::SyncTrainingProgress(int device_id, int task_id) {
   TrainingInstance* instance = dev.FindTraining(task_id);
   MUDI_CHECK(instance != nullptr);
   TimeMs now = sim_.Now();
+  // Snapshot periodic checkpoints crossed since the last sync: speed is
+  // constant between syncs, so the work level at each boundary is analytic.
+  while (running.next_checkpoint_ms <= now) {
+    double at_cp = instance->work_remaining_ms;
+    if (running.speed > 0.0) {
+      at_cp = std::max(0.0, instance->work_remaining_ms -
+                                running.speed * (running.next_checkpoint_ms - running.last_sync_ms));
+    }
+    running.work_at_checkpoint = at_cp;
+    running.next_checkpoint_ms += options_.checkpoint_period_ms;
+  }
   double elapsed = now - running.last_sync_ms;
   if (elapsed > 0.0 && running.speed > 0.0) {
     instance->work_remaining_ms =
@@ -587,7 +908,7 @@ void ClusterExperiment::UpdateTrainingSpeeds(int device_id) {
     }
     double iter = oracle_.TrainingIterationMs(spec, std::clamp(instance.gpu_fraction, 0.02, 1.0),
                                               load, others) *
-                  MemoryManager::SwapSlowdownFactor(instance) / dev.compute_scale();
+                  MemoryManager::SwapSlowdownFactor(instance) / dev.EffectiveComputeScale();
     running.speed = spec.iter_ms_full / iter;
     MUDI_CHECK_GT(running.speed, 0.0);
     TimeMs eta = instance.work_remaining_ms / running.speed;
@@ -600,8 +921,12 @@ void ClusterExperiment::UpdateTrainingSpeeds(int device_id) {
 void ClusterExperiment::OnTrainingComplete(int device_id, int task_id) {
   SyncTrainingProgress(device_id, task_id);
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
+  if (policy_->SupportsMemorySwap()) {
+    MUDI_CHECK(memory_manager_.Release(dev, task_id, sim_.Now()).ok());
+  }
   dev.RemoveTraining(task_id);
   running_.erase(task_id);
+  registry_.Delete(DeviceTaskKey(device_id, task_id));
 
   TaskRecord& record = task_records_[task_id];
   record.completion_ms = sim_.Now();
@@ -629,6 +954,9 @@ void ClusterExperiment::OnTrainingComplete(int device_id, int task_id) {
 
 void ClusterExperiment::MonitorTick() {
   for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    if (!cluster_.device(d).healthy()) {
+      continue;  // no monitor feedback and nothing to retune while down
+    }
     Replica& r = replicas_[d];
     bool qps_trigger = r.monitor.QpsChangedBeyondThreshold(sim_.Now());
     bool slo_risk = r.monitor.has_latency_samples() &&
@@ -681,6 +1009,10 @@ void ClusterExperiment::UtilSampleTick() {
     }
     sm = std::min(sm, 1.0);
     double mem = dev.InstantMemUtil();
+    if (!dev.healthy()) {
+      sm = 0.0;  // a down device contributes zero utilization
+      mem = 0.0;
+    }
     dev.AccumulateUsage(dt, sm, mem);
     sm_sum += sm;
     mem_sum += mem;
@@ -740,6 +1072,13 @@ void ClusterExperiment::UtilSampleTick() {
 ExperimentResult ClusterExperiment::Run() {
   policy_->Initialize(*this);
 
+  // Arm the fault schedule (no-op for an empty plan: zero events, zero RNG
+  // perturbation, byte-identical results to a build without fault machinery).
+  if (!options_.fault_plan.empty()) {
+    Status armed = fault_injector_->Arm(options_.fault_plan);
+    MUDI_CHECK(armed.ok());
+  }
+
   // Training arrivals.
   std::vector<TrainingArrival> trace = options_.trace_override;
   if (trace.empty() && options_.trace.num_tasks > 0) {
@@ -751,16 +1090,15 @@ ExperimentResult ClusterExperiment::Run() {
     sim_.ScheduleAt(arrival.arrival_ms, [this, arrival] { OnTrainingArrival(arrival); });
   }
 
-  // Per-device arrival ticks.
+  // Per-device arrival ticks (event ids kept so a device failure cancels them).
   for (size_t d = 0; d < cluster_.num_devices(); ++d) {
-    double tick = options_.arrival_tick_ms;
-    if (tick <= 0.0) {
-      tick = std::clamp(ServiceOnDevice(static_cast<int>(d)).slo_ms / 15.0, 5.0, 100.0);
-    }
     int device_id = static_cast<int>(d);
-    sim_.SchedulePeriodic(tick, tick, [this, device_id] { ArrivalTick(device_id); });
-    sim_.SchedulePeriodic(options_.slo_window_ms, options_.slo_window_ms,
-                          [this, device_id] { CloseSloWindow(device_id); });
+    double tick = ArrivalTickMs(device_id);
+    Replica& r = replicas_[d];
+    r.arrival_event =
+        sim_.SchedulePeriodic(tick, tick, [this, device_id] { ArrivalTick(device_id); });
+    r.slo_event = sim_.SchedulePeriodic(options_.slo_window_ms, options_.slo_window_ms,
+                                        [this, device_id] { CloseSloWindow(device_id); });
   }
   sim_.SchedulePeriodic(options_.monitor_period_ms, options_.monitor_period_ms,
                         [this] { MonitorTick(); });
@@ -799,6 +1137,7 @@ ExperimentResult ClusterExperiment::Run() {
     m.service_name = name;
     m.windows_total += r.windows_total;
     m.windows_violated += r.windows_violated;
+    m.windows_violated_failure += r.windows_violated_failure;
     m.mean_latency_ms += r.latency_weighted_sum;
     m.served_requests += r.served;
   }
@@ -835,6 +1174,27 @@ ExperimentResult ClusterExperiment::Run() {
   result.device_series = device_series_;
   result.placement_overheads_ms = policy_->placement_overheads_ms();
   result.tuning_iterations = policy_->tuning_iterations();
+
+  // Availability / recovery aggregates.
+  FaultMetrics& fm = result.faults;
+  fm.faults_injected = fault_injector_->faults_injected();
+  fm.device_failures = fault_injector_->device_failures();
+  fm.devices_recovered = fault_injector_->devices_recovered();
+  fm.total_downtime_ms = fault_injector_->TotalDowntimeMs(sim_.Now());
+  fm.trainings_displaced = trainings_displaced_;
+  fm.trainings_replaced = trainings_replaced_;
+  fm.work_lost_ms = work_lost_ms_;
+  fm.mean_replacement_ms =
+      trainings_replaced_ == 0
+          ? 0.0
+          : replacement_time_sum_ms_ / static_cast<double>(trainings_replaced_);
+  fm.failed_requests = failed_requests_;
+  fm.rerouted_requests = rerouted_requests_;
+  double total_served = 0.0;
+  for (const auto& r : replicas_) {
+    total_served += r.served;
+  }
+  fm.goodput_rps = sim_.Now() > 0.0 ? total_served / (sim_.Now() / kMsPerSecond) : 0.0;
 
   if (telemetry_.enabled()) {
     auto& metrics = telemetry_.metrics();

@@ -21,12 +21,15 @@
 #include <vector>
 
 #include "src/cluster/cluster_state.h"
+#include "src/cluster/kv_store.h"
 #include "src/cluster/monitor.h"
 #include "src/cluster/policy.h"
 #include "src/cluster/task_queue.h"
 #include "src/common/rng.h"
 #include "src/core/memory_manager.h"
 #include "src/exp/metrics.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/gpu/perf_oracle.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/telemetry.h"
@@ -76,6 +79,14 @@ struct ExperimentOptions {
   // Arrival-cohort tick: 0 = auto (SLO/15 clamped to [5, 100] ms).
   TimeMs arrival_tick_ms = 0.0;
 
+  // Deterministic fault schedule, armed when Run() starts. An empty plan
+  // schedules nothing and leaves the run byte-identical to one without any
+  // fault machinery.
+  FaultPlan fault_plan;
+  // Periodic training-checkpoint interval: a task displaced by a device
+  // failure resumes from its last checkpoint (progress since then is lost).
+  TimeMs checkpoint_period_ms = 60.0 * kMsPerSecond;
+
   bool record_util_series = false;
   // Device id to trace for Fig. 16 (-1 = none).
   int trace_device_id = -1;
@@ -88,7 +99,7 @@ struct ExperimentOptions {
   TelemetryOptions telemetry;
 };
 
-class ClusterExperiment : public SchedulingEnv {
+class ClusterExperiment : public SchedulingEnv, public FaultSink {
  public:
   ClusterExperiment(ExperimentOptions options, MultiplexPolicy* policy);
   ~ClusterExperiment() override;
@@ -115,6 +126,17 @@ class ClusterExperiment : public SchedulingEnv {
 
   const PerfOracle& ground_truth() const { return oracle_; }
   const Telemetry& telemetry_sink() const { return telemetry_; }
+  // Device registry (etcd-style): "/devices/<d>/status" plus one
+  // "/devices/<d>/tasks/<task_id>" entry per resident training. A failed
+  // device's subtree is deleted, so readers must handle missing keys.
+  const KvStore& registry() const { return registry_; }
+
+  // --- FaultSink (driven by the FaultInjector) ---
+  void OnDeviceDown(int device_id, bool permanent, TimeMs now) override;
+  void OnDeviceUp(int device_id, TimeMs now) override;
+  void OnStragglerFactor(int device_id, double factor, TimeMs now) override;
+  void OnFeedbackLost(int device_id, TimeMs now) override;
+  void OnFeedbackRestored(int device_id, TimeMs now) override;
 
  private:
   struct Cohort {
@@ -131,13 +153,27 @@ class ClusterExperiment : public SchedulingEnv {
     TimeMs busy_start = 0.0;
     TimeMs busy_accum_ms = 0.0;  // busy time since last util sample
     Simulator::EventId timeout_event = Simulator::kInvalidEventId;
+    // In-flight batch: its completion event and the request cohorts it
+    // carries, so a device failure can fail them instead of losing them.
+    Simulator::EventId batch_event = Simulator::kInvalidEventId;
+    std::vector<std::pair<TimeMs, double>> inflight;  // (arrival, count)
     // Pending GPU% reconfiguration (shadow instance warming up).
     std::optional<std::pair<int, double>> pending_config;
     Simulator::EventId pending_event = Simulator::kInvalidEventId;
+    // Per-device periodic events, cancellable at failure time.
+    Simulator::EventId arrival_event = Simulator::kInvalidEventId;
+    Simulator::EventId slo_event = Simulator::kInvalidEventId;
+    // While the device is down its traffic fails over to surviving replicas.
+    Simulator::EventId failover_event = Simulator::kInvalidEventId;
+    size_t reroute_cursor = 0;  // deterministic round-robin over survivors
     // SLO window accounting.
     std::vector<std::pair<double, double>> window_latencies;  // (latency, weight)
+    // Failure touched this window (failed/re-routed requests landed in it):
+    // a violation is attributed to the fault, not to load.
+    bool window_failure_tainted = false;
     size_t windows_total = 0;
     size_t windows_violated = 0;
+    size_t windows_violated_failure = 0;
     double latency_weighted_sum = 0.0;
     double served = 0.0;
     // Swap-time accounting.
@@ -151,6 +187,11 @@ class ClusterExperiment : public SchedulingEnv {
     double speed = 0.0;  // full-GPU work ms per wall ms
     TimeMs last_sync_ms = 0.0;
     Simulator::EventId completion_event = Simulator::kInvalidEventId;
+    // Periodic-checkpoint state: the exact work level at the last checkpoint
+    // boundary, maintained lazily in SyncTrainingProgress (speed is constant
+    // between syncs, so boundary crossings are computed analytically).
+    TimeMs next_checkpoint_ms = 0.0;
+    double work_at_checkpoint = 0.0;
   };
 
   // --- serving path ---
@@ -159,7 +200,19 @@ class ClusterExperiment : public SchedulingEnv {
   void FinishBatch(int device_id, double latency_ms,
                    std::vector<std::pair<TimeMs, double>> consumed);
   TimeMs WaitTimeoutMs(int device_id) const;
+  TimeMs ArrivalTickMs(int device_id) const;
   void CloseSloWindow(int device_id);
+
+  // --- fault path ---
+  // Hands a cohort of the failed device's service to a surviving replica
+  // (round-robin), or counts it failed when none survives.
+  void RouteCohort(int failed_device, const Cohort& cohort);
+  // Poisson arrivals for a down replica, re-routed to survivors.
+  void FailoverArrivalTick(int failed_device);
+  // Checkpoint-rollback + requeue of every training on a dying device.
+  std::vector<TrainingTaskInfo> DisplaceTrainings(int device_id, TimeMs now);
+  std::string DeviceStatusKey(int device_id) const;
+  std::string DeviceTaskKey(int device_id, int task_id) const;
 
   // --- training path ---
   void OnTrainingArrival(const TrainingArrival& arrival);
@@ -187,6 +240,8 @@ class ClusterExperiment : public SchedulingEnv {
   Rng probe_rng_;
   MemoryManager memory_manager_;
   TaskQueue queue_;
+  KvStore registry_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 
   std::vector<Replica> replicas_;
   std::map<int, RunningTask> running_;          // task_id -> runtime state
@@ -198,6 +253,15 @@ class ClusterExperiment : public SchedulingEnv {
   std::vector<UtilSample> util_series_;
   std::vector<DeviceSeriesSample> device_series_;
   TimeMs last_util_sample_ms_ = 0.0;
+
+  // Fault/recovery accounting.
+  size_t trainings_displaced_ = 0;
+  size_t trainings_replaced_ = 0;
+  double work_lost_ms_ = 0.0;
+  double failed_requests_ = 0.0;
+  double rerouted_requests_ = 0.0;
+  double replacement_time_sum_ms_ = 0.0;
+  std::map<int, TimeMs> displaced_at_;  // task_id -> displacement time
 };
 
 }  // namespace mudi

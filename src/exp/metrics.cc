@@ -14,6 +14,22 @@ double ExperimentResult::OverallSloViolationRate() const {
   return total == 0 ? 0.0 : static_cast<double>(violated) / static_cast<double>(total);
 }
 
+size_t ExperimentResult::TotalWindowsViolatedFailure() const {
+  size_t n = 0;
+  for (const auto& [name, m] : per_service) {
+    n += m.windows_violated_failure;
+  }
+  return n;
+}
+
+size_t ExperimentResult::TotalWindowsViolatedLoad() const {
+  size_t n = 0;
+  for (const auto& [name, m] : per_service) {
+    n += m.windows_violated_load();
+  }
+  return n;
+}
+
 double ExperimentResult::MeanCtMs() const {
   std::vector<double> cts;
   for (const auto& t : tasks) {

@@ -20,6 +20,10 @@ struct TaskRecord {
   TimeMs start_ms = -1.0;       // placement time; <0 if never placed
   TimeMs completion_ms = -1.0;  // <0 if not finished within the horizon
   int device_id = -1;
+  // Fault-recovery accounting: how often the task was displaced by a device
+  // failure and how much checkpointed progress it lost (full-GPU ms redone).
+  size_t failures = 0;
+  double work_lost_ms = 0.0;
 
   bool completed() const { return completion_ms >= 0.0; }
   double ct_ms() const { return completion_ms - arrival_ms; }
@@ -30,6 +34,9 @@ struct ServiceMetrics {
   std::string service_name;
   size_t windows_total = 0;
   size_t windows_violated = 0;
+  // Of windows_violated, how many were tainted by a device failure (failed
+  // or re-routed requests landed in the window) vs. pure load/interference.
+  size_t windows_violated_failure = 0;
   double mean_latency_ms = 0.0;
   double served_requests = 0.0;
 
@@ -38,6 +45,7 @@ struct ServiceMetrics {
                ? 0.0
                : static_cast<double>(windows_violated) / static_cast<double>(windows_total);
   }
+  size_t windows_violated_load() const { return windows_violated - windows_violated_failure; }
 };
 
 struct UtilSample {
@@ -53,6 +61,28 @@ struct DeviceSeriesSample {
   double inference_fraction = 0.0;
   double swapped_mb = 0.0;
   double mem_resident_mb = 0.0;
+};
+
+// Availability / recovery aggregates for runs with a fault plan armed.
+// All-zero (and absent from reports) when the plan is empty.
+struct FaultMetrics {
+  size_t faults_injected = 0;
+  size_t device_failures = 0;    // distinct down transitions
+  size_t devices_recovered = 0;  // distinct up transitions
+  double total_downtime_ms = 0.0;
+  size_t trainings_displaced = 0;
+  double work_lost_ms = 0.0;  // checkpoint rollback, full-GPU ms
+  // Virtual ms from displacement to re-placement, averaged over displaced
+  // trainings that were re-placed within the run.
+  double mean_replacement_ms = 0.0;
+  size_t trainings_replaced = 0;
+  double failed_requests = 0.0;    // in-flight or unroutable at failure time
+  double rerouted_requests = 0.0;  // moved to surviving replicas
+  // Served requests per wall-second of the run — the paper-style goodput
+  // figure that faults depress.
+  double goodput_rps = 0.0;
+
+  bool any() const { return faults_injected > 0; }
 };
 
 struct ExperimentResult {
@@ -77,8 +107,13 @@ struct ExperimentResult {
 
   std::vector<DeviceSeriesSample> device_series;  // when a device is traced
 
+  FaultMetrics faults;
+
   // --- derived aggregates ---
   double OverallSloViolationRate() const;
+  // Failure-attributed share of violated windows, summed over services.
+  size_t TotalWindowsViolatedFailure() const;
+  size_t TotalWindowsViolatedLoad() const;
   double MeanCtMs() const;
   double MeanWaitingMs() const;
   double P95CtMs() const;

@@ -67,6 +67,13 @@ ExperimentOptions SimulatedClusterOptions(size_t num_tasks, uint64_t seed) {
   return options;
 }
 
+ExperimentOptions ChaosClusterOptions(size_t num_tasks, uint64_t seed) {
+  ExperimentOptions options = PhysicalClusterOptions(num_tasks, seed);
+  options.fault_plan = StandardChaosPlan(options.num_nodes * options.gpus_per_node,
+                                         options.num_nodes);
+  return options;
+}
+
 std::unique_ptr<MultiplexPolicy> MakePolicy(const std::string& name,
                                             const PerfOracle& profiling_oracle) {
   if (name == "Mudi") {

@@ -27,6 +27,13 @@ ExperimentOptions PhysicalClusterOptions(size_t num_tasks = 300, uint64_t seed =
 // scheduling structure (queueing, co-location churn) is preserved.
 ExperimentOptions SimulatedClusterOptions(size_t num_tasks = 5000, uint64_t seed = 5);
 
+// The physical-cluster setup with the standard chaos schedule armed
+// (StandardChaosPlan: transient GPU failure, straggler episode, monitor
+// feedback loss, one permanent GPU failure, one transient node failure).
+// Identical to PhysicalClusterOptions apart from the fault plan, so
+// side-by-side runs isolate the availability cost of the faults.
+ExperimentOptions ChaosClusterOptions(size_t num_tasks = 120, uint64_t seed = 5);
+
 // Named policy factory. `profiling_oracle` must outlive the returned policy
 // (it backs Mudi's and MuxFlow's offline profiling) and must be configured
 // with the same seed as the experiment's runtime oracle so offline profiles

@@ -1,0 +1,168 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/telemetry/telemetry.h"
+
+namespace mudi {
+
+FaultInjector::FaultInjector(Simulator* sim, FaultSink* sink, int num_devices, int num_nodes,
+                             Telemetry* telemetry)
+    : sim_(sim),
+      sink_(sink),
+      num_devices_(num_devices),
+      num_nodes_(num_nodes),
+      telemetry_(telemetry),
+      state_(static_cast<size_t>(num_devices)) {
+  MUDI_CHECK(sim_ != nullptr);
+  MUDI_CHECK(sink_ != nullptr);
+  MUDI_CHECK_GT(num_devices_, 0);
+  MUDI_CHECK_GT(num_nodes_, 0);
+  MUDI_CHECK_EQ(num_devices_ % num_nodes_, 0);
+}
+
+Status FaultInjector::Arm(const FaultPlan& plan) {
+  if (plan.empty()) {
+    return Status::Ok();
+  }
+  MUDI_RETURN_IF_ERROR(plan.Validate(num_devices_, num_nodes_));
+  for (const FaultSpec& spec : plan.faults) {
+    if (spec.at_ms < sim_->Now()) {
+      return InvalidArgumentError("fault scheduled in the past: " + FaultSpecDebugString(spec));
+    }
+  }
+  int gpus_per_node = num_devices_ / num_nodes_;
+  for (const FaultSpec& spec : plan.faults) {
+    ++faults_injected_;
+    switch (spec.kind) {
+      case FaultKind::kTransientDeviceFailure: {
+        int d = spec.device_id;
+        sim_->ScheduleAt(spec.at_ms, [this, d] { DeviceDown(d, /*permanent=*/false); });
+        sim_->ScheduleAt(spec.at_ms + spec.duration_ms, [this, d] { DeviceUp(d); });
+        break;
+      }
+      case FaultKind::kPermanentDeviceFailure: {
+        int d = spec.device_id;
+        sim_->ScheduleAt(spec.at_ms, [this, d] { DeviceDown(d, /*permanent=*/true); });
+        break;
+      }
+      case FaultKind::kNodeFailure: {
+        bool permanent = spec.duration_ms <= 0.0;
+        for (int i = 0; i < gpus_per_node; ++i) {
+          int d = spec.node_id * gpus_per_node + i;
+          sim_->ScheduleAt(spec.at_ms, [this, d, permanent] { DeviceDown(d, permanent); });
+          if (!permanent) {
+            sim_->ScheduleAt(spec.at_ms + spec.duration_ms, [this, d] { DeviceUp(d); });
+          }
+        }
+        break;
+      }
+      case FaultKind::kStraggler: {
+        int d = spec.device_id;
+        double severity = spec.severity;
+        sim_->ScheduleAt(spec.at_ms, [this, d, severity] { StragglerStart(d, severity); });
+        sim_->ScheduleAt(spec.at_ms + spec.duration_ms,
+                         [this, d, severity] { StragglerEnd(d, severity); });
+        break;
+      }
+      case FaultKind::kMonitorFeedbackLoss: {
+        int d = spec.device_id;
+        sim_->ScheduleAt(spec.at_ms, [this, d] { FeedbackLost(d); });
+        sim_->ScheduleAt(spec.at_ms + spec.duration_ms, [this, d] { FeedbackRestored(d); });
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double FaultInjector::straggler_factor(int device_id) const {
+  double factor = 1.0;
+  for (double f : state_[device_id].straggler_factors) {
+    factor *= f;
+  }
+  return factor;
+}
+
+double FaultInjector::TotalDowntimeMs(TimeMs end) const {
+  double total = 0.0;
+  for (const DeviceState& st : state_) {
+    total += st.downtime_accum_ms;
+    if (st.down_count > 0 || (st.permanent && st.down_since >= 0.0)) {
+      total += std::max(0.0, end - st.down_since);
+    }
+  }
+  return total;
+}
+
+void FaultInjector::EmitInstant(const char* name, int device_id, double arg_value,
+                                const char* arg_key) {
+  MUDI_TRACE_INSTANT(telemetry_, "fault", name, device_id, sim_->Now(),
+                     telemetry::TraceArgs{telemetry::TraceArg::Num(arg_key, arg_value)});
+}
+
+void FaultInjector::DeviceDown(int device_id, bool permanent) {
+  DeviceState& st = state_[device_id];
+  bool was_down = st.down_count > 0 || st.permanent;
+  ++st.down_count;
+  st.permanent = st.permanent || permanent;
+  if (was_down) {
+    return;  // Already down: the new fault only extends the outage.
+  }
+  st.down_since = sim_->Now();
+  ++device_failures_;
+  EmitInstant("device_down", device_id, permanent ? 1.0 : 0.0, "permanent");
+  sink_->OnDeviceDown(device_id, permanent, sim_->Now());
+}
+
+void FaultInjector::DeviceUp(int device_id) {
+  DeviceState& st = state_[device_id];
+  MUDI_CHECK_GT(st.down_count, 0);
+  --st.down_count;
+  if (st.down_count > 0 || st.permanent) {
+    return;  // Still covered by another fault (or dead for good).
+  }
+  st.downtime_accum_ms += sim_->Now() - st.down_since;
+  st.down_since = -1.0;
+  ++devices_recovered_;
+  EmitInstant("device_up", device_id, st.downtime_accum_ms, "downtime_ms");
+  sink_->OnDeviceUp(device_id, sim_->Now());
+}
+
+void FaultInjector::StragglerStart(int device_id, double severity) {
+  DeviceState& st = state_[device_id];
+  st.straggler_factors.push_back(severity);
+  double factor = straggler_factor(device_id);
+  EmitInstant("straggler_start", device_id, factor, "factor");
+  sink_->OnStragglerFactor(device_id, factor, sim_->Now());
+}
+
+void FaultInjector::StragglerEnd(int device_id, double severity) {
+  DeviceState& st = state_[device_id];
+  auto it = std::find(st.straggler_factors.begin(), st.straggler_factors.end(), severity);
+  MUDI_CHECK(it != st.straggler_factors.end());
+  st.straggler_factors.erase(it);
+  double factor = straggler_factor(device_id);
+  EmitInstant("straggler_end", device_id, factor, "factor");
+  sink_->OnStragglerFactor(device_id, factor, sim_->Now());
+}
+
+void FaultInjector::FeedbackLost(int device_id) {
+  DeviceState& st = state_[device_id];
+  if (st.feedback_loss_count++ == 0) {
+    EmitInstant("feedback_lost", device_id, 1.0, "active");
+    sink_->OnFeedbackLost(device_id, sim_->Now());
+  }
+}
+
+void FaultInjector::FeedbackRestored(int device_id) {
+  DeviceState& st = state_[device_id];
+  MUDI_CHECK_GT(st.feedback_loss_count, 0);
+  if (--st.feedback_loss_count == 0) {
+    EmitInstant("feedback_restored", device_id, 0.0, "active");
+    sink_->OnFeedbackRestored(device_id, sim_->Now());
+  }
+}
+
+}  // namespace mudi

@@ -1,0 +1,159 @@
+#include "src/fault/fault_plan.h"
+
+#include <sstream>
+
+namespace mudi {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientDeviceFailure:
+      return "transient_device_failure";
+    case FaultKind::kPermanentDeviceFailure:
+      return "permanent_device_failure";
+    case FaultKind::kNodeFailure:
+      return "node_failure";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kMonitorFeedbackLoss:
+      return "monitor_feedback_loss";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::FailDevice(int device_id, TimeMs at_ms, TimeMs duration_ms) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransientDeviceFailure;
+  spec.device_id = device_id;
+  spec.at_ms = at_ms;
+  spec.duration_ms = duration_ms;
+  return Add(spec);
+}
+
+FaultPlan& FaultPlan::FailDevicePermanently(int device_id, TimeMs at_ms) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kPermanentDeviceFailure;
+  spec.device_id = device_id;
+  spec.at_ms = at_ms;
+  spec.duration_ms = 0.0;
+  return Add(spec);
+}
+
+FaultPlan& FaultPlan::FailNode(int node_id, TimeMs at_ms, TimeMs duration_ms) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNodeFailure;
+  spec.node_id = node_id;
+  spec.at_ms = at_ms;
+  spec.duration_ms = duration_ms;
+  return Add(spec);
+}
+
+FaultPlan& FaultPlan::AddStraggler(int device_id, TimeMs at_ms, TimeMs duration_ms,
+                                   double severity) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kStraggler;
+  spec.device_id = device_id;
+  spec.at_ms = at_ms;
+  spec.duration_ms = duration_ms;
+  spec.severity = severity;
+  return Add(spec);
+}
+
+FaultPlan& FaultPlan::LoseFeedback(int device_id, TimeMs at_ms, TimeMs duration_ms) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMonitorFeedbackLoss;
+  spec.device_id = device_id;
+  spec.at_ms = at_ms;
+  spec.duration_ms = duration_ms;
+  return Add(spec);
+}
+
+Status FaultPlan::Validate(int num_devices, int num_nodes) const {
+  for (size_t i = 0; i < faults.size(); ++i) {
+    const FaultSpec& spec = faults[i];
+    std::string where = "fault #" + std::to_string(i) + " (" + FaultKindName(spec.kind) + "): ";
+    if (spec.at_ms < 0.0) {
+      return InvalidArgumentError(where + "at_ms must be >= 0");
+    }
+    if (spec.kind == FaultKind::kNodeFailure) {
+      if (spec.node_id < 0 || spec.node_id >= num_nodes) {
+        return InvalidArgumentError(where + "node_id " + std::to_string(spec.node_id) +
+                                    " out of range [0, " + std::to_string(num_nodes) + ")");
+      }
+    } else {
+      if (spec.device_id < 0 || spec.device_id >= num_devices) {
+        return InvalidArgumentError(where + "device_id " + std::to_string(spec.device_id) +
+                                    " out of range [0, " + std::to_string(num_devices) + ")");
+      }
+    }
+    switch (spec.kind) {
+      case FaultKind::kStraggler:
+        if (spec.duration_ms <= 0.0) {
+          return InvalidArgumentError(where + "duration_ms must be > 0");
+        }
+        if (spec.severity < 1.0) {
+          return InvalidArgumentError(where + "severity must be >= 1 (latency multiplier)");
+        }
+        break;
+      case FaultKind::kMonitorFeedbackLoss:
+        if (spec.duration_ms <= 0.0) {
+          return InvalidArgumentError(where + "duration_ms must be > 0");
+        }
+        break;
+      case FaultKind::kTransientDeviceFailure:
+        if (spec.duration_ms <= 0.0) {
+          return InvalidArgumentError(where +
+                                      "duration_ms must be > 0 (use "
+                                      "kPermanentDeviceFailure for permanent faults)");
+        }
+        break;
+      case FaultKind::kPermanentDeviceFailure:
+      case FaultKind::kNodeFailure:
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+FaultPlan StandardChaosPlan(int num_devices, int num_nodes) {
+  FaultPlan plan;
+  if (num_devices <= 0 || num_nodes <= 0) {
+    return plan;
+  }
+  // Deterministic targets spread across the cluster; modulo keeps the plan
+  // valid for small test clusters.
+  int transient_target = 3 % num_devices;
+  int straggler_target = 7 % num_devices;
+  int feedback_target = 1 % num_devices;
+  int permanent_target = (num_devices - 1) % num_devices;
+  plan.FailDevice(transient_target, 60 * kMsPerSecond, 45 * kMsPerSecond);
+  plan.AddStraggler(straggler_target, 120 * kMsPerSecond, 60 * kMsPerSecond, /*severity=*/2.5);
+  plan.LoseFeedback(feedback_target, 180 * kMsPerSecond, 30 * kMsPerSecond);
+  plan.FailDevicePermanently(permanent_target, 240 * kMsPerSecond);
+  if (num_nodes > 1) {
+    // Blackout a node that does not contain the permanently-dead device so
+    // the cluster always keeps capacity to absorb displaced work.
+    plan.FailNode(0, 300 * kMsPerSecond, 40 * kMsPerSecond);
+  }
+  return plan;
+}
+
+std::string FaultSpecDebugString(const FaultSpec& spec) {
+  std::ostringstream os;
+  os << FaultKindName(spec.kind) << "@" << spec.at_ms << "ms";
+  if (spec.kind == FaultKind::kNodeFailure) {
+    os << " node=" << spec.node_id;
+  } else {
+    os << " device=" << spec.device_id;
+  }
+  if (spec.duration_ms > 0.0) {
+    os << " duration=" << spec.duration_ms << "ms";
+  } else if (spec.kind != FaultKind::kStraggler && spec.kind != FaultKind::kMonitorFeedbackLoss) {
+    os << " permanent";
+  }
+  if (spec.kind == FaultKind::kStraggler) {
+    os << " severity=" << spec.severity;
+  }
+  return os.str();
+}
+
+}  // namespace mudi

@@ -1,0 +1,85 @@
+// Declarative fault schedules for the simulation stack.
+//
+// A FaultPlan is a list of typed faults pinned to virtual timestamps. Plans
+// are plain data: building one performs no side effects, and arming the same
+// plan against the same seeded experiment reproduces the exact same run —
+// fault injection never draws randomness of its own. An empty plan is the
+// degenerate case and must leave every experiment byte-identical to a run
+// without fault machinery at all.
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+
+namespace mudi {
+
+enum class FaultKind {
+  // Device stops serving and drops its trainings; comes back after
+  // `duration_ms` with a restarted (initial-config) inference replica.
+  kTransientDeviceFailure,
+  // Device never comes back; displaced work must be re-placed elsewhere.
+  kPermanentDeviceFailure,
+  // All devices of one node fail at once (transient when duration_ms > 0,
+  // permanent otherwise).
+  kNodeFailure,
+  // Straggler episode: every oracle latency on the device is inflated by
+  // `severity` (>= 1) for `duration_ms`. The device keeps serving.
+  kStraggler,
+  // The device's QPS/latency monitor stops receiving feedback for
+  // `duration_ms`: measured QPS freezes at its last value and stays stale for
+  // one monitor window after restoration.
+  kMonitorFeedbackLoss,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTransientDeviceFailure;
+  TimeMs at_ms = 0.0;
+  // For failures: <= 0 means permanent. Required > 0 for straggler and
+  // feedback-loss episodes.
+  TimeMs duration_ms = 0.0;
+  int device_id = -1;  // target for everything except kNodeFailure
+  int node_id = -1;    // target for kNodeFailure
+  double severity = 1.0;  // straggler latency multiplier (>= 1)
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+  size_t size() const { return faults.size(); }
+
+  FaultPlan& Add(FaultSpec spec) {
+    faults.push_back(spec);
+    return *this;
+  }
+
+  // Convenience builders.
+  FaultPlan& FailDevice(int device_id, TimeMs at_ms, TimeMs duration_ms);
+  FaultPlan& FailDevicePermanently(int device_id, TimeMs at_ms);
+  FaultPlan& FailNode(int node_id, TimeMs at_ms, TimeMs duration_ms);
+  FaultPlan& AddStraggler(int device_id, TimeMs at_ms, TimeMs duration_ms, double severity);
+  FaultPlan& LoseFeedback(int device_id, TimeMs at_ms, TimeMs duration_ms);
+
+  // Checks targets and timings against the cluster shape.
+  Status Validate(int num_devices, int num_nodes) const;
+};
+
+// The standard deterministic chaos schedule used by the `chaos` preset and
+// bench_fig19: a transient device failure, a straggler episode, a
+// monitor-feedback loss window, a permanent device failure, and a transient
+// node blackout, spread over the first ~6 minutes of virtual time. Targets
+// are derived from the cluster shape so the schedule is valid for any
+// cluster with at least one node of at least one device.
+FaultPlan StandardChaosPlan(int num_devices, int num_nodes);
+
+std::string FaultSpecDebugString(const FaultSpec& spec);
+
+}  // namespace mudi
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

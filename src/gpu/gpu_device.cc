@@ -81,6 +81,12 @@ void GpuDevice::AddTraining(TrainingInstance instance) {
 }
 
 TrainingInstance GpuDevice::RemoveTraining(int task_id) {
+  std::optional<TrainingInstance> out = TryRemoveTraining(task_id);
+  MUDI_CHECK(out.has_value());
+  return *std::move(out);
+}
+
+std::optional<TrainingInstance> GpuDevice::TryRemoveTraining(int task_id) {
   for (size_t i = 0; i < trainings_.size(); ++i) {
     if (trainings_[i].task_id == task_id) {
       TrainingInstance out = std::move(trainings_[i]);
@@ -92,8 +98,12 @@ TrainingInstance GpuDevice::RemoveTraining(int task_id) {
       return out;
     }
   }
-  MUDI_CHECK(false);
-  __builtin_unreachable();
+  return std::nullopt;
+}
+
+void GpuDevice::SetSlowdown(double slowdown) {
+  MUDI_CHECK_GE(slowdown, 1.0);
+  slowdown_ = slowdown;
 }
 
 TrainingInstance* GpuDevice::FindTraining(int task_id) {

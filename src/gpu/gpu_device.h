@@ -61,6 +61,20 @@ class GpuDevice {
   // MIG instances have compute_scale < 1: oracle times divide by this.
   double compute_scale() const { return compute_scale_; }
 
+  // --- fault state (driven by the fault-injection harness) ---
+  // An unhealthy device serves nothing and accepts no placements; schedulers
+  // must skip it. Health is a harness-level flag: the device keeps its
+  // structural state so recovery can restart the replica in place.
+  bool healthy() const { return healthy_; }
+  void SetHealthy(bool healthy) { healthy_ = healthy; }
+  // Straggler latency multiplier (>= 1): every oracle time on this device is
+  // inflated by this factor. 1.0 = nominal speed.
+  double slowdown() const { return slowdown_; }
+  void SetSlowdown(double slowdown);
+  // compute_scale adjusted for the active straggler episode; oracle times
+  // divide by this instead of compute_scale() in latency computations.
+  double EffectiveComputeScale() const { return compute_scale_ / slowdown_; }
+
   // --- inference instance (at most one) ---
   bool has_inference() const { return inference_.has_value(); }
   const InferenceInstance& inference() const;
@@ -74,6 +88,9 @@ class GpuDevice {
   void AddTraining(TrainingInstance instance);
   // Removes by task id; returns the removed instance.
   TrainingInstance RemoveTraining(int task_id);
+  // Like RemoveTraining but tolerates a missing task (recovery paths race
+  // with completion): returns nullopt instead of aborting.
+  std::optional<TrainingInstance> TryRemoveTraining(int task_id);
   TrainingInstance* FindTraining(int task_id);
   const TrainingInstance* FindTraining(int task_id) const;
   size_t num_active_trainings() const;
@@ -104,6 +121,8 @@ class GpuDevice {
   int id_;
   double memory_mb_;
   double compute_scale_;
+  bool healthy_ = true;
+  double slowdown_ = 1.0;
   std::optional<InferenceInstance> inference_;
   std::vector<TrainingInstance> trainings_;
   TimeWeightedMean sm_accum_;

@@ -24,6 +24,7 @@ Simulator::EventId Simulator::Push(TimeMs t, TimeMs period, Callback cb, EventId
   MUDI_CHECK(cb != nullptr);
   EventId id = reuse_id != kInvalidEventId ? reuse_id : next_id_++;
   queue_.push(Entry{t, next_seq_++, id, period, std::move(cb)});
+  live_.insert(id);
   ++events_scheduled_;
   if (scheduled_counter_ != nullptr) {
     scheduled_counter_->Increment();
@@ -46,19 +47,19 @@ Simulator::EventId Simulator::SchedulePeriodic(TimeMs start, TimeMs period, Call
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) {
+  // Only ids with a live queue entry are cancellable: already-fired one-shots
+  // and double-cancels fall through here instead of being recorded as stale
+  // cancellations that would corrupt pending_events() forever.
+  if (live_.erase(id) == 0) {
     return false;
   }
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  if (inserted) {
-    ++stale_cancellations_;
-    ++events_cancelled_;
-    if (cancelled_counter_ != nullptr) {
-      cancelled_counter_->Increment();
-    }
+  MUDI_CHECK(cancelled_.insert(id).second);
+  ++stale_cancellations_;
+  ++events_cancelled_;
+  if (cancelled_counter_ != nullptr) {
+    cancelled_counter_->Increment();
   }
-  return inserted;
+  return true;
 }
 
 bool Simulator::SkipCancelled() {
@@ -82,6 +83,7 @@ bool Simulator::Step() {
   }
   Entry entry = queue_.top();
   queue_.pop();
+  live_.erase(entry.id);
   MUDI_CHECK_GE(entry.time, now_);
   now_ = entry.time;
   ++events_processed_;

@@ -53,7 +53,10 @@ class Simulator {
   EventId SchedulePeriodic(TimeMs start, TimeMs period, Callback cb);
 
   // Cancels a pending (or periodic) event. Returns false if the id is not
-  // pending — e.g. already fired (one-shot) or already cancelled.
+  // pending — e.g. already fired (one-shot), already cancelled, or never
+  // issued. Safe to call from inside the firing callback: a one-shot
+  // cancelling its own id is a no-op (the event is no longer pending), while
+  // a periodic event cancelling its own id stops the re-armed occurrence.
   bool Cancel(EventId id);
 
   // Runs events with time <= `t`, then advances the clock to exactly `t`.
@@ -65,7 +68,7 @@ class Simulator {
   // Runs at most one event; returns false when the queue is empty.
   bool Step();
 
-  size_t pending_events() const { return queue_.size() - stale_cancellations_; }
+  size_t pending_events() const { return live_.size(); }
   uint64_t events_processed() const { return events_processed_; }
   uint64_t events_scheduled() const { return events_scheduled_; }
   uint64_t events_cancelled() const { return events_cancelled_; }
@@ -110,6 +113,10 @@ class Simulator {
   telemetry::Counter* cancelled_counter_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
   std::unordered_set<EventId> cancelled_;
+  // Ids with a live (scheduled, not cancelled) entry in `queue_`. Lets
+  // Cancel() reject ids that already fired instead of poisoning the
+  // cancellation bookkeeping forever.
+  std::unordered_set<EventId> live_;
 };
 
 }  // namespace mudi

@@ -495,6 +495,7 @@ TraceSummary SummarizeTrace(const ParsedTrace& trace) {
   };
   std::map<int, Weighted> sm_acc;
   std::map<int, Weighted> mem_acc;
+  std::map<int, double> open_down;  // tid -> device_down timestamp, unmatched
 
   for (const TraceEvent& e : trace.events) {
     summary.span_ms = std::max(summary.span_ms, e.ts_ms + e.dur_ms);
@@ -506,6 +507,19 @@ TraceSummary SummarizeTrace(const ParsedTrace& trace) {
       ++lane.serving_batches;
     } else if (e.phase == kPhaseInstant) {
       ++lane.decision_counts[e.cat + "/" + e.name];
+      if (e.cat == "fault") {
+        // The injector edge-collapses overlapping faults, so down/up instants
+        // alternate per lane; pair them into downtime intervals.
+        if (e.name == "device_down") {
+          open_down.emplace(e.tid, e.ts_ms);
+        } else if (e.name == "device_up") {
+          auto it = open_down.find(e.tid);
+          if (it != open_down.end()) {
+            lane.downtime_ms += e.ts_ms - it->second;
+            open_down.erase(it);
+          }
+        }
+      }
     } else if (e.phase == kPhaseCounter && (e.name == "sm_util" || e.name == "mem_util")) {
       double value = 0.0;
       for (const TraceArg& a : e.args) {
@@ -523,7 +537,12 @@ TraceSummary SummarizeTrace(const ParsedTrace& trace) {
     }
   }
 
+  // Intervals never closed (permanent failures) run to the end of the span.
+  for (const auto& [tid, since] : open_down) {
+    summary.lanes[tid].downtime_ms += std::max(0.0, summary.span_ms - since);
+  }
   for (auto& [tid, lane] : summary.lanes) {
+    summary.total_downtime_ms += lane.downtime_ms;
     auto it = trace.thread_names.find(tid);
     if (it != trace.thread_names.end()) {
       lane.name = it->second;
@@ -574,13 +593,20 @@ void PrintTraceSummary(const TraceSummary& summary, std::ostream& os) {
     }
     os << ": sm_util=" << lane.avg_sm_util << " mem_util=" << lane.avg_mem_util
        << " serving_busy=" << lane.serving_busy_fraction
-       << " batches=" << lane.serving_batches << "\n";
+       << " batches=" << lane.serving_batches;
+    if (lane.downtime_ms > 0.0) {
+      os << " downtime=" << lane.downtime_ms / 1000.0 << "s";
+    }
+    os << "\n";
     for (const auto& [key, n] : lane.decision_counts) {
       os << "      " << key << ": " << n << "\n";
     }
   }
   os << "\ncluster avg sm_util: " << summary.cluster_avg_sm_util
      << "  mem_util: " << summary.cluster_avg_mem_util << "\n";
+  if (summary.total_downtime_ms > 0.0) {
+    os << "total device downtime: " << summary.total_downtime_ms / 1000.0 << " s\n";
+  }
 }
 
 }  // namespace telemetry

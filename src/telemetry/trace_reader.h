@@ -49,6 +49,9 @@ struct LaneSummary {
   uint64_t serving_batches = 0;
   // Instant-event counts keyed by "cat/name" (placements, tunes, swaps, ...).
   std::map<std::string, uint64_t> decision_counts;
+  // Downtime attributed from paired "fault"/device_down -> device_up
+  // instants; an interval left open (permanent failure) runs to span end.
+  double downtime_ms = 0.0;
 };
 
 struct TraceSummary {
@@ -58,6 +61,8 @@ struct TraceSummary {
   // Mean of avg_sm_util over lanes that carried sm_util samples.
   double cluster_avg_sm_util = 0.0;
   double cluster_avg_mem_util = 0.0;
+  // Sum of per-lane downtime_ms (device-downtime, not wall-clock overlap).
+  double total_downtime_ms = 0.0;
 };
 
 TraceSummary SummarizeTrace(const ParsedTrace& trace);

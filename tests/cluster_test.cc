@@ -59,6 +59,35 @@ TEST(KvStoreTest, Delete) {
   EXPECT_FALSE(kv.Get("k").has_value());
 }
 
+TEST(KvStoreTest, GetRequiredReturnsValueOrNotFound) {
+  KvStore kv;
+  kv.Put("k", "v");
+  auto hit = kv.GetRequired("k");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, "v");
+
+  auto miss = kv.GetRequired("absent");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, DeletePrefixRemovesSubtreeOnly) {
+  KvStore kv;
+  kv.Put("/devices/3/status", "up");
+  kv.Put("/devices/3/tasks/7", "resnet");
+  kv.Put("/devices/3/tasks/9", "bert");
+  kv.Put("/devices/30/tasks/1", "gpt");  // shares a textual prefix path only
+  kv.Put("/devices/4/status", "up");
+
+  EXPECT_EQ(kv.DeletePrefix("/devices/3/tasks/"), 2u);
+  EXPECT_FALSE(kv.Get("/devices/3/tasks/7").has_value());
+  EXPECT_FALSE(kv.Get("/devices/3/tasks/9").has_value());
+  EXPECT_TRUE(kv.Get("/devices/3/status").has_value());
+  EXPECT_TRUE(kv.Get("/devices/30/tasks/1").has_value());
+  EXPECT_TRUE(kv.Get("/devices/4/status").has_value());
+  EXPECT_EQ(kv.DeletePrefix("/devices/3/tasks/"), 0u);
+}
+
 TEST(KvStoreTest, WatchFiresOnMatchingPrefix) {
   KvStore kv;
   std::vector<std::string> seen;
@@ -253,6 +282,49 @@ TEST(QpsMonitorTest, LatencyWindowBounded) {
 // ---------------------------------------------------------------------------
 // ClusterState / planning budget
 // ---------------------------------------------------------------------------
+
+TEST(QpsMonitorTest, FeedbackLossFreezesQps) {
+  QpsMonitor monitor;
+  for (TimeMs t = 0.0; t < 5000.0; t += 10.0) {
+    monitor.RecordArrivals(t, 1.0);  // ~100 QPS
+  }
+  double live = monitor.CurrentQps(5000.0);
+  monitor.SetFeedbackLost(true, 5000.0);
+  EXPECT_TRUE(monitor.feedback_lost());
+
+  // Samples during the outage are dropped; the estimate stays frozen.
+  monitor.RecordArrivals(6000.0, 500.0);
+  monitor.RecordLatency(999.0, 10.0);
+  EXPECT_DOUBLE_EQ(monitor.CurrentQps(7000.0), live);
+  EXPECT_FALSE(monitor.QpsChangedBeyondThreshold(7000.0));
+  ASSERT_TRUE(monitor.StalenessMs(7000.0).has_value());
+  EXPECT_DOUBLE_EQ(*monitor.StalenessMs(7000.0), 2000.0);
+}
+
+TEST(QpsMonitorTest, FeedbackRestoreWarmsUpForOneWindow) {
+  QpsMonitor::Options options;
+  options.window_ms = 1000.0;
+  QpsMonitor monitor(options);
+  for (TimeMs t = 0.0; t < 1000.0; t += 10.0) {
+    monitor.RecordArrivals(t, 1.0);
+  }
+  double frozen = monitor.CurrentQps(1000.0);
+  monitor.SetFeedbackLost(true, 1000.0);
+  monitor.SetFeedbackLost(false, 3000.0);
+  EXPECT_FALSE(monitor.feedback_lost());
+
+  // Inside the warm-up window the frozen value still serves (and is stale).
+  monitor.RecordArrivals(3100.0, 200.0);
+  EXPECT_DOUBLE_EQ(monitor.CurrentQps(3500.0), frozen);
+  EXPECT_TRUE(monitor.StalenessMs(3500.0).has_value());
+
+  // After one full window the estimate is live again, fed by new samples.
+  for (TimeMs t = 4000.0; t < 5000.0; t += 10.0) {
+    monitor.RecordArrivals(t, 2.0);
+  }
+  EXPECT_FALSE(monitor.StalenessMs(5000.0).has_value());
+  EXPECT_NEAR(monitor.CurrentQps(5000.0), 200.0, 20.0);
+}
 
 TEST(ClusterStateTest, Topology) {
   ClusterState cluster(3, NodeSpec{4, 40960.0});

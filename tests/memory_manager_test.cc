@@ -1,0 +1,102 @@
+#include "src/core/memory_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gpu/gpu_device.h"
+
+namespace mudi {
+namespace {
+
+TrainingInstance MakeTraining(int id, double mem_mb, double fraction = 0.3) {
+  TrainingInstance t;
+  t.task_id = id;
+  t.type_index = 0;
+  t.gpu_fraction = fraction;
+  t.work_remaining_ms = 1000.0;
+  t.mem_required_mb = mem_mb;
+  return t;
+}
+
+GpuDevice OvercommittedDevice(double capacity_mb = 10000.0) {
+  GpuDevice dev(0, capacity_mb);
+  InferenceInstance inf;
+  inf.service_index = 0;
+  inf.batch_size = 32;
+  inf.gpu_fraction = 0.5;
+  inf.mem_required_mb = 6000.0;
+  dev.PlaceInference(inf);
+  dev.AddTraining(MakeTraining(1, 8000.0));
+  return dev;
+}
+
+TEST(MemoryManagerTest, RebalanceSwapsOutDeficit) {
+  MemoryManager mm;
+  GpuDevice dev = OvercommittedDevice();
+  double transfer_ms = mm.Rebalance(dev, 0.0);
+  EXPECT_GT(transfer_ms, 0.0);
+  EXPECT_GT(dev.FindTraining(1)->mem_swapped_mb, 0.0);
+  EXPECT_GE(dev.MemoryFreeMb(), 0.0);
+}
+
+TEST(MemoryManagerTest, ReleaseReclaimsSwappedState) {
+  MemoryManager mm;
+  GpuDevice dev = OvercommittedDevice();
+  mm.Rebalance(dev, 0.0);
+  double swapped = dev.FindTraining(1)->mem_swapped_mb;
+  ASSERT_GT(swapped, 0.0);
+
+  // Long after the PCIe transfer landed: a clean release, nothing aborted.
+  Status s = mm.Release(dev, 1, 1.0e9);
+  EXPECT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(dev.FindTraining(1)->mem_swapped_mb, 0.0);
+  EXPECT_DOUBLE_EQ(mm.reclaimed_swap_mb(), swapped);
+  EXPECT_EQ(mm.aborted_transfers(), 0u);
+}
+
+TEST(MemoryManagerTest, ReleaseMidTransferCountsAbort) {
+  MemoryManager mm;
+  GpuDevice dev = OvercommittedDevice();
+  double transfer_ms = mm.Rebalance(dev, 100.0);
+  ASSERT_GT(transfer_ms, 0.0);
+
+  // Release strictly inside the transfer window: the in-flight PCIe
+  // migration is torn down with the device state.
+  Status s = mm.Release(dev, 1, 100.0 + 0.5 * transfer_ms);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(mm.aborted_transfers(), 1u);
+}
+
+TEST(MemoryManagerTest, DoubleReleaseReturnsNotFound) {
+  MemoryManager mm;
+  GpuDevice dev = OvercommittedDevice();
+  mm.Rebalance(dev, 0.0);
+  EXPECT_TRUE(mm.Release(dev, 1, 1.0e9).ok());
+  dev.RemoveTraining(1);  // harness removes the instance right after Release
+
+  Status again = mm.Release(dev, 1, 1.0e9);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kNotFound);
+}
+
+TEST(MemoryManagerTest, ReleaseNeverAdmittedTaskReturnsNotFound) {
+  MemoryManager mm;
+  GpuDevice dev(0);
+  Status s = mm.Release(dev, 42, 0.0);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(mm.aborted_transfers(), 0u);
+  EXPECT_DOUBLE_EQ(mm.reclaimed_swap_mb(), 0.0);
+}
+
+TEST(MemoryManagerTest, ReleaseWithoutSwapIsCleanNoOp) {
+  MemoryManager mm;
+  GpuDevice dev(0, 50000.0);  // plenty of memory: nothing ever swaps
+  dev.AddTraining(MakeTraining(1, 8000.0));
+  mm.Rebalance(dev, 0.0);
+  EXPECT_DOUBLE_EQ(dev.FindTraining(1)->mem_swapped_mb, 0.0);
+  EXPECT_TRUE(mm.Release(dev, 1, 10.0).ok());
+  EXPECT_DOUBLE_EQ(mm.reclaimed_swap_mb(), 0.0);
+}
+
+}  // namespace
+}  // namespace mudi

@@ -210,6 +210,93 @@ TEST(SimulatorTest, RandomizedPeriodicCounts) {
   }
 }
 
+// Regression: cancelling an id whose one-shot event has ALREADY fired must
+// be a no-op returning false — the stale-cancellation bookkeeping used to
+// leak and corrupt pending_events() forever after.
+TEST(SimulatorTest, CancelAlreadyFiredOneShotReturnsFalse) {
+  Simulator sim;
+  auto id = sim.ScheduleAt(1.0, [] {});
+  sim.ScheduleAt(5.0, [] {});
+  sim.RunUntil(2.0);
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// A one-shot event cancelling itself from inside its own callback is a no-op
+// (it is no longer live by the time the callback runs).
+TEST(SimulatorTest, OneShotSelfCancelFromCallbackIsNoOp) {
+  Simulator sim;
+  Simulator::EventId id = Simulator::kInvalidEventId;
+  bool cancel_result = true;
+  id = sim.ScheduleAt(1.0, [&] { cancel_result = sim.Cancel(id); });
+  sim.RunUntilIdle();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// Cancelling a DIFFERENT pending event from inside a firing callback — even
+// one scheduled at the same timestamp — prevents its execution.
+TEST(SimulatorTest, CancelOtherSameTimeEventFromCallback) {
+  Simulator sim;
+  bool second_ran = false;
+  Simulator::EventId second = Simulator::kInvalidEventId;
+  sim.ScheduleAt(1.0, [&] { EXPECT_TRUE(sim.Cancel(second)); });
+  second = sim.ScheduleAt(1.0, [&] { second_ran = true; });
+  sim.RunUntilIdle();
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// A periodic event is re-armed (same id) BEFORE its callback runs, so
+// self-cancel from inside the callback stops the re-armed occurrence, and
+// the id can then be reused by a fresh schedule.
+TEST(SimulatorTest, PeriodicSelfCancelThenReschedule) {
+  Simulator sim;
+  int fired = 0;
+  Simulator::EventId id = Simulator::kInvalidEventId;
+  id = sim.SchedulePeriodic(1.0, 1.0, [&] {
+    if (++fired == 3) {
+      EXPECT_TRUE(sim.Cancel(id));
+    }
+  });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  // Re-arming after self-cancel works and keeps pending_events consistent.
+  int fired2 = 0;
+  auto id2 = sim.SchedulePeriodic(sim.Now() + 1.0, 1.0, [&] { ++fired2; });
+  sim.RunUntil(13.5);
+  EXPECT_EQ(fired2, 3);
+  EXPECT_EQ(sim.pending_events(), 1u);  // the re-armed periodic stays live
+  EXPECT_TRUE(sim.Cancel(id2));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// pending_events() stays exact under interleaved fire/cancel/re-schedule,
+// including cancels of already-fired ids (which must not count).
+TEST(SimulatorTest, PendingEventsConsistencyUnderChurn) {
+  Simulator sim;
+  Rng rng(7);
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.ScheduleAt(rng.Uniform(0.0, 100.0), [] {}));
+  }
+  sim.RunUntil(50.0);
+  size_t live_before = sim.pending_events();
+  size_t cancelled = 0;
+  for (const auto& id : ids) {
+    if (sim.Cancel(id)) {
+      ++cancelled;  // only still-pending events may report true
+    }
+  }
+  EXPECT_EQ(sim.pending_events(), live_before - cancelled);
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(SimulatorTest, TimeConstants) {
   EXPECT_EQ(kMsPerSecond, 1000.0);
   EXPECT_EQ(kMsPerMinute, 60000.0);

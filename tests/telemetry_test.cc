@@ -365,6 +365,60 @@ TEST(TelemetryExperimentTest, TraceSummaryUtilizationAgreesWithExperiment) {
               0.01 * std::max(result.avg_mem_util, 1e-6));
 }
 
+TEST(TraceSummaryTest, DowntimeAttributionPairsFaultInstants) {
+  // Hand-built trace: device 1 down 100..400 ms, device 2 down at 600 ms and
+  // never recovered (interval runs to span end, here the last event at 1000).
+  ParsedTrace trace;
+  auto instant = [](int tid, double ts, const char* name) {
+    TraceEvent e;
+    e.phase = telemetry::kPhaseInstant;
+    e.tid = tid;
+    e.ts_ms = ts;
+    e.cat = "fault";
+    e.name = name;
+    return e;
+  };
+  trace.events.push_back(instant(1, 100.0, "device_down"));
+  trace.events.push_back(instant(1, 400.0, "device_up"));
+  trace.events.push_back(instant(2, 600.0, "device_down"));
+  TraceEvent end;
+  end.phase = telemetry::kPhaseInstant;
+  end.tid = 0;
+  end.ts_ms = 1000.0;
+  end.cat = "slo";
+  end.name = "window_violation";
+  trace.events.push_back(end);
+
+  telemetry::TraceSummary summary = telemetry::SummarizeTrace(trace);
+  EXPECT_DOUBLE_EQ(summary.lanes.at(1).downtime_ms, 300.0);
+  EXPECT_DOUBLE_EQ(summary.lanes.at(2).downtime_ms, 400.0);
+  EXPECT_DOUBLE_EQ(summary.lanes.at(0).downtime_ms, 0.0);
+  EXPECT_DOUBLE_EQ(summary.total_downtime_ms, 700.0);
+  EXPECT_EQ(summary.lanes.at(1).decision_counts.at("fault/device_down"), 1u);
+}
+
+TEST(TelemetryExperimentTest, TraceDowntimeMatchesFaultMetrics) {
+  if (!Telemetry::CompiledWithTracing()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  ExperimentOptions options = TinyOptions(6, 41);
+  options.horizon_ms = 60.0 * kMsPerSecond;  // both fault edges fire before end
+  options.fault_plan.FailDevice(1, 20.0 * kMsPerSecond, 30.0 * kMsPerSecond);
+  std::vector<TraceEvent> events;
+  ExperimentResult result = RunTraced("Mudi", options, &events);
+
+  ASSERT_EQ(result.faults.device_failures, 1u);
+  ASSERT_EQ(result.faults.devices_recovered, 1u);
+  ParsedTrace trace;
+  trace.events = events;
+  telemetry::TraceSummary summary = telemetry::SummarizeTrace(trace);
+  // The fault category shows up, and the reader's downtime attribution
+  // reproduces the injector's accounting for the recovered interval.
+  EXPECT_GE(summary.events_by_category.at("fault"), 2u);
+  EXPECT_NEAR(summary.lanes.at(1).downtime_ms, 30.0 * kMsPerSecond, 1e-6);
+  EXPECT_NEAR(summary.total_downtime_ms, result.faults.total_downtime_ms, 1e-6);
+}
+
 TEST(TelemetryExperimentTest, MetricsCountersMatchResult) {
   ExperimentOptions options = TinyOptions(6, 39);
   options.telemetry.enabled = true;

@@ -29,6 +29,7 @@ struct CliArgs {
   double load = 1.0;
   double compression = 800.0;
   double tick_ms = 0.0;
+  bool chaos = false;
   std::string csv;
   bool util_series = false;
   std::string trace_file;
@@ -51,6 +52,7 @@ void PrintUsage() {
       "  --load F           QPS scale factor (default 1.0)\n"
       "  --compression F    duration compression (default 800)\n"
       "  --tick-ms F        arrival cohort tick override (default auto)\n"
+      "  --chaos            arm the standard fault schedule (StandardChaosPlan)\n"
       "  --util             record the utilization time series\n"
       "  --csv FILE         append a summary row to FILE (with header if new)\n"
       "  --trace FILE       write an event trace (.json = Chrome trace, else binary)\n"
@@ -108,6 +110,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->tick_ms = std::atof(v);
+    } else if (flag == "--chaos") {
+      args->chaos = true;
     } else if (flag == "--util") {
       args->util_series = true;
     } else if (flag == "--csv") {
@@ -177,6 +181,10 @@ int main(int argc, char** argv) {
   if (args.load != 1.0) {
     ScaleQps(options, args.load);
   }
+  if (args.chaos) {
+    options.fault_plan =
+        StandardChaosPlan(args.nodes * args.gpus, args.nodes);
+  }
   if (!args.trace_file.empty() || !args.metrics_json.empty() || !args.metrics_csv.empty()) {
     options.telemetry.enabled = true;
     options.telemetry.trace_file = args.trace_file;
@@ -208,6 +216,27 @@ int main(int argc, char** argv) {
   for (const auto& [name, metrics] : result.per_service) {
     std::printf("  %-10s SLO violation %s  (mean latency %.1f ms)\n", name.c_str(),
                 Table::Pct(metrics.slo_violation_rate(), 2).c_str(), metrics.mean_latency_ms);
+  }
+  if (result.faults.any()) {
+    const FaultMetrics& fm = result.faults;
+    std::printf("-- faults --\n");
+    Table ft({"metric", "value"});
+    ft.AddRow({"faults injected", std::to_string(fm.faults_injected)});
+    ft.AddRow({"device failures / recoveries", std::to_string(fm.device_failures) + " / " +
+                                                   std::to_string(fm.devices_recovered)});
+    ft.AddRow({"total downtime (s)", Table::Num(fm.total_downtime_ms / kMsPerSecond, 1)});
+    ft.AddRow({"trainings displaced / replaced", std::to_string(fm.trainings_displaced) + " / " +
+                                                     std::to_string(fm.trainings_replaced)});
+    ft.AddRow({"mean re-place latency (s)",
+               Table::Num(fm.mean_replacement_ms / kMsPerSecond, 1)});
+    ft.AddRow({"work lost (full-GPU s)", Table::Num(fm.work_lost_ms / kMsPerSecond, 1)});
+    ft.AddRow({"requests failed / rerouted",
+               Table::Num(fm.failed_requests, 0) + " / " + Table::Num(fm.rerouted_requests, 0)});
+    ft.AddRow({"goodput (req/s)", Table::Num(fm.goodput_rps, 1)});
+    ft.AddRow({"violated windows (failure/load)",
+               std::to_string(result.TotalWindowsViolatedFailure()) + " / " +
+                   std::to_string(result.TotalWindowsViolatedLoad())});
+    std::printf("%s", ft.ToString().c_str());
   }
 
   if (!args.csv.empty()) {
