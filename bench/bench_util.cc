@@ -1,10 +1,10 @@
 #include "bench/bench_util.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "src/common/check.h"
+#include "src/common/wallclock.h"
 
 namespace mudi {
 
@@ -13,13 +13,13 @@ std::map<std::string, ExperimentResult> RunSystems(const ExperimentOptions& opti
                                                    bool verbose) {
   std::map<std::string, ExperimentResult> results;
   for (const std::string& name : systems) {
-    auto start = std::chrono::steady_clock::now();
+    WallTimer timer;
     PerfOracle profiling_oracle(options.oracle_seed);
     auto policy = MakePolicy(name, profiling_oracle);
     ClusterExperiment experiment(options, policy.get());
     results[name] = experiment.Run();
     if (verbose) {
-      double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      double secs = timer.ElapsedSeconds();
       std::fprintf(stderr, "[bench] %s done in %.1fs (SLO viol %.2f%%, %zu/%zu tasks)\n",
                    name.c_str(), secs, 100.0 * results[name].OverallSloViolationRate(),
                    results[name].CompletedTasks(), results[name].tasks.size());

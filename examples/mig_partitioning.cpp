@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "src/cluster/policy.h"
+#include "src/common/float_eq.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
 #include "src/core/tuner.h"
@@ -62,9 +63,9 @@ int main() {
     PiecewiseLinearModel curve = FitPiecewiseLinear(x, y);
     auto min_frac = tuner.MinimalFraction(curve, 64, 100.0, service.slo_ms);
 
-    std::string label = dev.compute_scale() == 1.0
+    std::string label = ExactEq(dev.compute_scale(), 1.0)
                             ? "whole A100"
-                            : (dev.compute_scale() == 0.5 ? "1/2 MIG" : "1/4 MIG");
+                            : (ExactEq(dev.compute_scale(), 0.5) ? "1/2 MIG" : "1/4 MIG");
     table.AddRow({label, Table::Num(dev.memory_mb() / 1024.0, 1),
                   Table::Pct(dev.compute_scale(), 0), Table::Num(latency, 1),
                   Table::Pct(curve.x0, 0),

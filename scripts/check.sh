@@ -1,66 +1,230 @@
 #!/bin/bash
-# Repo health gate: configure + build with -Wall -Wextra treated as a gate
-# (any warning fails), then run the full tier-1 test suite.
+# Repo health gate. Runs, in order:
 #
-# Usage: scripts/check.sh [--sanitize] [build-dir]
-#   default build dir: build (or build-asan with --sanitize)
+#   lint     tools/mudi_lint over src/ tests/ bench/ tools/ examples/ —
+#            repo invariants
+#            (determinism, Status discipline, float equality, time units,
+#            include hygiene). Any unsuppressed finding fails.
+#   format   non-fatal clang-format drift report (skipped when clang-format
+#            is not installed). Never fails the gate; it exists so future PRs
+#            converge on .clang-format instead of diverging silently.
+#   build    plain tree with the -Wall -Wextra warning gate: any compiler
+#            warning fails (this also backs the [[nodiscard]] Status gate).
+#   tests    full tier-1 ctest suite in the plain tree.
+#   asan     AddressSanitizer+UBSan tree (-fno-sanitize-recover=all) with the
+#            full suite. Skipped by --fast.
+#   tsan     ThreadSanitizer tree with the full suite. Opt-in via --tsan.
 #
-# --sanitize builds a separate tree with AddressSanitizer + UBSan
-# (-fno-sanitize-recover=all, so any report aborts the test) and runs the
-# full suite under it.
+# Usage: scripts/check.sh [--fast | --sanitize | --tsan ...] [build-dir]
+#   (no flags)   lint + format + build + tests + asan
+#   --fast       lint + format + build + tests (skip all sanitizer trees)
+#   --sanitize   lint + asan tree only (the pre-existing deep-memory gate)
+#   --tsan       lint + tsan tree only; combine with --sanitize to run both
+#   build-dir    plain-tree build directory (default: build). Sanitizer trees
+#                always use build-asan / build-tsan.
+#
+# A PASS/FAIL/SKIP summary table prints at the end; exit status is non-zero
+# iff any non-skipped stage failed.
 set -u
 cd "$(dirname "$0")/.."
 
-SANITIZE=0
-if [ "${1:-}" = "--sanitize" ]; then
-  SANITIZE=1
+RUN_BUILD=1
+RUN_TESTS=1
+RUN_ASAN=1
+RUN_TSAN=0
+EXPLICIT_MODE=0
+BUILD_DIR="build"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --fast)
+      RUN_ASAN=0
+      RUN_TSAN=0
+      EXPLICIT_MODE=1
+      ;;
+    --sanitize)
+      if [ "$EXPLICIT_MODE" -eq 0 ]; then
+        RUN_BUILD=0
+        RUN_TESTS=0
+        RUN_TSAN=0
+        EXPLICIT_MODE=1
+      fi
+      RUN_ASAN=1
+      ;;
+    --tsan)
+      if [ "$EXPLICIT_MODE" -eq 0 ]; then
+        RUN_BUILD=0
+        RUN_TESTS=0
+        RUN_ASAN=0
+        EXPLICIT_MODE=1
+      fi
+      RUN_TSAN=1
+      ;;
+    -h|--help)
+      sed -n '2,28p' "$0"
+      exit 0
+      ;;
+    -*)
+      echo "check.sh: unknown flag $1 (see --help)"
+      exit 2
+      ;;
+    *)
+      BUILD_DIR="$1"
+      ;;
+  esac
   shift
-fi
-if [ "$SANITIZE" -eq 1 ]; then
-  BUILD_DIR="${1:-build-asan}"
+done
+
+STAGE_NAMES=()
+STAGE_RESULTS=()
+FAILED=0
+
+record() {  # record <stage> <PASS|FAIL|SKIP>
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("$2")
+  if [ "$2" = "FAIL" ]; then
+    FAILED=1
+  fi
+}
+
+summary_and_exit() {
+  echo
+  echo "== summary =="
+  printf '%-10s %s\n' "stage" "result"
+  printf '%-10s %s\n' "-----" "------"
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '%-10s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+  done
+  if [ "$FAILED" -ne 0 ]; then
+    echo "CHECK FAILED"
+    exit 1
+  fi
+  echo "CHECK OK"
+  exit 0
+}
+
+# Configure + build + (optionally) test one tree with the warning gate.
+# run_tree <dir> <stage-prefix> <extra-flags> <env-prefix> <run-tests>
+run_tree() {
+  local dir="$1" stage="$2" flags="$3" envs="$4" run_tests="$5"
+  echo "== ${stage}: configure (${dir}) =="
+  if [ -n "$flags" ]; then
+    cmake -B "$dir" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="$flags" \
+      -DCMAKE_EXE_LINKER_FLAGS="$flags" > /dev/null || {
+      record "$stage" FAIL
+      return 1
+    }
+  else
+    cmake -B "$dir" -S . > /dev/null || {
+      record "$stage" FAIL
+      return 1
+    }
+  fi
+  echo "== ${stage}: build (warning gate) =="
+  local log
+  log=$(mktemp)
+  cmake --build "$dir" -j "$(nproc)" 2>&1 | tee "$log"
+  local rc=${PIPESTATUS[0]}
+  if [ "$rc" -ne 0 ]; then
+    echo "${stage}: build error"
+    rm -f "$log"
+    record "$stage" FAIL
+    return 1
+  fi
+  if grep -E "warning:" "$log" > /dev/null; then
+    echo "${stage}: compiler warnings:"
+    grep -E "warning:" "$log" | sort -u
+    rm -f "$log"
+    record "$stage" FAIL
+    return 1
+  fi
+  rm -f "$log"
+  if [ "$run_tests" -eq 1 ]; then
+    echo "== ${stage}: tests =="
+    if ! (cd "$dir" && env $envs ctest --output-on-failure -j "$(nproc)"); then
+      record "$stage" FAIL
+      return 1
+    fi
+  fi
+  record "$stage" PASS
+  return 0
+}
+
+# -- lint ---------------------------------------------------------------------
+echo "== lint =="
+if cmake -B "$BUILD_DIR" -S . > /dev/null &&
+   cmake --build "$BUILD_DIR" -j "$(nproc)" --target mudi_lint > /dev/null; then
+  if "$BUILD_DIR"/tools/mudi_lint --root .; then
+    record "lint" PASS
+  else
+    record "lint" FAIL
+  fi
 else
-  BUILD_DIR="${1:-build}"
+  echo "lint: failed to build tools/mudi_lint"
+  record "lint" FAIL
+fi
+if [ "$FAILED" -ne 0 ]; then
+  summary_and_exit
 fi
 
-echo "== configure (${BUILD_DIR}) =="
-if [ "$SANITIZE" -eq 1 ]; then
-  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
-  cmake -B "$BUILD_DIR" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
-    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" || exit 1
+# -- format (non-fatal) -------------------------------------------------------
+echo "== format (non-fatal drift report) =="
+if command -v clang-format > /dev/null 2>&1; then
+  DRIFT=0
+  CHECKED=0
+  while IFS= read -r f; do
+    CHECKED=$((CHECKED + 1))
+    if ! clang-format --dry-run -Werror "$f" > /dev/null 2>&1; then
+      DRIFT=$((DRIFT + 1))
+      echo "format drift: $f"
+    fi
+  done < <(find src tests bench tools examples \
+             \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
+  echo "format: ${DRIFT}/${CHECKED} file(s) drift from .clang-format (informational)"
+  record "format" PASS
 else
-  cmake -B "$BUILD_DIR" -S . || exit 1
+  echo "format: clang-format not installed; skipping"
+  record "format" SKIP
 fi
 
-echo "== build (warning gate) =="
-BUILD_LOG=$(mktemp)
-cmake --build "$BUILD_DIR" -j "$(nproc)" 2>&1 | tee "$BUILD_LOG"
-BUILD_RC=${PIPESTATUS[0]}
-if [ "$BUILD_RC" -ne 0 ]; then
-  echo "CHECK FAILED: build error"
-  rm -f "$BUILD_LOG"
-  exit 1
+# -- plain tree: build + tests ------------------------------------------------
+if [ "$RUN_BUILD" -eq 1 ]; then
+  run_tree "$BUILD_DIR" "build" "" "" 0 || summary_and_exit
+  if [ "$RUN_TESTS" -eq 1 ]; then
+    echo "== tests =="
+    if (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"); then
+      record "tests" PASS
+    else
+      record "tests" FAIL
+      summary_and_exit
+    fi
+  else
+    record "tests" SKIP
+  fi
+else
+  record "build" SKIP
+  record "tests" SKIP
 fi
-# The toolchain already compiles with -Wall -Wextra (see CMakeLists.txt);
-# the gate is that the log stays warning-free.
-if grep -E "warning:" "$BUILD_LOG" > /dev/null; then
-  echo "CHECK FAILED: compiler warnings:"
-  grep -E "warning:" "$BUILD_LOG" | sort -u
-  rm -f "$BUILD_LOG"
-  exit 1
-fi
-rm -f "$BUILD_LOG"
 
-echo "== tier-1 tests =="
-if [ "$SANITIZE" -eq 1 ]; then
-  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
-  export UBSAN_OPTIONS="print_stacktrace=1"
+# -- sanitizer trees ----------------------------------------------------------
+if [ "$RUN_ASAN" -eq 1 ]; then
+  ASAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+  run_tree "build-asan" "asan" "$ASAN_FLAGS" \
+    "ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 UBSAN_OPTIONS=print_stacktrace=1" 1 \
+    || summary_and_exit
+else
+  record "asan" SKIP
 fi
-(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
-CTEST_RC=$?
-if [ "$CTEST_RC" -ne 0 ]; then
-  echo "CHECK FAILED: tests"
-  exit 1
+
+if [ "$RUN_TSAN" -eq 1 ]; then
+  TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g"
+  run_tree "build-tsan" "tsan" "$TSAN_FLAGS" \
+    "TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1" 1 \
+    || summary_and_exit
+else
+  record "tsan" SKIP
 fi
-echo "CHECK OK"
+
+summary_and_exit

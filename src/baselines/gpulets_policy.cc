@@ -1,11 +1,11 @@
 #include "src/baselines/gpulets_policy.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "src/baselines/baseline_util.h"
 #include "src/common/check.h"
+#include "src/common/wallclock.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -59,7 +59,7 @@ void GpuletsPolicy::Retune(SchedulingEnv& env, int device_id) {
 }
 
 std::optional<int> GpuletsPolicy::SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) {
-  auto start = std::chrono::steady_clock::now();
+  WallTimer timer;
   // Best-fit: the device whose residual slice after the inference gpulet is
   // smallest but still above the training minimum.
   std::vector<int> eligible =
@@ -85,9 +85,7 @@ std::optional<int> GpuletsPolicy::SelectDevice(SchedulingEnv& env, const Trainin
   if (!best.has_value() && !eligible.empty()) {
     best = eligible.front();
   }
-  RecordPlacementOverhead(std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - start)
-                              .count());
+  RecordPlacementOverhead(timer.ElapsedMs());
   return best;
 }
 

@@ -1,11 +1,11 @@
 #include "src/baselines/gslice_policy.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "src/baselines/baseline_util.h"
 #include "src/common/check.h"
+#include "src/common/wallclock.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -17,7 +17,7 @@ GslicePolicy::GslicePolicy(Options options) : options_(options) {
 }
 
 std::optional<int> GslicePolicy::SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) {
-  auto start = std::chrono::steady_clock::now();
+  WallTimer timer;
   // No interference model: least-loaded device (fewest resident trainings,
   // then lowest memory pressure).
   std::vector<int> eligible =
@@ -33,9 +33,7 @@ std::optional<int> GslicePolicy::SelectDevice(SchedulingEnv& env, const Training
       best = id;
     }
   }
-  RecordPlacementOverhead(std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - start)
-                              .count());
+  RecordPlacementOverhead(timer.ElapsedMs());
   return best;
 }
 

@@ -1,12 +1,12 @@
 #include "src/baselines/muxflow_policy.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "src/baselines/baseline_util.h"
 #include "src/common/check.h"
+#include "src/common/wallclock.h"
 
 namespace mudi {
 
@@ -93,7 +93,7 @@ double MuxflowPolicy::MinTableFraction(size_t service_index, size_t training_typ
 
 std::optional<int> MuxflowPolicy::SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) {
   MUDI_CHECK(initialized_);
-  auto start = std::chrono::steady_clock::now();
+  WallTimer timer;
   std::vector<int> eligible =
       EligibleDevices(env, task, MaxTrainingsPerDevice(), /*require_fit=*/true);
   // Matching score: the SLO-safety margin the table promises for this pair
@@ -120,9 +120,7 @@ std::optional<int> MuxflowPolicy::SelectDevice(SchedulingEnv& env, const Trainin
       best = id;
     }
   }
-  RecordPlacementOverhead(std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - start)
-                              .count());
+  RecordPlacementOverhead(timer.ElapsedMs());
   return best;
 }
 

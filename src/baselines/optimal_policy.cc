@@ -1,11 +1,11 @@
 #include "src/baselines/optimal_policy.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "src/baselines/baseline_util.h"
 #include "src/common/check.h"
+#include "src/common/wallclock.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -111,7 +111,7 @@ void OptimalPolicy::ApplyConfig(SchedulingEnv& env, int device_id, const BestCon
 }
 
 std::optional<int> OptimalPolicy::SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) {
-  auto start = std::chrono::steady_clock::now();
+  WallTimer timer;
   std::vector<int> eligible =
       EligibleDevices(env, task, MaxTrainingsPerDevice(), /*require_fit=*/false);
   if (eligible.size() > options_.max_devices_scanned) {
@@ -131,9 +131,7 @@ std::optional<int> OptimalPolicy::SelectDevice(SchedulingEnv& env, const Trainin
   if (best_device.has_value()) {
     pending_[task.task_id] = best;
   }
-  RecordPlacementOverhead(std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - start)
-                              .count());
+  RecordPlacementOverhead(timer.ElapsedMs());
   return best_device;
 }
 

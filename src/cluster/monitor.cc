@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/float_eq.h"
 #include "src/telemetry/telemetry.h"
 
 namespace mudi {
@@ -39,7 +40,7 @@ void QpsMonitor::RecordArrivals(TimeMs now, double count) {
 
 void QpsMonitor::RecordLatency(double latency_ms, double weight) {
   MUDI_CHECK_GE(weight, 0.0);
-  if (weight == 0.0 || feedback_lost_) {
+  if (ExactEq(weight, 0.0) || feedback_lost_) {
     return;
   }
   if (latencies_.size() == options_.latency_window) {

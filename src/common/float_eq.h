@@ -1,0 +1,51 @@
+// Explicit floating-point comparison helpers.
+//
+// mudi_lint (mudi-float-eq) bans bare ==/!= against floating-point literals:
+// a raw `x == 0.5` does not say whether the author wanted a tolerance or an
+// intentional exact match, and silent exact compares are how schedule
+// divergence sneaks past review. These helpers make the intent explicit:
+//
+//   ApproxEq(a, b)        tolerance compare (relative + absolute epsilon) —
+//                         the default for anything that went through
+//                         arithmetic.
+//   ExactEq(a, b)         intentional bitwise-value compare — sentinels,
+//                         defaults that are assigned (never computed), and
+//                         short-circuit guards like `weight == 0.0`.
+//
+// This header is the one allowlisted site for raw float ==.
+#ifndef SRC_COMMON_FLOAT_EQ_H_
+#define SRC_COMMON_FLOAT_EQ_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace mudi {
+
+// Default tolerances: loose enough to absorb double rounding through a few
+// dozen arithmetic ops, tight enough to distinguish any physically distinct
+// quantity this simulator produces (times in ms, fractions, QPS).
+inline constexpr double kDefaultRelTolerance = 1e-9;
+inline constexpr double kDefaultAbsTolerance = 1e-12;
+
+// True when a and b differ by at most `abs_tol` or by `rel_tol` of the larger
+// magnitude. NaN compares unequal to everything, matching IEEE intent.
+inline bool ApproxEq(double a, double b, double rel_tol = kDefaultRelTolerance,
+                     double abs_tol = kDefaultAbsTolerance) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return false;
+  }
+  if (a == b) {  // covers equal infinities and exact matches
+    return true;
+  }
+  const double diff = std::fabs(a - b);
+  return diff <= abs_tol || diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+// Intentional exact compare: use where the value is assigned, never computed
+// (sentinels like -1.0, defaults like 1.0, short-circuit guards like 0.0).
+// Spelling it as a named call documents that the exactness is deliberate.
+inline bool ExactEq(double a, double b) { return a == b; }
+
+}  // namespace mudi
+
+#endif  // SRC_COMMON_FLOAT_EQ_H_

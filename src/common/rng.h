@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/float_eq.h"
 
 namespace mudi {
 
@@ -58,7 +59,7 @@ class Rng {
   // Poisson-distributed count with the given mean.
   int64_t Poisson(double mean) {
     MUDI_CHECK_GE(mean, 0.0);
-    if (mean == 0.0) {
+    if (ExactEq(mean, 0.0)) {
       return 0;
     }
     return std::poisson_distribution<int64_t>(mean)(engine_);

@@ -27,7 +27,10 @@ enum class StatusCode {
 // Human-readable name for a StatusCode, e.g. "INVALID_ARGUMENT".
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] makes the compiler (and the -Werror-style warning gate in
+// scripts/check.sh) reject silently dropped error results; mudi_lint's
+// mudi-status check covers the same invariant in uncompiled code paths.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -67,7 +70,7 @@ inline Status InternalError(std::string message) {
 
 // Value-or-error carrier. Accessing value() on an error status aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
     MUDI_CHECK(!status_.ok());
@@ -109,6 +112,17 @@ class StatusOr {
     if (!_status.ok()) {                 \
       return _status;                    \
     }                                    \
+  } while (0)
+
+// Aborts (with the status message) if `expr` is not OK. For call sites where
+// failure is a programming error, not a recoverable condition.
+#define MUDI_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::mudi::Status _status = (expr);                                   \
+    if (!_status.ok()) {                                               \
+      ::mudi::CheckFailed(__FILE__, __LINE__,                          \
+                          #expr " returned " + _status.ToString());    \
+    }                                                                  \
   } while (0)
 
 #endif  // SRC_COMMON_STATUS_H_

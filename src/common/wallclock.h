@@ -1,0 +1,47 @@
+// Sanctioned wall-clock timing for observational overhead measurement.
+//
+// The simulator's results must be a pure function of the seed, so simulation
+// logic never reads real time — mudi_lint (mudi-determinism) bans the
+// std::chrono clocks everywhere except this header and src/common/rng.h.
+// What legitimately needs wall time is *measuring the scheduler itself*:
+// Fig. 18 reports how many real milliseconds a placement decision costs.
+// Those measurements are observational — they are recorded next to results
+// but never feed back into a scheduling decision, so they cannot perturb the
+// simulated schedule.
+//
+// WallTimer is the only way repo code should touch the wall clock. If you
+// find yourself wanting wall time for anything that influences control flow,
+// use the Simulator's virtual clock instead.
+#ifndef SRC_COMMON_WALLCLOCK_H_
+#define SRC_COMMON_WALLCLOCK_H_
+
+#include <chrono>
+
+namespace mudi {
+
+// Measures elapsed real time from construction (or the last Restart()).
+// Monotonic (steady_clock), so immune to NTP adjustments.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed wall time in milliseconds since construction/Restart.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  // Elapsed wall time in seconds since construction/Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_COMMON_WALLCLOCK_H_

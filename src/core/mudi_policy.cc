@@ -1,24 +1,15 @@
 #include "src/core/mudi_policy.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/common/wallclock.h"
 #include "src/common/logging.h"
 #include "src/telemetry/telemetry.h"
 
 namespace mudi {
-
-namespace {
-
-double ElapsedMs(std::chrono::steady_clock::time_point start) {
-  auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count();
-}
-
-}  // namespace
 
 MudiPolicy::MudiPolicy(const PerfOracle& profiling_oracle, Options options)
     : options_(std::move(options)),
@@ -80,7 +71,7 @@ std::vector<size_t> MudiPolicy::DeviceMix(const GpuDevice& device) {
 
 std::optional<int> MudiPolicy::SelectDevice(SchedulingEnv& env, const TrainingTaskInfo& task) {
   MUDI_CHECK(initialized_);
-  auto start = std::chrono::steady_clock::now();
+  WallTimer timer;
   std::optional<int> choice;
   if (options_.cluster_policy == ClusterPolicy::kSlopeBased) {
     choice = selector_->Select(env, task);
@@ -97,7 +88,7 @@ std::optional<int> MudiPolicy::SelectDevice(SchedulingEnv& env, const TrainingTa
           rng_.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
     }
   }
-  RecordPlacementOverhead(ElapsedMs(start));
+  RecordPlacementOverhead(timer.ElapsedMs());
   return choice;
 }
 

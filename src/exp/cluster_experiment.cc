@@ -575,10 +575,12 @@ std::vector<TrainingTaskInfo> ClusterExperiment::DisplaceTrainings(int device_id
       sim_.Cancel(running.completion_event);
     }
     if (policy_->SupportsMemorySwap()) {
-      MUDI_CHECK(memory_manager_.Release(dev, task_id, now).ok());
+      MUDI_CHECK_OK(memory_manager_.Release(dev, task_id, now));
     }
     TrainingInstance instance = dev.RemoveTraining(task_id);
-    registry_.Delete(DeviceTaskKey(device_id, task_id));
+    // The key was Put at placement, so a failed Delete means the registry
+    // and device state diverged — a bookkeeping bug, not a recoverable error.
+    MUDI_CHECK(registry_.Delete(DeviceTaskKey(device_id, task_id)));
     // Checkpoint rollback: the task resumes from its last periodic
     // checkpoint, redoing the progress made since.
     double resume_work = std::max(running.work_at_checkpoint, instance.work_remaining_ms);
@@ -922,11 +924,12 @@ void ClusterExperiment::OnTrainingComplete(int device_id, int task_id) {
   SyncTrainingProgress(device_id, task_id);
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
   if (policy_->SupportsMemorySwap()) {
-    MUDI_CHECK(memory_manager_.Release(dev, task_id, sim_.Now()).ok());
+    MUDI_CHECK_OK(memory_manager_.Release(dev, task_id, sim_.Now()));
   }
   dev.RemoveTraining(task_id);
   running_.erase(task_id);
-  registry_.Delete(DeviceTaskKey(device_id, task_id));
+  // See the displacement path: this key must exist for any running task.
+  MUDI_CHECK(registry_.Delete(DeviceTaskKey(device_id, task_id)));
 
   TaskRecord& record = task_records_[task_id];
   record.completion_ms = sim_.Now();

@@ -1,6 +1,7 @@
 #include "src/ml/matrix.h"
 
 #include <cmath>
+#include "src/common/float_eq.h"
 
 namespace mudi {
 
@@ -36,7 +37,7 @@ Matrix Matrix::Multiply(const Matrix& other) const {
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t k = 0; k < cols_; ++k) {
       double a = At(r, k);
-      if (a == 0.0) {
+      if (ExactEq(a, 0.0)) {  // skip zero rows: sparse speedup
         continue;
       }
       for (size_t c = 0; c < other.cols_; ++c) {

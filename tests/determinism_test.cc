@@ -1,0 +1,129 @@
+// End-to-end guard for the invariant mudi_lint protects statically: a
+// ClusterExperiment run is a pure function of its seed. Two runs with the
+// same options must agree on every recorded metric — not just headline
+// aggregates but per-task records and per-service windows — because the
+// paper's figures (and PR 2's "empty fault plan leaves results
+// byte-identical" guarantee) assume bit-reproducibility.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/presets.h"
+#include "src/fault/fault_plan.h"
+
+namespace mudi {
+namespace {
+
+ExperimentOptions SmallOptions(uint64_t seed) {
+  ExperimentOptions options;
+  options.num_nodes = 2;
+  options.gpus_per_node = 2;
+  options.num_services = 4;
+  options.seed = seed;
+  options.trace.num_tasks = 16;
+  options.trace.mean_interarrival_ms = 2.0 * kMsPerSecond;
+  options.trace.duration_compression = 8000.0;
+  options.trace.seed = seed + 1;
+  return options;
+}
+
+ExperimentResult RunOnce(const std::string& policy_name, const ExperimentOptions& options) {
+  PerfOracle profiling_oracle(options.oracle_seed);
+  auto policy = MakePolicy(policy_name, profiling_oracle);
+  ClusterExperiment experiment(options, policy.get());
+  return experiment.Run();
+}
+
+// Exact equality is intentional everywhere below: determinism means the two
+// runs executed the same floating-point operations in the same order, so
+// results must match to the last bit, not merely within a tolerance.
+void ExpectIdenticalResults(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+  EXPECT_EQ(a.avg_sm_util, b.avg_sm_util);
+  EXPECT_EQ(a.avg_mem_util, b.avg_mem_util);
+  EXPECT_EQ(a.swap_events, b.swap_events);
+  EXPECT_EQ(a.swap_total_mb, b.swap_total_mb);
+
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    const TaskRecord& ta = a.tasks[i];
+    const TaskRecord& tb = b.tasks[i];
+    EXPECT_EQ(ta.task_id, tb.task_id) << "task " << i;
+    EXPECT_EQ(ta.type_index, tb.type_index) << "task " << i;
+    EXPECT_EQ(ta.arrival_ms, tb.arrival_ms) << "task " << i;
+    EXPECT_EQ(ta.start_ms, tb.start_ms) << "task " << i;
+    EXPECT_EQ(ta.completion_ms, tb.completion_ms) << "task " << i;
+    EXPECT_EQ(ta.device_id, tb.device_id) << "task " << i;
+    EXPECT_EQ(ta.failures, tb.failures) << "task " << i;
+    EXPECT_EQ(ta.work_lost_ms, tb.work_lost_ms) << "task " << i;
+  }
+
+  ASSERT_EQ(a.per_service.size(), b.per_service.size());
+  for (const auto& [name, sa] : a.per_service) {
+    auto it = b.per_service.find(name);
+    ASSERT_NE(it, b.per_service.end()) << name;
+    const ServiceMetrics& sb = it->second;
+    EXPECT_EQ(sa.windows_total, sb.windows_total) << name;
+    EXPECT_EQ(sa.windows_violated, sb.windows_violated) << name;
+    EXPECT_EQ(sa.windows_violated_failure, sb.windows_violated_failure) << name;
+    EXPECT_EQ(sa.mean_latency_ms, sb.mean_latency_ms) << name;
+    EXPECT_EQ(sa.served_requests, sb.served_requests) << name;
+  }
+
+  EXPECT_EQ(a.faults.faults_injected, b.faults.faults_injected);
+  EXPECT_EQ(a.faults.device_failures, b.faults.device_failures);
+  EXPECT_EQ(a.faults.total_downtime_ms, b.faults.total_downtime_ms);
+  EXPECT_EQ(a.faults.work_lost_ms, b.faults.work_lost_ms);
+  EXPECT_EQ(a.faults.failed_requests, b.faults.failed_requests);
+  EXPECT_EQ(a.faults.rerouted_requests, b.faults.rerouted_requests);
+  EXPECT_EQ(a.faults.goodput_rps, b.faults.goodput_rps);
+}
+
+class SeedDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SeedDeterminismTest, SameSeedSameMetrics) {
+  ExperimentOptions options = SmallOptions(/*seed=*/17);
+  ExperimentResult a = RunOnce(GetParam(), options);
+  ExperimentResult b = RunOnce(GetParam(), options);
+  ExpectIdenticalResults(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SeedDeterminismTest,
+                         ::testing::Values("Mudi", "GSLICE", "gpulets", "MuxFlow", "Random",
+                                           "Optimal"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(SeedDeterminismFaultTest, SameSeedSameMetricsUnderChaos) {
+  ExperimentOptions options = SmallOptions(/*seed=*/23);
+  options.fault_plan = StandardChaosPlan(/*num_devices=*/4, /*num_nodes=*/2);
+  ExperimentResult a = RunOnce("Mudi", options);
+  ExperimentResult b = RunOnce("Mudi", options);
+  ExpectIdenticalResults(a, b);
+  EXPECT_GT(a.faults.faults_injected, 0u);
+}
+
+TEST(SeedDeterminismTestNegative, DifferentSeedsDiverge) {
+  ExperimentResult a = RunOnce("Random", SmallOptions(/*seed=*/17));
+  ExperimentResult b = RunOnce("Random", SmallOptions(/*seed=*/18));
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  bool any_difference = false;
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    if (a.tasks[i].arrival_ms != b.tasks[i].arrival_ms) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference) << "different trace seeds produced identical arrivals";
+}
+
+}  // namespace
+}  // namespace mudi

@@ -1,0 +1,386 @@
+// Exercises the mudi_lint check engine against embedded code snippets: every
+// check has at least one firing case, one clean case, and one suppression
+// case, so a regression in the tokenizer or a check surfaces here before it
+// silently stops guarding the repo.
+#include "tools/mudi_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mudi::lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path, const std::string& code,
+                          Options options = {}) {
+  return LintFile(path, code, options);
+}
+
+size_t CountCheck(const std::vector<Finding>& findings, const std::string& check,
+                  bool include_suppressed = false) {
+  size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.check == check && (include_suppressed || !f.suppressed)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, StripsCommentsAndStringBodies) {
+  auto tokens = Tokenize(
+      "int x = 1; // rand() in a comment\n"
+      "const char* s = \"rand() steady_clock\";\n"
+      "/* time(nullptr) in a block comment */\n");
+  for (const auto& tok : tokens) {
+    EXPECT_NE(tok.text, "rand");
+    EXPECT_NE(tok.text, "steady_clock");
+    EXPECT_NE(tok.text, "time");
+  }
+}
+
+TEST(TokenizerTest, RawStringBodiesAreStripped) {
+  auto tokens = Tokenize("auto s = R\"(rand() mt19937)\";\n");
+  for (const auto& tok : tokens) {
+    EXPECT_NE(tok.text, "rand");
+    EXPECT_NE(tok.text, "mt19937");
+  }
+}
+
+TEST(TokenizerTest, TracksLineNumbers) {
+  auto tokens = Tokenize("int a;\nint b;\n\nint c;\n");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].line, 1);  // int
+  EXPECT_EQ(tokens[3].line, 2);  // int (b)
+  EXPECT_EQ(tokens[6].line, 4);  // int (c)
+}
+
+TEST(TokenizerTest, MultiCharOperatorsAreSingleTokens) {
+  auto tokens = Tokenize("a == b; c != d; e->f; g::h;");
+  std::vector<std::string> puncts;
+  for (const auto& tok : tokens) {
+    if (tok.kind == Token::Kind::kPunct) {
+      puncts.push_back(tok.text);
+    }
+  }
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "=="), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "!="), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "::"), puncts.end());
+}
+
+// ---------------------------------------------------------------------------
+// mudi-determinism
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismCheckTest, FlagsRandAndClocks) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F() {\n"
+                       "  int x = rand();\n"
+                       "  auto t = std::chrono::steady_clock::now();\n"
+                       "  std::random_device rd;\n"
+                       "  std::mt19937 gen(42);\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 4u);
+}
+
+TEST(DeterminismCheckTest, FlagsCTime) {
+  auto findings = Lint("src/core/foo.cc", "long t = time(nullptr);\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 1u);
+}
+
+TEST(DeterminismCheckTest, MemberNamedTimeIsClean) {
+  auto findings = Lint("src/core/foo.cc",
+                       "struct E { double time; };\n"
+                       "bool Later(const E& a, const E& b) { return a.time > b.time; }\n"
+                       "double T(const E& e) { return e.time; }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 0u);
+}
+
+TEST(DeterminismCheckTest, RngHeaderIsAllowlisted) {
+  const std::string code = "std::mt19937_64 engine_;\n";
+  EXPECT_EQ(CountCheck(Lint("src/common/rng.h", code), "mudi-determinism"), 0u);
+  EXPECT_EQ(CountCheck(Lint("src/core/other.h", code), "mudi-determinism"), 1u);
+}
+
+TEST(DeterminismCheckTest, WallclockHeaderIsAllowlisted) {
+  const std::string code = "using Clock = std::chrono::steady_clock;\n";
+  EXPECT_EQ(CountCheck(Lint("src/common/wallclock.h", code), "mudi-determinism"), 0u);
+}
+
+TEST(DeterminismCheckTest, NolintSuppresses) {
+  auto findings = Lint("src/core/foo.cc",
+                       "int x = rand();  // NOLINT(mudi-determinism) seed audit fixture\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism", /*include_suppressed=*/true), 1u);
+}
+
+TEST(DeterminismCheckTest, NolintNextLineSuppresses) {
+  auto findings = Lint("src/core/foo.cc",
+                       "// NOLINTNEXTLINE(mudi-determinism)\n"
+                       "int x = rand();\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism", /*include_suppressed=*/true), 1u);
+}
+
+TEST(DeterminismCheckTest, BareNolintSuppressesEverything) {
+  auto findings = Lint("src/core/foo.cc", "int x = rand();  // NOLINT\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// mudi-status
+// ---------------------------------------------------------------------------
+
+Options StatusOptions() {
+  Options options;
+  options.status_functions = {"Release", "Validate", "GetRequired"};
+  return options;
+}
+
+TEST(StatusCheckTest, FlagsDiscardedCall) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Manager& m) {\n"
+                       "  m.Release(1);\n"
+                       "}\n",
+                       StatusOptions());
+  EXPECT_EQ(CountCheck(findings, "mudi-status"), 1u);
+}
+
+TEST(StatusCheckTest, FlagsDiscardedChainedCall) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Exp& e) {\n"
+                       "  e.registry().GetRequired(\"k\");\n"
+                       "}\n",
+                       StatusOptions());
+  EXPECT_EQ(CountCheck(findings, "mudi-status"), 1u);
+}
+
+TEST(StatusCheckTest, CheckedCallIsClean) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Manager& m) {\n"
+                       "  MUDI_CHECK_OK(m.Release(1));\n"
+                       "  Status s = m.Release(2);\n"
+                       "  if (!m.Release(3).ok()) { return; }\n"
+                       "  (void)m.Release(4);  // drop: device already gone\n"
+                       "}\n",
+                       StatusOptions());
+  EXPECT_EQ(CountCheck(findings, "mudi-status"), 0u);
+}
+
+TEST(StatusCheckTest, CallWithOkAccessorIsClean) {
+  // The chain continues past the call, so the result is consumed.
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Plan& p) { p.Validate(4, 2).ok(); }\n", StatusOptions());
+  // .ok() consumes the Status; the chain's last call is ok(), not Validate().
+  EXPECT_EQ(CountCheck(findings, "mudi-status"), 0u);
+}
+
+TEST(StatusCheckTest, DeclarationIsNotACall) {
+  auto findings = Lint("src/core/foo.h",
+                       "class Plan {\n"
+                       " public:\n"
+                       "  Status Validate(int n, int m) const;\n"
+                       "};\n",
+                       StatusOptions());
+  EXPECT_EQ(CountCheck(findings, "mudi-status"), 0u);
+}
+
+TEST(StatusCheckTest, NolintSuppresses) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Manager& m) {\n"
+                       "  m.Release(1);  // NOLINT(mudi-status) best-effort cleanup\n"
+                       "}\n",
+                       StatusOptions());
+  EXPECT_EQ(CountCheck(findings, "mudi-status"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-status", /*include_suppressed=*/true), 1u);
+}
+
+TEST(StatusCheckTest, CollectorFindsDeclarations) {
+  std::set<std::string> names;
+  CollectStatusFunctions(
+      "Status Arm(const FaultPlan& plan);\n"
+      "StatusOr<std::string> GetRequired(const std::string& key) const;\n"
+      "Status FaultInjector::Disarm(int id) { return Status::Ok(); }\n"
+      "Status s = Foo();\n"  // variable, not a function
+      "return Status(code, msg);\n",  // constructor, not a function
+      &names);
+  EXPECT_EQ(names.count("Arm"), 1u);
+  EXPECT_EQ(names.count("GetRequired"), 1u);
+  EXPECT_EQ(names.count("Disarm"), 1u);
+  EXPECT_EQ(names.count("s"), 0u);
+  EXPECT_EQ(names.count("Status"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// mudi-float-eq
+// ---------------------------------------------------------------------------
+
+TEST(FloatEqCheckTest, FlagsLiteralComparison) {
+  auto findings = Lint("src/core/foo.cc",
+                       "bool F(double x) { return x == 0.5; }\n"
+                       "bool G(double x) { return 1.0 != x; }\n"
+                       "bool H(double x) { return x == -2.5; }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-float-eq"), 3u);
+}
+
+TEST(FloatEqCheckTest, IntegerComparisonIsClean) {
+  auto findings = Lint("src/core/foo.cc",
+                       "bool F(int x) { return x == 0; }\n"
+                       "bool G(size_t x) { return x != 100; }\n"
+                       "bool H(int x) { return x == 0x1f; }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-float-eq"), 0u);
+}
+
+TEST(FloatEqCheckTest, HelpersHeaderIsAllowlisted) {
+  const std::string code = "inline bool ExactEq(double a, double b) { return a == b; }\n";
+  EXPECT_EQ(CountCheck(Lint("src/common/float_eq.h", code), "mudi-float-eq"), 0u);
+}
+
+TEST(FloatEqCheckTest, ScientificNotationIsFloat) {
+  auto findings = Lint("src/core/foo.cc", "bool F(double x) { return x == 1e9; }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-float-eq"), 1u);
+}
+
+TEST(FloatEqCheckTest, NolintSuppresses) {
+  auto findings =
+      Lint("src/core/foo.cc",
+           "bool F(double x) { return x == 0.5; }  // NOLINT(mudi-float-eq) exact sentinel\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-float-eq"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-float-eq", /*include_suppressed=*/true), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// mudi-time-unit
+// ---------------------------------------------------------------------------
+
+TEST(TimeUnitCheckTest, FlagsRawMillisecondLiterals) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Simulator& sim) {\n"
+                       "  sim.RunUntil(3600000.0);\n"
+                       "  sim.ScheduleAfter(5000, cb);\n"
+                       "  sim.SchedulePeriodic(0.0, 60000.0, cb);\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-time-unit"), 3u);
+}
+
+TEST(TimeUnitCheckTest, NamedConstantsAreClean) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Simulator& sim) {\n"
+                       "  sim.RunUntil(2.0 * kMsPerHour);\n"
+                       "  sim.ScheduleAfter(horizon_ms, cb);\n"
+                       "  sim.ScheduleAfter(5.0, cb);\n"
+                       "  sim.SchedulePeriodic(0.0, 10.0, cb);\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-time-unit"), 0u);
+}
+
+TEST(TimeUnitCheckTest, LiteralInCallbackBodyIsNotATimeArg) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Simulator& sim) {\n"
+                       "  sim.ScheduleAfter(5.0, [&] { counter += 100000; });\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-time-unit"), 0u);
+}
+
+TEST(TimeUnitCheckTest, DefinitionIsNotACallSite) {
+  auto findings =
+      Lint("src/sim/simulator.cc", "void Simulator::RunUntil(TimeMs t) { now_ = t; }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-time-unit"), 0u);
+}
+
+TEST(TimeUnitCheckTest, NolintSuppresses) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Simulator& sim) {\n"
+                       "  sim.RunUntil(86400000.0);  // NOLINT(mudi-time-unit) raw trace ts\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-time-unit"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-time-unit", /*include_suppressed=*/true), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// mudi-include
+// ---------------------------------------------------------------------------
+
+TEST(IncludeCheckTest, OwnHeaderFirstIsClean) {
+  auto findings = Lint("src/core/foo.cc",
+                       "#include \"src/core/foo.h\"\n"
+                       "#include <vector>\n"
+                       "#include \"src/common/check.h\"\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-include"), 0u);
+}
+
+TEST(IncludeCheckTest, FlagsOwnHeaderNotFirst) {
+  auto findings = Lint("src/core/foo.cc",
+                       "#include <vector>\n"
+                       "#include \"src/core/foo.h\"\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-include"), 1u);
+}
+
+TEST(IncludeCheckTest, MainFileWithoutOwnHeaderIsClean) {
+  auto findings = Lint("tools/some_cli.cpp",
+                       "#include <cstdio>\n"
+                       "#include \"src/exp/presets.h\"\n"
+                       "int main() { return 0; }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-include"), 0u);
+}
+
+TEST(IncludeCheckTest, FlagsUsingNamespaceInHeader) {
+  auto findings = Lint("src/core/foo.h", "using namespace std;\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-include"), 1u);
+  // ... but not in a .cc file.
+  auto cc = Lint("src/core/foo.cc", "using namespace std::chrono_literals;\n");
+  EXPECT_EQ(CountCheck(cc, "mudi-include"), 0u);
+}
+
+TEST(IncludeCheckTest, NolintSuppresses) {
+  auto findings = Lint("src/core/foo.h",
+                       "using namespace std;  // NOLINT(mudi-include) generated code\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-include"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine plumbing
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, CheckNamesSortedAndComplete) {
+  auto names = CheckNames();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(EngineTest, EnabledChecksRestrictsFindings) {
+  Options options;
+  options.enabled_checks = {"mudi-float-eq"};
+  auto findings = Lint("src/core/foo.cc",
+                       "bool F(double x) { int y = rand(); return x == 0.5; }\n", options);
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-float-eq"), 1u);
+}
+
+TEST(EngineTest, FindingsSortedByLine) {
+  auto findings = Lint("src/core/foo.cc",
+                       "int a = rand();\n"
+                       "int b = rand();\n"
+                       "int c = rand();\n");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_LT(findings[0].line, findings[1].line);
+  EXPECT_LT(findings[1].line, findings[2].line);
+}
+
+TEST(EngineTest, FindingToStringFormat) {
+  Finding f{"src/core/foo.cc", 12, "mudi-determinism", Severity::kError, "bad", false};
+  EXPECT_EQ(f.ToString(), "src/core/foo.cc:12: error: [mudi-determinism] bad");
+  f.suppressed = true;
+  EXPECT_EQ(f.ToString(), "src/core/foo.cc:12: error: [mudi-determinism] bad (suppressed)");
+}
+
+}  // namespace
+}  // namespace mudi::lint

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include "src/common/float_eq.h"
 
 #include "src/ml/bayesopt.h"
 #include "src/ml/gaussian_process.h"
@@ -123,7 +124,8 @@ TEST(GpLcbTest, ConvergesWithinPaperIterationBudget) {
   ASSERT_TRUE(result.best_candidate.has_value());
   EXPECT_LE(result.iterations_used, 25u);
   // Best is one of the two central candidates.
-  EXPECT_TRUE(*result.best_candidate == 64.0 || *result.best_candidate == 128.0);
+  EXPECT_TRUE(ExactEq(*result.best_candidate, 64.0) ||
+              ExactEq(*result.best_candidate, 128.0));
 }
 
 TEST(GpLcbTest, HistoryRecordsEvaluations) {

@@ -106,7 +106,7 @@ TEST(SimulatorTest, PeriodicCanCancelItself) {
       sim.Cancel(id);
     }
   });
-  sim.RunUntil(1000.0);
+  sim.RunUntil(kMsPerSecond);
   EXPECT_EQ(count, 3);
 }
 

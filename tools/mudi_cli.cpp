@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include "src/common/float_eq.h"
 #include <fstream>
 #include <string>
 
@@ -178,7 +179,7 @@ int main(int argc, char** argv) {
   if (args.tick_ms > 0.0) {
     options.arrival_tick_ms = args.tick_ms;
   }
-  if (args.load != 1.0) {
+  if (!ExactEq(args.load, 1.0)) {
     ScaleQps(options, args.load);
   }
   if (args.chaos) {

@@ -1,0 +1,697 @@
+#include "tools/mudi_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+namespace mudi::lint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Per-line suppressions: line -> set of check ids; an empty set means every
+// check is suppressed on that line (bare NOLINT).
+using SuppressionMap = std::map<int, std::set<std::string>>;
+
+// Parses NOLINT / NOLINTNEXTLINE directives out of one comment's text.
+void ParseNolint(std::string_view comment, int line, SuppressionMap* suppressions) {
+  size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string_view::npos) {
+    size_t after = pos + 6;  // past "NOLINT"
+    int target = line;
+    if (comment.substr(pos).rfind("NOLINTNEXTLINE", 0) == 0) {
+      target = line + 1;
+      after = pos + 14;
+    }
+    std::set<std::string> checks;
+    if (after < comment.size() && comment[after] == '(') {
+      size_t close = comment.find(')', after);
+      if (close != std::string_view::npos) {
+        std::string list(comment.substr(after + 1, close - after - 1));
+        std::stringstream ss(list);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+          item.erase(0, item.find_first_not_of(" \t"));
+          item.erase(item.find_last_not_of(" \t") + 1);
+          if (!item.empty()) {
+            checks.insert(item);
+          }
+        }
+        after = close + 1;
+      }
+    }
+    // Convention: an empty set at a line means "suppress every check".
+    auto it = suppressions->find(target);
+    if (checks.empty()) {
+      (*suppressions)[target] = {};
+    } else if (it == suppressions->end()) {
+      (*suppressions)[target] = std::move(checks);
+    } else if (!it->second.empty()) {
+      it->second.insert(checks.begin(), checks.end());
+    }
+    pos = after;
+  }
+}
+
+struct TokenizeResult {
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+  // Raw #include directives in order: (line, path, quoted?).
+  struct Include {
+    int line;
+    std::string path;
+    bool quoted;
+  };
+  std::vector<Include> includes;
+};
+
+// The multi-character operators the checks care about. Longest-match first.
+const char* const kMultiPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||",  "<<",  ">>",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++",  "--",
+};
+
+TokenizeResult TokenizeImpl(std::string_view src) {
+  TokenizeResult result;
+  size_t i = 0;
+  int line = 1;
+  bool in_preprocessor = false;
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto push = [&](Token::Kind kind, std::string text, int tok_line) {
+    result.tokens.push_back(Token{kind, std::move(text), tok_line, in_preprocessor});
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      // A preprocessor directive ends at an unescaped newline.
+      if (in_preprocessor && !(i >= 2 && src[i - 2] == '\\')) {
+        in_preprocessor = false;
+      }
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) {
+        end = src.size();
+      }
+      ParseNolint(src.substr(i, end - i), line, &result.suppressions);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        end = src.size();
+      } else {
+        end += 2;
+      }
+      std::string_view body = src.substr(i, end - i);
+      ParseNolint(body, line, &result.suppressions);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = end;
+      at_line_start = false;
+      continue;
+    }
+    // Preprocessor directive start.
+    if (c == '#' && at_line_start) {
+      in_preprocessor = true;
+      at_line_start = false;
+      // Parse #include targets for the include-hygiene check.
+      size_t j = i + 1;
+      while (j < src.size() && (src[j] == ' ' || src[j] == '\t')) {
+        ++j;
+      }
+      if (src.substr(j).rfind("include", 0) == 0) {
+        j += 7;
+        while (j < src.size() && (src[j] == ' ' || src[j] == '\t')) {
+          ++j;
+        }
+        if (j < src.size() && (src[j] == '"' || src[j] == '<')) {
+          char open = src[j];
+          char close = open == '"' ? '"' : '>';
+          size_t end = src.find(close, j + 1);
+          if (end != std::string_view::npos) {
+            result.includes.push_back(
+                {line, std::string(src.substr(j + 1, end - j - 1)), open == '"'});
+          }
+        }
+      }
+      push(Token::Kind::kPunct, "#", line);
+      ++i;
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal: [prefix]R"delim( ... )delim".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      size_t open_paren = src.find('(', i + 2);
+      if (open_paren != std::string_view::npos) {
+        std::string delim(src.substr(i + 2, open_paren - (i + 2)));
+        std::string terminator = ")" + delim + "\"";
+        size_t end = src.find(terminator, open_paren + 1);
+        if (end == std::string_view::npos) {
+          end = src.size();
+        } else {
+          end += terminator.size();
+        }
+        std::string_view body = src.substr(i, end - i);
+        line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+        push(Token::Kind::kStringLiteral, "\"\"", line);
+        i = end;
+        continue;
+      }
+    }
+    // String / char literal (body discarded so embedded code never fires).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      while (j < src.size() && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < src.size()) {
+          ++j;
+        }
+        if (src[j] == '\n') {
+          ++line;
+        }
+        ++j;
+      }
+      push(quote == '"' ? Token::Kind::kStringLiteral : Token::Kind::kCharLiteral,
+           std::string(1, quote) + quote, line);
+      i = j + 1;
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < src.size() && IsIdentChar(src[j])) {
+        ++j;
+      }
+      push(Token::Kind::kIdentifier, std::string(src.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+    // Number (pp-number rule: digits, dots, exponents, separators, suffixes).
+    if (IsDigit(c) || (c == '.' && i + 1 < src.size() && IsDigit(src[i + 1]))) {
+      size_t j = i + 1;
+      while (j < src.size()) {
+        char n = src[j];
+        if (IsIdentChar(n) || n == '.' || n == '\'') {
+          ++j;
+        } else if ((n == '+' || n == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                    src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(Token::Kind::kNumber, std::string(src.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+    // Punctuation, longest multi-char operator first.
+    bool matched = false;
+    for (const char* op : kMultiPuncts) {
+      size_t len = std::char_traits<char>::length(op);
+      if (src.substr(i, len) == op) {
+        push(Token::Kind::kPunct, op, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(Token::Kind::kPunct, std::string(1, c), line);
+      ++i;
+    }
+  }
+  return result;
+}
+
+bool IsFloatLiteral(const std::string& text) {
+  if (text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    return false;  // hex (incl. hex floats; nobody ==-compares those here)
+  }
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '.' || c == 'e' || c == 'E' || c == 'f' || c == 'F') {
+      return true;
+    }
+  }
+  return false;
+}
+
+double NumericValue(const std::string& text) {
+  std::string cleaned;
+  for (char c : text) {
+    if (c != '\'') {
+      cleaned.push_back(c);
+    }
+  }
+  return std::strtod(cleaned.c_str(), nullptr);
+}
+
+bool CheckEnabled(const Options& options, const std::string& check) {
+  return options.enabled_checks.empty() || options.enabled_checks.count(check) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// mudi-determinism
+// ---------------------------------------------------------------------------
+
+// Identifiers banned anywhere (types/objects whose mere presence signals
+// ambient randomness or wall-clock time).
+const std::unordered_set<std::string>& BannedIdentifiers() {
+  static const std::unordered_set<std::string> kSet = {
+      "random_device",  "system_clock", "steady_clock", "high_resolution_clock",
+      "mt19937",        "mt19937_64",   "minstd_rand",  "minstd_rand0",
+      "default_random_engine", "ranlux24", "ranlux48",  "knuth_b",
+      "random_shuffle",
+  };
+  return kSet;
+}
+
+// Identifiers banned as direct calls: `name(` not preceded by `.` or `->`
+// (member functions named e.g. `time()` on our own types stay legal).
+const std::unordered_set<std::string>& BannedCallIdentifiers() {
+  static const std::unordered_set<std::string> kSet = {
+      "rand", "srand", "time", "clock", "gettimeofday", "clock_gettime", "timespec_get",
+  };
+  return kSet;
+}
+
+void CheckDeterminism(const std::string& path, const std::vector<Token>& tokens,
+                      std::vector<Finding>* findings) {
+  if (EndsWith(path, "src/common/rng.h") || EndsWith(path, "src/common/wallclock.h")) {
+    return;  // the sanctioned randomness / wall-clock implementations
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Token::Kind::kIdentifier) {
+      continue;
+    }
+    if (BannedIdentifiers().count(tok.text) != 0) {
+      findings->push_back(
+          {path, tok.line, "mudi-determinism", Severity::kError,
+           "'" + tok.text +
+               "' breaks seeded reproducibility; use mudi::Rng (src/common/rng.h) for "
+               "randomness or mudi::WallTimer (src/common/wallclock.h) for observational "
+               "wall-clock timing"});
+      continue;
+    }
+    if (BannedCallIdentifiers().count(tok.text) != 0 && i + 1 < tokens.size() &&
+        tokens[i + 1].kind == Token::Kind::kPunct && tokens[i + 1].text == "(") {
+      bool member = i > 0 && tokens[i - 1].kind == Token::Kind::kPunct &&
+                    (tokens[i - 1].text == "." || tokens[i - 1].text == "->");
+      if (!member) {
+        findings->push_back({path, tok.line, "mudi-determinism", Severity::kError,
+                             "call to '" + tok.text +
+                                 "()' is nondeterministic; simulation code must derive all "
+                                 "randomness from a seeded mudi::Rng and all time from the "
+                                 "Simulator virtual clock"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mudi-status
+// ---------------------------------------------------------------------------
+
+const std::unordered_set<std::string>& StatementKeywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "return",   "if",     "else",    "while",  "for",       "do",      "switch",
+      "case",     "break",  "continue", "goto",  "new",       "delete",  "throw",
+      "co_return", "co_await", "using", "namespace", "class", "struct",  "enum",
+      "template", "typedef", "static",  "const", "constexpr", "auto",    "void",
+      "int",      "double", "float",   "bool",   "char",      "unsigned", "signed",
+      "long",     "short",  "public",  "private", "protected", "friend", "virtual",
+      "explicit", "inline", "operator", "sizeof", "typename", "default",
+  };
+  return kSet;
+}
+
+void CheckStatusDiscard(const std::string& path, const std::vector<Token>& tokens,
+                        const Options& options, std::vector<Finding>* findings) {
+  if (options.status_functions.empty()) {
+    return;
+  }
+  bool statement_start = true;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.preprocessor) {
+      continue;
+    }
+    if (tok.kind == Token::Kind::kPunct &&
+        (tok.text == ";" || tok.text == "{" || tok.text == "}" || tok.text == ":")) {
+      statement_start = true;
+      continue;
+    }
+    if (!statement_start) {
+      continue;
+    }
+    statement_start = false;
+    if (tok.kind != Token::Kind::kIdentifier || StatementKeywords().count(tok.text) != 0) {
+      continue;
+    }
+    // Parse a postfix chain: ident [args] ((:: | . | ->) ident [args])* ';'
+    size_t j = i;
+    int chain_line = tok.line;
+    std::string last_called;
+    std::string current = tok.text;
+    ++j;
+    while (j < tokens.size()) {
+      const Token& t = tokens[j];
+      if (t.kind == Token::Kind::kPunct && t.text == "(") {
+        int depth = 1;
+        ++j;
+        while (j < tokens.size() && depth > 0) {
+          if (tokens[j].kind == Token::Kind::kPunct) {
+            if (tokens[j].text == "(") {
+              ++depth;
+            } else if (tokens[j].text == ")") {
+              --depth;
+            }
+          }
+          ++j;
+        }
+        last_called = current;
+        continue;
+      }
+      if (t.kind == Token::Kind::kPunct &&
+          (t.text == "::" || t.text == "." || t.text == "->") &&
+          j + 1 < tokens.size() && tokens[j + 1].kind == Token::Kind::kIdentifier) {
+        current = tokens[j + 1].text;
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    if (j < tokens.size() && tokens[j].kind == Token::Kind::kPunct && tokens[j].text == ";" &&
+        !last_called.empty() && options.status_functions.count(last_called) != 0) {
+      findings->push_back(
+          {path, chain_line, "mudi-status", Severity::kError,
+           "result of Status-returning call '" + last_called +
+               "()' is discarded; use MUDI_CHECK_OK, MUDI_RETURN_IF_ERROR, or an explicit "
+               "`(void)` cast with a comment explaining why the error is ignorable"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mudi-float-eq
+// ---------------------------------------------------------------------------
+
+void CheckFloatEquality(const std::string& path, const std::vector<Token>& tokens,
+                        std::vector<Finding>* findings) {
+  if (EndsWith(path, "src/common/float_eq.h")) {
+    return;  // the sanctioned comparison helpers
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Token::Kind::kPunct || (tok.text != "==" && tok.text != "!=")) {
+      continue;
+    }
+    bool float_operand = false;
+    if (i > 0 && tokens[i - 1].kind == Token::Kind::kNumber &&
+        IsFloatLiteral(tokens[i - 1].text)) {
+      float_operand = true;
+    }
+    size_t r = i + 1;
+    if (r < tokens.size() && tokens[r].kind == Token::Kind::kPunct &&
+        (tokens[r].text == "-" || tokens[r].text == "+")) {
+      ++r;
+    }
+    if (r < tokens.size() && tokens[r].kind == Token::Kind::kNumber &&
+        IsFloatLiteral(tokens[r].text)) {
+      float_operand = true;
+    }
+    if (float_operand) {
+      findings->push_back(
+          {path, tok.line, "mudi-float-eq", Severity::kError,
+           "'" + tok.text +
+               "' against a floating-point literal; use ApproxEq (tolerance) or ExactEq "
+               "(intentional sentinel compare) from src/common/float_eq.h"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mudi-time-unit
+// ---------------------------------------------------------------------------
+
+struct TimeApi {
+  const char* name;
+  int time_args;  // leading arguments that are virtual-time values
+};
+
+const TimeApi kTimeApis[] = {
+    {"ScheduleAt", 1},
+    {"ScheduleAfter", 1},
+    {"SchedulePeriodic", 2},
+    {"RunUntil", 1},
+};
+
+void CheckTimeUnits(const std::string& path, const std::vector<Token>& tokens,
+                    std::vector<Finding>* findings) {
+  constexpr double kThresholdMs = 1000.0;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Token::Kind::kIdentifier) {
+      continue;
+    }
+    const TimeApi* api = nullptr;
+    for (const TimeApi& candidate : kTimeApis) {
+      if (tok.text == candidate.name) {
+        api = &candidate;
+        break;
+      }
+    }
+    if (api == nullptr || tokens[i + 1].kind != Token::Kind::kPunct ||
+        tokens[i + 1].text != "(") {
+      continue;
+    }
+    // Scan the leading time arguments (stop at top-level commas).
+    int depth = 1;
+    int arg_index = 0;
+    bool arg_has_ident = false;
+    const Token* arg_big_literal = nullptr;
+    size_t j = i + 2;
+    auto finish_arg = [&]() {
+      if (arg_index < api->time_args && arg_big_literal != nullptr && !arg_has_ident) {
+        findings->push_back(
+            {path, arg_big_literal->line, "mudi-time-unit", Severity::kError,
+             "raw millisecond literal '" + arg_big_literal->text + "' passed to " +
+                 std::string(api->name) +
+                 "; spell durations >= 1s with kMsPerSecond/kMsPerMinute/kMsPerHour or a "
+                 "named constant so the unit is visible"});
+      }
+      ++arg_index;
+      arg_has_ident = false;
+      arg_big_literal = nullptr;
+    };
+    while (j < tokens.size() && depth > 0 && arg_index < api->time_args) {
+      const Token& t = tokens[j];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") {
+          ++depth;
+        } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+          --depth;
+          if (depth == 0) {
+            finish_arg();
+            break;
+          }
+        } else if (t.text == "," && depth == 1) {
+          finish_arg();
+        }
+      } else if (t.kind == Token::Kind::kIdentifier) {
+        arg_has_ident = true;
+      } else if (t.kind == Token::Kind::kNumber && NumericValue(t.text) >= kThresholdMs) {
+        arg_big_literal = &t;
+      }
+      ++j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mudi-include
+// ---------------------------------------------------------------------------
+
+void CheckIncludeHygiene(const std::string& path, const TokenizeResult& tokenized,
+                         std::vector<Finding>* findings) {
+  bool is_source = EndsWith(path, ".cc") || EndsWith(path, ".cpp");
+  bool is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+  if (is_source && !tokenized.includes.empty()) {
+    // basename without extension
+    size_t slash = path.find_last_of('/');
+    std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = base.find_last_of('.');
+    std::string own_header = base.substr(0, dot) + ".h";
+    for (size_t k = 0; k < tokenized.includes.size(); ++k) {
+      const auto& inc = tokenized.includes[k];
+      if (!inc.quoted) {
+        continue;
+      }
+      size_t inc_slash = inc.path.find_last_of('/');
+      std::string inc_base =
+          inc_slash == std::string::npos ? inc.path : inc.path.substr(inc_slash + 1);
+      if (inc_base == own_header) {
+        if (k != 0) {
+          findings->push_back({path, inc.line, "mudi-include", Severity::kWarning,
+                               "a .cc file must include its own header first (\"" + inc.path +
+                                   "\" found after other includes); this keeps every header "
+                                   "self-contained"});
+        }
+        break;
+      }
+    }
+  }
+  if (is_header) {
+    const auto& tokens = tokenized.tokens;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind == Token::Kind::kIdentifier && tokens[i].text == "using" &&
+          tokens[i + 1].kind == Token::Kind::kIdentifier &&
+          tokens[i + 1].text == "namespace") {
+        findings->push_back({path, tokens[i].line, "mudi-include", Severity::kWarning,
+                             "'using namespace' in a header leaks into every includer; "
+                             "qualify names or alias them instead"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+  }
+  return "unknown";
+}
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << SeverityName(severity) << ": [" << check << "] "
+     << message;
+  if (suppressed) {
+    os << " (suppressed)";
+  }
+  return os.str();
+}
+
+std::vector<std::string> CheckNames() {
+  return {"mudi-determinism", "mudi-float-eq", "mudi-include", "mudi-status",
+          "mudi-time-unit"};
+}
+
+std::vector<Token> Tokenize(std::string_view content) {
+  return TokenizeImpl(content).tokens;
+}
+
+void CollectStatusFunctions(std::string_view content, std::set<std::string>* out) {
+  std::vector<Token> tokens = Tokenize(content);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Token::Kind::kIdentifier ||
+        (tok.text != "Status" && tok.text != "StatusOr")) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (tok.text == "StatusOr") {
+      if (j >= tokens.size() || tokens[j].kind != Token::Kind::kPunct ||
+          tokens[j].text != "<") {
+        continue;
+      }
+      int depth = 1;
+      ++j;
+      while (j < tokens.size() && depth > 0) {
+        if (tokens[j].kind == Token::Kind::kPunct) {
+          if (tokens[j].text == "<") {
+            ++depth;
+          } else if (tokens[j].text == ">") {
+            --depth;
+          } else if (tokens[j].text == ">>") {
+            depth -= 2;
+          }
+        }
+        ++j;
+      }
+    }
+    // Optional qualified name: Ident (:: Ident)*, then '('.
+    if (j >= tokens.size() || tokens[j].kind != Token::Kind::kIdentifier) {
+      continue;
+    }
+    std::string name = tokens[j].text;
+    ++j;
+    while (j + 1 < tokens.size() && tokens[j].kind == Token::Kind::kPunct &&
+           tokens[j].text == "::" && tokens[j + 1].kind == Token::Kind::kIdentifier) {
+      name = tokens[j + 1].text;
+      j += 2;
+    }
+    if (j < tokens.size() && tokens[j].kind == Token::Kind::kPunct && tokens[j].text == "(") {
+      out->insert(name);
+    }
+  }
+}
+
+std::vector<Finding> LintFile(const std::string& path, std::string_view content,
+                              const Options& options) {
+  TokenizeResult tokenized = TokenizeImpl(content);
+  std::vector<Finding> findings;
+  if (CheckEnabled(options, "mudi-determinism")) {
+    CheckDeterminism(path, tokenized.tokens, &findings);
+  }
+  if (CheckEnabled(options, "mudi-status")) {
+    CheckStatusDiscard(path, tokenized.tokens, options, &findings);
+  }
+  if (CheckEnabled(options, "mudi-float-eq")) {
+    CheckFloatEquality(path, tokenized.tokens, &findings);
+  }
+  if (CheckEnabled(options, "mudi-time-unit")) {
+    CheckTimeUnits(path, tokenized.tokens, &findings);
+  }
+  if (CheckEnabled(options, "mudi-include")) {
+    CheckIncludeHygiene(path, tokenized, &findings);
+  }
+  // Apply suppressions.
+  for (Finding& f : findings) {
+    auto it = tokenized.suppressions.find(f.line);
+    if (it != tokenized.suppressions.end() &&
+        (it->second.empty() || it->second.count(f.check) != 0)) {
+      f.suppressed = true;
+    }
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    return a.check < b.check;
+  });
+  return findings;
+}
+
+}  // namespace mudi::lint

@@ -1,0 +1,99 @@
+// mudi_lint: repo-specific static analysis for the Mudi codebase.
+//
+// A deliberately small, libclang-free check engine: a C++-aware tokenizer
+// (comments and string literals stripped, lines tracked) plus per-file checks
+// that enforce repo invariants the compiler and sanitizers cannot see:
+//
+//   mudi-determinism   no wall-clock / ambient-randomness primitives outside
+//                      src/common/rng.h and src/common/wallclock.h. A seeded
+//                      run must be byte-identical; rand(), time(),
+//                      std::random_device and the std::chrono clocks break
+//                      that silently.
+//   mudi-status        a call to a Status/StatusOr-returning function whose
+//                      result is discarded. Backed by [[nodiscard]] on the
+//                      types themselves; the lint also catches call sites in
+//                      not-yet-compiled code paths and macros.
+//   mudi-float-eq      ==/!= against a floating-point literal. Use
+//                      ApproxEq/ExactEq from src/common/float_eq.h so intent
+//                      (tolerance vs. sentinel) is explicit.
+//   mudi-time-unit     a raw numeric literal >= 1000 passed as a time argument
+//                      to Simulator scheduling APIs. Large durations must be
+//                      spelled with kMsPerSecond/kMsPerMinute/kMsPerHour or a
+//                      named constant so the unit is visible.
+//   mudi-include       include hygiene: a .cc file includes its own header
+//                      first; headers never contain `using namespace`.
+//
+// Suppression: append `// NOLINT(mudi-<check>)` to the offending line or put
+// `// NOLINTNEXTLINE(mudi-<check>)` on the line above, with a justification
+// comment. Bare `// NOLINT` (no check list) suppresses every check on the
+// line. Suppressed findings are still returned (with suppressed=true) so the
+// CLI can report counts; only unsuppressed findings fail the build.
+#ifndef TOOLS_MUDI_LINT_LINT_H_
+#define TOOLS_MUDI_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mudi::lint {
+
+enum class Severity {
+  kError,    // violates a repo invariant; fails the lint stage
+  kWarning,  // style drift; reported but still fails when unsuppressed
+};
+
+const char* SeverityName(Severity severity);
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;     // e.g. "mudi-determinism"
+  Severity severity = Severity::kError;
+  std::string message;
+  bool suppressed = false;  // an in-scope NOLINT covers this finding
+
+  // "file:line: error: [mudi-check] message" (with a "(suppressed)" suffix).
+  std::string ToString() const;
+};
+
+// All check ids the engine implements, sorted.
+std::vector<std::string> CheckNames();
+
+// Tokenizer output, exposed for tests and future checks.
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kPunct, kStringLiteral, kCharLiteral };
+  Kind kind;
+  std::string text;  // literals keep only their quote kind, not their body
+  int line = 1;
+  bool preprocessor = false;  // token belongs to a preprocessor directive
+};
+
+// Tokenizes `content`, stripping comments and literal bodies. NOLINT
+// directives found in comments are recorded via `suppressions` (see
+// LintFile); tokens never contain comment or string-body text, so banned
+// identifiers inside strings do not fire checks.
+std::vector<Token> Tokenize(std::string_view content);
+
+// Scans declarations/definitions returning Status or StatusOr<...> and adds
+// the bare function names to `out`. Run over every repo file first so
+// call-site files can resolve names declared elsewhere.
+void CollectStatusFunctions(std::string_view content, std::set<std::string>* out);
+
+struct Options {
+  // Function names whose return is Status/StatusOr (from
+  // CollectStatusFunctions over the whole repo). "Release", "Validate", ...
+  std::set<std::string> status_functions;
+  // Restrict to a subset of checks; empty means all.
+  std::set<std::string> enabled_checks;
+};
+
+// Lints one file. `path` is the repo-relative path (used both for reporting
+// and for path-based allowlists: src/common/rng.h, src/common/wallclock.h,
+// src/common/float_eq.h). Findings are sorted by line.
+std::vector<Finding> LintFile(const std::string& path, std::string_view content,
+                              const Options& options);
+
+}  // namespace mudi::lint
+
+#endif  // TOOLS_MUDI_LINT_LINT_H_

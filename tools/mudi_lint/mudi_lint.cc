@@ -1,0 +1,211 @@
+// mudi_lint CLI: scans the repo (default: src/ tests/ bench/ tools/
+// examples/) and reports repo-invariant violations. Exits non-zero when any unsuppressed
+// finding remains — scripts/check.sh runs this as its `== lint ==` stage.
+//
+// Usage:
+//   mudi_lint [--root DIR] [--json] [--check mudi-NAME]... [--list-checks]
+//             [path...]
+//
+// Paths are files or directories relative to --root (default: the current
+// directory). See tools/mudi_lint/lint.h for the check catalogue and the
+// NOLINT(mudi-<check>) suppression syntax.
+#include "tools/mudi_lint/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string ReadFile(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  *ok = true;
+  return os.str();
+}
+
+// JSON string escaping for the --json report.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: mudi_lint [--root DIR] [--json] [--check mudi-NAME]... "
+               "[--list-checks] [path...]\n"
+               "default paths: src tests bench tools examples\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  std::set<std::string> enabled_checks;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--check" && i + 1 < argc) {
+      enabled_checks.insert(argv[++i]);
+    } else if (arg == "--list-checks") {
+      for (const std::string& name : mudi::lint::CheckNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mudi_lint: unknown flag '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tests", "bench", "tools", "examples"};
+  }
+  for (const std::string& check : enabled_checks) {
+    const auto known = mudi::lint::CheckNames();
+    if (std::find(known.begin(), known.end(), check) == known.end()) {
+      std::fprintf(stderr, "mudi_lint: unknown check '%s' (see --list-checks)\n",
+                   check.c_str());
+      return 2;
+    }
+  }
+
+  const fs::path root_path(root);
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    fs::path full = root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (fs::recursive_directory_iterator it(full, ec), end; it != end;
+           it.increment(ec)) {
+        if (!ec && it->is_regular_file() && HasLintableExtension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
+    } else {
+      std::fprintf(stderr, "mudi_lint: no such file or directory: %s\n",
+                   full.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Pass 1: collect Status/StatusOr-returning function names repo-wide so the
+  // discard check resolves calls to functions declared in other files.
+  mudi::lint::Options options;
+  options.enabled_checks = enabled_checks;
+  std::vector<std::pair<std::string, std::string>> contents;  // (rel path, text)
+  contents.reserve(files.size());
+  for (const fs::path& file : files) {
+    bool ok = false;
+    std::string text = ReadFile(file, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "mudi_lint: cannot read %s\n", file.string().c_str());
+      return 2;
+    }
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root_path, ec);
+    std::string rel_str = ec ? file.string() : rel.generic_string();
+    mudi::lint::CollectStatusFunctions(text, &options.status_functions);
+    contents.emplace_back(rel_str, std::move(text));
+  }
+
+  // Pass 2: lint.
+  std::vector<mudi::lint::Finding> findings;
+  for (const auto& [rel, text] : contents) {
+    std::vector<mudi::lint::Finding> file_findings =
+        mudi::lint::LintFile(rel, text, options);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  size_t suppressed = 0;
+  size_t unsuppressed = 0;
+  for (const auto& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+    } else {
+      ++unsuppressed;
+    }
+  }
+
+  if (json) {
+    std::printf("{\n  \"files_scanned\": %zu,\n  \"findings\": [", contents.size());
+    bool first = true;
+    for (const auto& f : findings) {
+      std::printf("%s\n    {\"file\": \"%s\", \"line\": %d, \"check\": \"%s\", "
+                  "\"severity\": \"%s\", \"suppressed\": %s, \"message\": \"%s\"}",
+                  first ? "" : ",", JsonEscape(f.file).c_str(), f.line, f.check.c_str(),
+                  mudi::lint::SeverityName(f.severity), f.suppressed ? "true" : "false",
+                  JsonEscape(f.message).c_str());
+      first = false;
+    }
+    std::printf("\n  ],\n  \"suppressed\": %zu,\n  \"unsuppressed\": %zu\n}\n", suppressed,
+                unsuppressed);
+  } else {
+    for (const auto& f : findings) {
+      if (!f.suppressed) {
+        std::printf("%s\n", f.ToString().c_str());
+      }
+    }
+    std::printf("mudi_lint: %zu file(s) scanned, %zu finding(s) (%zu suppressed)\n",
+                contents.size(), unsuppressed + suppressed, suppressed);
+  }
+  return unsuppressed == 0 ? 0 : 1;
+}
