@@ -1,0 +1,513 @@
+// bench_throughput — the perf-trajectory bench (DESIGN.md §11).
+//
+// Runs every multiplexing system against small/medium/large cluster presets
+// with a src/perf PerfCollector attached and reports, per (preset, policy):
+//   * raw engine throughput: events fired per wall-clock second
+//   * time compression: simulated seconds per wall second
+//   * scheduler decision latency (the "policy.select_device" region):
+//     count / p50 / p95 / p99 / max milliseconds
+// plus a before/after micro-benchmark for each landed hot-path optimization
+// (currently "sim.event-state-vector": the flat per-id state vector that
+// replaced the live_/cancelled_ unordered_sets in src/sim/simulator.cc).
+//
+// The output is a machine-readable, versioned JSON document
+// (schema "mudi.bench_throughput.v1", validated by
+// perf::ValidateBenchThroughputJson) written to --out and meant to be
+// committed at the repo root as BENCH_throughput.json so the throughput
+// trajectory is visible in review diffs.
+//
+// Usage:
+//   bench_throughput [--out=path] [--presets=a,b] [--systems=x,y]
+//   bench_throughput --validate=path     # schema-check an existing file
+//
+// MUDI_BENCH_SCALE scales task counts as in every other bench.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/check.h"
+#include "src/common/wallclock.h"
+#include "src/exp/cluster_experiment.h"
+#include "src/exp/presets.h"
+#include "src/perf/json_check.h"
+#include "src/perf/mem_probe.h"
+#include "src/perf/perf_collector.h"
+#include "src/perf/perf_report.h"
+#include "src/sim/simulator.h"
+
+namespace mudi {
+namespace {
+
+constexpr const char* kAllSystems[] = {"Mudi", "GSLICE", "gpulets", "MuxFlow", "Random", "Optimal"};
+
+struct Preset {
+  std::string name;
+  ExperimentOptions options;
+};
+
+// smoke < small < medium < large. "smoke" exists for the check.sh --bench
+// gate (seconds, not minutes); the trajectory presets are the other three.
+std::vector<Preset> BuildPresets() {
+  std::vector<Preset> presets;
+  {
+    ExperimentOptions options;
+    options.num_nodes = 2;
+    options.gpus_per_node = 2;
+    options.num_services = 4;
+    options.trace.num_tasks = 8;
+    options.trace.mean_interarrival_ms = 2.0 * kMsPerSecond;
+    options.trace.duration_compression = 8000.0;
+    options.trace.seed = 6;
+    presets.push_back({"smoke", options});
+  }
+  {
+    ExperimentOptions options;
+    options.num_nodes = 2;
+    options.gpus_per_node = 2;
+    options.num_services = 4;
+    options.trace.num_tasks = ScaledCount(32);
+    options.trace.mean_interarrival_ms = 2.0 * kMsPerSecond;
+    options.trace.duration_compression = 8000.0;
+    options.trace.seed = 6;
+    presets.push_back({"small", options});
+  }
+  // The paper's 3×4-A100 physical cluster, task count trimmed from 300 so a
+  // full 6-system sweep stays in trajectory-refresh territory.
+  presets.push_back({"medium", PhysicalClusterOptions(ScaledCount(120))});
+  // The 1000-GPU simulated cluster; tasks trimmed from 5000 for the same
+  // reason — the engine-throughput signal saturates well before that.
+  presets.push_back({"large", SimulatedClusterOptions(ScaledCount(400))});
+  return presets;
+}
+
+struct DecisionLatency {
+  uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct Record {
+  std::string preset;
+  std::string policy;
+  double wall_ms = 0.0;
+  double sim_ms = 0.0;
+  uint64_t events_fired = 0;
+  uint64_t events_scheduled = 0;
+  uint64_t events_cancelled = 0;
+  double events_per_sec = 0.0;
+  double sim_seconds_per_wall_second = 0.0;
+  DecisionLatency decision;
+  double peak_rss_mb = 0.0;
+  perf::PerfReport report;  // full per-region detail, embedded verbatim
+};
+
+Record RunOne(const Preset& preset, const std::string& policy_name) {
+  ExperimentOptions options = preset.options;
+  perf::PerfCollector collector;
+  options.perf = &collector;
+
+  PerfOracle profiling_oracle(options.oracle_seed);
+  auto policy = MakePolicy(policy_name, profiling_oracle);
+  ClusterExperiment experiment(options, policy.get());
+
+  WallTimer timer;
+  ExperimentResult result = experiment.Run();
+  double wall_ms = timer.ElapsedMs();
+  (void)result;
+
+  Record record;
+  record.preset = preset.name;
+  record.policy = policy_name;
+  record.wall_ms = wall_ms;
+  record.sim_ms = experiment.SimNowMs();
+  record.report = perf::PerfReport::FromCollector(collector);
+  record.events_fired = record.report.CounterValue("sim.events_fired");
+  record.events_scheduled = record.report.CounterValue("sim.events_scheduled");
+  record.events_cancelled = record.report.CounterValue("sim.events_cancelled");
+  double wall_seconds = wall_ms / kMsPerSecond;
+  if (wall_seconds > 0.0) {
+    record.events_per_sec = static_cast<double>(record.events_fired) / wall_seconds;
+    record.sim_seconds_per_wall_second = record.sim_ms / wall_ms;
+  }
+  if (const perf::RegionSummary* select = record.report.FindRegion("policy.select_device")) {
+    record.decision.count = select->count;
+    record.decision.p50 = select->p50_ms;
+    record.decision.p95 = select->p95_ms;
+    record.decision.p99 = select->p99_ms;
+    record.decision.max = select->max_ms;
+  }
+  record.peak_rss_mb = static_cast<double>(record.report.memory.peak_rss_bytes) / (1024.0 * 1024.0);
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// Optimization micro-benchmark: sim.event-state-vector.
+//
+// Both mirrors below reproduce the Simulator's queue bookkeeping — same
+// priority_queue<Entry>, same std::function payload, same pop/skip logic —
+// and differ ONLY in how per-id liveness is tracked. LegacyQueue is the
+// pre-optimization implementation (two unordered_sets, verbatim from the old
+// src/sim/simulator.cc); StateVectorQueue is what ships today. Driving both
+// through the identical synthetic churn isolates the bookkeeping delta from
+// everything else (callback dispatch, heap churn, trace generation).
+
+struct MirrorEntry {
+  double time;
+  uint64_t seq;
+  uint64_t id;
+  std::function<void()> cb;
+};
+struct MirrorLater {
+  bool operator()(const MirrorEntry& a, const MirrorEntry& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+class LegacyQueue {
+ public:
+  uint64_t Schedule(double t, std::function<void()> cb) {
+    uint64_t id = next_id_++;
+    live_.insert(id);
+    queue_.push(MirrorEntry{t, next_seq_++, id, std::move(cb)});
+    return id;
+  }
+  bool Cancel(uint64_t id) {
+    if (live_.erase(id) == 0) {
+      return false;
+    }
+    cancelled_.insert(id);
+    return true;
+  }
+  bool Step() {
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty()) {
+      return false;
+    }
+    MirrorEntry entry = queue_.top();
+    queue_.pop();
+    live_.erase(entry.id);
+    entry.cb();
+    return true;
+  }
+
+ private:
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 1;
+  std::priority_queue<MirrorEntry, std::vector<MirrorEntry>, MirrorLater> queue_;
+  std::unordered_set<uint64_t> live_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+class StateVectorQueue {
+ public:
+  uint64_t Schedule(double t, std::function<void()> cb) {
+    uint64_t id = next_id_++;
+    SetState(id, 1);  // live
+    queue_.push(MirrorEntry{t, next_seq_++, id, std::move(cb)});
+    return id;
+  }
+  bool Cancel(uint64_t id) {
+    if (id >= state_.size() || state_[id] != 1) {
+      return false;
+    }
+    state_[id] = 2;  // cancelled
+    return true;
+  }
+  bool Step() {
+    while (!queue_.empty() && state_[queue_.top().id] == 2) {
+      state_[queue_.top().id] = 0;
+      queue_.pop();
+    }
+    if (queue_.empty()) {
+      return false;
+    }
+    MirrorEntry entry = queue_.top();
+    queue_.pop();
+    state_[entry.id] = 0;  // dead
+    entry.cb();
+    return true;
+  }
+
+ private:
+  void SetState(uint64_t id, uint8_t s) {
+    if (id >= state_.size()) {
+      state_.resize(id + 1, 0);
+    }
+    state_[id] = s;
+  }
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 1;
+  std::priority_queue<MirrorEntry, std::vector<MirrorEntry>, MirrorLater> queue_;
+  std::vector<uint8_t> state_;
+};
+
+// Deterministic churn: schedule events at Weyl-sequence pseudo-shuffled
+// times, cancel every third id, drain, repeat. No Rng — the workload must be
+// identical for both queues and across runs.
+template <typename Queue>
+double ChurnEventsPerSecond(size_t total_events) {
+  constexpr size_t kBatch = 4096;
+  Queue queue;
+  volatile uint64_t sink = 0;
+  uint64_t fired = 0;
+  WallTimer timer;
+  size_t remaining = total_events;
+  uint64_t key = 0;
+  while (remaining > 0) {
+    size_t batch = remaining < kBatch ? remaining : kBatch;
+    std::vector<uint64_t> ids;
+    ids.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      key += 0x9E3779B97F4A7C15ull;  // Weyl increment: well-spread times
+      double t = static_cast<double>(key >> 40);
+      ids.push_back(queue.Schedule(t, [&sink] { sink = sink + 1; }));
+    }
+    for (size_t i = 0; i < ids.size(); i += 3) {
+      queue.Cancel(ids[i]);
+    }
+    while (queue.Step()) {
+      ++fired;
+    }
+    remaining -= batch;
+  }
+  double seconds = timer.ElapsedSeconds();
+  MUDI_CHECK_GT(fired, 0u);
+  return seconds > 0.0 ? static_cast<double>(total_events) / seconds : 0.0;
+}
+
+struct OptimizationDelta {
+  std::string name;
+  std::string description;
+  double before_events_per_sec = 0.0;
+  double after_events_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+OptimizationDelta MeasureStateVectorDelta() {
+  size_t events = ScaledCount(2000000);
+  // Interleaved A/B/A/B repetitions so cache warm-up and frequency scaling
+  // bias neither side; keep the best rate of each (least-noise estimator).
+  double before = 0.0;
+  double after = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    double b = ChurnEventsPerSecond<LegacyQueue>(events);
+    double a = ChurnEventsPerSecond<StateVectorQueue>(events);
+    before = b > before ? b : before;
+    after = a > after ? a : after;
+  }
+  OptimizationDelta delta;
+  delta.name = "sim.event-state-vector";
+  delta.description =
+      "Replace the event queue's live_/cancelled_ unordered_sets with a flat "
+      "per-id state vector (src/sim/simulator.cc); per event, two hash "
+      "inserts + two hash erases become two byte writes.";
+  delta.before_events_per_sec = before;
+  delta.after_events_per_sec = after;
+  delta.speedup = before > 0.0 ? after / before : 0.0;
+  return delta;
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission.
+
+void WriteDecision(std::ostream& os, const DecisionLatency& d) {
+  os << "{\"count\":" << d.count << ",\"p50\":";
+  perf::WriteJsonNumber(os, d.p50);
+  os << ",\"p95\":";
+  perf::WriteJsonNumber(os, d.p95);
+  os << ",\"p99\":";
+  perf::WriteJsonNumber(os, d.p99);
+  os << ",\"max\":";
+  perf::WriteJsonNumber(os, d.max);
+  os << "}";
+}
+
+void WriteRecord(std::ostream& os, const Record& r) {
+  os << "    {\"preset\":";
+  perf::WriteJsonEscaped(os, r.preset);
+  os << ",\"policy\":";
+  perf::WriteJsonEscaped(os, r.policy);
+  os << ",\"wall_ms\":";
+  perf::WriteJsonNumber(os, r.wall_ms);
+  os << ",\"sim_ms\":";
+  perf::WriteJsonNumber(os, r.sim_ms);
+  os << ",\"events_fired\":" << r.events_fired << ",\"events_scheduled\":" << r.events_scheduled
+     << ",\"events_cancelled\":" << r.events_cancelled << ",\"events_per_sec\":";
+  perf::WriteJsonNumber(os, r.events_per_sec);
+  os << ",\"sim_seconds_per_wall_second\":";
+  perf::WriteJsonNumber(os, r.sim_seconds_per_wall_second);
+  os << ",\"decision_latency_ms\":";
+  WriteDecision(os, r.decision);
+  os << ",\"peak_rss_mb\":";
+  perf::WriteJsonNumber(os, r.peak_rss_mb);
+  os << ",\"perf\":" << r.report.ToJsonString();
+  os << "}";
+}
+
+void WriteBenchJson(std::ostream& os, const std::vector<Record>& records,
+                    const std::vector<OptimizationDelta>& optimizations) {
+  os << "{\n  \"schema\": \"mudi.bench_throughput.v1\",\n  \"build\": ";
+  perf::BuildMetadata::Current().WriteJson(os);
+  os << ",\n  \"bench_scale\": ";
+  perf::WriteJsonNumber(os, BenchScale());
+  os << ",\n  \"records\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    WriteRecord(os, records[i]);
+    os << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"optimizations\": [\n";
+  for (size_t i = 0; i < optimizations.size(); ++i) {
+    const OptimizationDelta& opt = optimizations[i];
+    os << "    {\"name\":";
+    perf::WriteJsonEscaped(os, opt.name);
+    os << ",\"description\":";
+    perf::WriteJsonEscaped(os, opt.description);
+    os << ",\"before_events_per_sec\":";
+    perf::WriteJsonNumber(os, opt.before_events_per_sec);
+    os << ",\"after_events_per_sec\":";
+    perf::WriteJsonNumber(os, opt.after_events_per_sec);
+    os << ",\"speedup\":";
+    perf::WriteJsonNumber(os, opt.speedup);
+    os << "}" << (i + 1 < optimizations.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// CLI.
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(csv);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+int ValidateFile(const std::string& path) {
+  StatusOr<perf::JsonValue> doc = perf::ParseJsonFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "[bench_throughput] %s\n", doc.status().message().c_str());
+    return 1;
+  }
+  Status status = perf::ValidateBenchThroughputJson(*doc);
+  if (!status.ok()) {
+    std::fprintf(stderr, "[bench_throughput] %s\n", status.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_throughput] %s: valid mudi.bench_throughput.v1\n", path.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_throughput.json";
+  std::vector<std::string> preset_names = {"small", "medium", "large"};
+  std::vector<std::string> systems(std::begin(kAllSystems), std::end(kAllSystems));
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = value_of("--out=");
+    } else if (arg.rfind("--presets=", 0) == 0) {
+      preset_names = SplitCsv(value_of("--presets="));
+    } else if (arg.rfind("--systems=", 0) == 0) {
+      systems = SplitCsv(value_of("--systems="));
+    } else if (arg.rfind("--validate=", 0) == 0) {
+      return ValidateFile(value_of("--validate="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--out=path] [--presets=a,b] [--systems=x,y]\n"
+                   "       bench_throughput --validate=path\n");
+      return 2;
+    }
+  }
+  MUDI_CHECK(!preset_names.empty());
+  MUDI_CHECK(!systems.empty());
+
+  std::vector<Preset> all_presets = BuildPresets();
+  std::vector<Record> records;
+  for (const std::string& name : preset_names) {
+    const Preset* preset = nullptr;
+    for (const Preset& p : all_presets) {
+      if (p.name == name) {
+        preset = &p;
+      }
+    }
+    if (preset == nullptr) {
+      std::fprintf(stderr, "[bench_throughput] unknown preset '%s' (smoke|small|medium|large)\n",
+                   name.c_str());
+      return 2;
+    }
+    for (const std::string& system : systems) {
+      std::fprintf(stderr, "[bench_throughput] %s / %s ...\n", name.c_str(), system.c_str());
+      Record record = RunOne(*preset, system);
+      std::fprintf(stderr,
+                   "[bench_throughput]   %.0f events/s, %.0f sim-s/wall-s, select p95 %.3f ms "
+                   "(%llu decisions), wall %.1f s\n",
+                   record.events_per_sec, record.sim_seconds_per_wall_second,
+                   record.decision.p95, static_cast<unsigned long long>(record.decision.count),
+                   record.wall_ms / kMsPerSecond);
+      records.push_back(std::move(record));
+    }
+  }
+
+  std::fprintf(stderr, "[bench_throughput] measuring sim.event-state-vector delta ...\n");
+  std::vector<OptimizationDelta> optimizations;
+  optimizations.push_back(MeasureStateVectorDelta());
+  std::fprintf(stderr, "[bench_throughput]   before %.0f ev/s, after %.0f ev/s (%.2fx)\n",
+               optimizations.back().before_events_per_sec,
+               optimizations.back().after_events_per_sec, optimizations.back().speedup);
+
+  std::ostringstream json;
+  WriteBenchJson(json, records, optimizations);
+
+  // Self-check before touching disk: a malformed artifact must never land.
+  StatusOr<perf::JsonValue> parsed = perf::ParseJson(json.str());
+  MUDI_CHECK(parsed.ok());
+  Status valid = perf::ValidateBenchThroughputJson(*parsed);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "[bench_throughput] self-validation failed: %s\n",
+                 valid.message().c_str());
+    return 1;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "[bench_throughput] cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str();
+  out.close();
+  std::fprintf(stderr, "[bench_throughput] wrote %s (%zu records, %zu optimizations)\n",
+               out_path.c_str(), records.size(), optimizations.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mudi
+
+int main(int argc, char** argv) { return mudi::Main(argc, argv); }

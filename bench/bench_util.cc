@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -28,15 +29,44 @@ std::map<std::string, ExperimentResult> RunSystems(const ExperimentOptions& opti
   return results;
 }
 
+StatusOr<double> ParseBenchScale(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  const std::string trimmed = text.substr(begin, end - begin);
+  if (trimmed.empty()) {
+    return InvalidArgumentError("MUDI_BENCH_SCALE is set but empty");
+  }
+  char* parse_end = nullptr;
+  double scale = std::strtod(trimmed.c_str(), &parse_end);
+  if (parse_end != trimmed.c_str() + trimmed.size()) {
+    return InvalidArgumentError("MUDI_BENCH_SCALE is not a number: \"" + text + "\"");
+  }
+  if (!(scale > 0.0)) {  // also rejects NaN
+    return InvalidArgumentError("MUDI_BENCH_SCALE must be > 0, got \"" + text + "\"");
+  }
+  if (scale > 1.0) {
+    return InvalidArgumentError("MUDI_BENCH_SCALE must be <= 1 (benches only scale down), got \"" +
+                                text + "\"");
+  }
+  return scale;
+}
+
 double BenchScale() {
   const char* env = std::getenv("MUDI_BENCH_SCALE");
   if (env == nullptr) {
     return 1.0;
   }
-  double scale = std::atof(env);
-  MUDI_CHECK_GT(scale, 0.0);
-  MUDI_CHECK_LE(scale, 1.0);
-  return scale;
+  StatusOr<double> scale = ParseBenchScale(env);
+  if (!scale.ok()) {
+    CheckFailed(__FILE__, __LINE__, scale.status().message());
+  }
+  return *scale;
 }
 
 size_t ScaledCount(size_t value) {

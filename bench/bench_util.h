@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/exp/cluster_experiment.h"
 #include "src/exp/metrics.h"
 #include "src/exp/presets.h"
@@ -20,9 +21,16 @@ std::map<std::string, ExperimentResult> RunSystems(const ExperimentOptions& opti
                                                    const std::vector<std::string>& systems,
                                                    bool verbose = true);
 
+// Parses a MUDI_BENCH_SCALE value. Accepts a decimal in (0, 1]; anything
+// else (empty, non-numeric, trailing garbage, <= 0, > 1) is an
+// InvalidArgumentError naming the offending text.
+StatusOr<double> ParseBenchScale(const std::string& text);
+
 // Scales every task count etc. via environment variable MUDI_BENCH_SCALE
 // (0 < scale <= 1); lets CI run the full suite quickly while the default
-// reproduces the paper-scale setup.
+// reproduces the paper-scale setup. A set-but-invalid value is a fatal
+// error — silently running at full scale would waste a CI slot, silently
+// clamping would mislabel the results.
 double BenchScale();
 
 // max(1, round(value * BenchScale())).

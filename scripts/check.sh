@@ -14,12 +14,17 @@
 #   asan     AddressSanitizer+UBSan tree (-fno-sanitize-recover=all) with the
 #            full suite. Skipped by --fast.
 #   tsan     ThreadSanitizer tree with the full suite. Opt-in via --tsan.
+#   bench    perf-trajectory smoke: bench_throughput at the tiny "smoke"
+#            preset, then schema-validate the JSON it emitted. Opt-in via
+#            --bench. Fails on a non-zero bench exit, a missing artifact,
+#            or a malformed/incomplete document.
 #
-# Usage: scripts/check.sh [--fast | --sanitize | --tsan ...] [build-dir]
+# Usage: scripts/check.sh [--fast | --sanitize | --tsan | --bench ...] [build-dir]
 #   (no flags)   lint + format + build + tests + asan
 #   --fast       lint + format + build + tests (skip all sanitizer trees)
 #   --sanitize   lint + asan tree only (the pre-existing deep-memory gate)
 #   --tsan       lint + tsan tree only; combine with --sanitize to run both
+#   --bench      additionally run the bench smoke stage (any mode)
 #   build-dir    plain-tree build directory (default: build). Sanitizer trees
 #                always use build-asan / build-tsan.
 #
@@ -32,6 +37,7 @@ RUN_BUILD=1
 RUN_TESTS=1
 RUN_ASAN=1
 RUN_TSAN=0
+RUN_BENCH=0
 EXPLICIT_MODE=0
 BUILD_DIR="build"
 
@@ -60,8 +66,11 @@ while [ $# -gt 0 ]; do
       fi
       RUN_TSAN=1
       ;;
+    --bench)
+      RUN_BENCH=1
+      ;;
     -h|--help)
-      sed -n '2,28p' "$0"
+      sed -n '2,34p' "$0"
       exit 0
       ;;
     -*)
@@ -225,6 +234,25 @@ if [ "$RUN_TSAN" -eq 1 ]; then
     || summary_and_exit
 else
   record "tsan" SKIP
+fi
+
+# -- bench smoke (opt-in) -----------------------------------------------------
+if [ "$RUN_BENCH" -eq 1 ]; then
+  echo "== bench: perf-trajectory smoke =="
+  BENCH_BIN="$BUILD_DIR/bench/bench_throughput"
+  BENCH_OUT=$(mktemp -t bench_throughput_smoke.XXXXXX.json)
+  if cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_throughput > /dev/null &&
+     MUDI_BENCH_SCALE=0.05 "$BENCH_BIN" --presets=smoke --out="$BENCH_OUT" &&
+     [ -s "$BENCH_OUT" ] &&
+     "$BENCH_BIN" --validate="$BENCH_OUT"; then
+    record "bench" PASS
+  else
+    echo "bench: smoke run or JSON validation failed"
+    record "bench" FAIL
+  fi
+  rm -f "$BENCH_OUT"
+else
+  record "bench" SKIP
 fi
 
 summary_and_exit

@@ -6,6 +6,7 @@
 #include "src/baselines/baseline_util.h"
 #include "src/common/check.h"
 #include "src/common/wallclock.h"
+#include "src/perf/perf_collector.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -40,6 +41,7 @@ std::pair<int, double> GpuletsPolicy::FitInferenceSlice(SchedulingEnv& env, int 
 }
 
 void GpuletsPolicy::Retune(SchedulingEnv& env, int device_id) {
+  perf::PerfRegion region(env.perf(), "gpulets.retune");
   size_t probes = 0;
   auto [batch, slice] = FitInferenceSlice(env, device_id, &probes);
   RecordTuningIterations(probes);

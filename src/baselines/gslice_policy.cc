@@ -6,6 +6,7 @@
 #include "src/baselines/baseline_util.h"
 #include "src/common/check.h"
 #include "src/common/wallclock.h"
+#include "src/perf/perf_collector.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -38,6 +39,7 @@ std::optional<int> GslicePolicy::SelectDevice(SchedulingEnv& env, const Training
 }
 
 void GslicePolicy::Retune(SchedulingEnv& env, int device_id) {
+  perf::PerfRegion region(env.perf(), "gslice.retune");
   const GpuDevice& device = env.device(device_id);
   MUDI_CHECK(device.has_inference());
   const InferenceServiceSpec& service =

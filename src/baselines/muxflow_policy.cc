@@ -7,6 +7,7 @@
 #include "src/baselines/baseline_util.h"
 #include "src/common/check.h"
 #include "src/common/wallclock.h"
+#include "src/perf/perf_collector.h"
 
 namespace mudi {
 
@@ -125,6 +126,7 @@ std::optional<int> MuxflowPolicy::SelectDevice(SchedulingEnv& env, const Trainin
 }
 
 void MuxflowPolicy::Retune(SchedulingEnv& env, int device_id) {
+  perf::PerfRegion region(env.perf(), "muxflow.retune");
   const GpuDevice& device = env.device(device_id);
   size_t s = device.inference().service_index;
   const InferenceServiceSpec& service = ModelZoo::InferenceServices()[s];

@@ -6,6 +6,7 @@
 #include "src/baselines/baseline_util.h"
 #include "src/common/check.h"
 #include "src/common/wallclock.h"
+#include "src/perf/perf_collector.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -18,6 +19,7 @@ OptimalPolicy::OptimalPolicy(Options options) : options_(std::move(options)), rn
 
 OptimalPolicy::BestConfig OptimalPolicy::SolveDevice(SchedulingEnv& env, int device_id,
                                                      size_t joining_type) const {
+  perf::PerfRegion region(env.perf(), "optimal.solve_device");
   const GpuDevice& device = env.device(device_id);
   MUDI_CHECK(device.has_inference());
   const PerfOracle& oracle = env.oracle();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/baselines/baseline_util.h"
+#include "src/perf/perf_collector.h"
 
 namespace mudi {
 
@@ -21,6 +22,7 @@ std::optional<int> RandomPolicy::SelectDevice(SchedulingEnv& env, const Training
 }
 
 void RandomPolicy::EvenSplit(SchedulingEnv& env, int device_id) {
+  perf::PerfRegion region(env.perf(), "random.even_split");
   const GpuDevice& device = env.device(device_id);
   size_t workloads = 1 + device.num_active_trainings();
   double share = 1.0 / static_cast<double>(workloads);

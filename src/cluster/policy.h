@@ -27,6 +27,9 @@
 namespace mudi {
 
 class Telemetry;
+namespace perf {
+class PerfCollector;
+}  // namespace perf
 
 // Planning latency budget for one batch (paper Eq. 2 first constraint):
 // (W/b)·P <= SLO  ⇔  P <= SLO·b/W. The literal constraint alone permits
@@ -96,6 +99,11 @@ class SchedulingEnv {
   // Telemetry sink for decision tracing; null when the harness runs without
   // telemetry. Policies must treat it as observational only.
   virtual Telemetry* telemetry() { return nullptr; }
+
+  // Self-profiling collector (src/perf) for scoped wall-time regions and
+  // counters; null when the harness runs unprofiled. Observe-only, like
+  // telemetry: a profiled and an unprofiled run must be bit-identical.
+  virtual perf::PerfCollector* perf() { return nullptr; }
 };
 
 class MultiplexPolicy {

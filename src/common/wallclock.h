@@ -23,7 +23,14 @@ namespace mudi {
 // Monotonic (steady_clock), so immune to NTP adjustments.
 class WallTimer {
  public:
+  // Tag for constructing a timer without touching the clock. Used by
+  // conditionally-enabled measurement (src/perf PerfRegion): the disabled
+  // path must not pay even the clock read. Call Restart() before reading
+  // elapsed time from an unstarted timer.
+  struct Unstarted {};
+
   WallTimer() : start_(Clock::now()) {}
+  explicit WallTimer(Unstarted) : start_() {}
 
   void Restart() { start_ = Clock::now(); }
 

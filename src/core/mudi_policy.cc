@@ -5,8 +5,9 @@
 #include <limits>
 
 #include "src/common/check.h"
-#include "src/common/wallclock.h"
 #include "src/common/logging.h"
+#include "src/common/wallclock.h"
+#include "src/perf/perf_collector.h"
 #include "src/telemetry/telemetry.h"
 
 namespace mudi {
@@ -43,17 +44,24 @@ std::string MudiPolicy::name() const {
 }
 
 void MudiPolicy::Initialize(SchedulingEnv& env) {
-  (void)env;
   if (initialized_) {
     return;
   }
-  profiler_.ProfileAll(options_.observed_training_types);
-  if (options_.max_trainings_per_device > 1) {
-    profiler_.ProfileMultiTraining(options_.observed_training_types,
-                                   options_.max_trainings_per_device > 2);
+  {
+    perf::PerfRegion region(env.perf(), "mudi.offline_profile");
+    profiler_.ProfileAll(options_.observed_training_types);
+    if (options_.max_trainings_per_device > 1) {
+      profiler_.ProfileMultiTraining(options_.observed_training_types,
+                                     options_.max_trainings_per_device > 2);
+    }
   }
-  modeler_.AddSamplesFromProfiler(profiler_);
-  modeler_.Fit();
+  {
+    // The piece-wise-linear refit over all profiled curves — one of the
+    // expected hot spots the self-attribution is built to expose.
+    perf::PerfRegion region(env.perf(), "mudi.fit");
+    modeler_.AddSamplesFromProfiler(profiler_);
+    modeler_.Fit();
+  }
   initialized_ = true;
   MUDI_LOG(Info) << name() << ": offline profiling done, "
                  << profiler_.curves().size() << " curves, "
@@ -111,6 +119,7 @@ void MudiPolicy::DistributeTrainingShares(SchedulingEnv& env, int device_id,
 
 void MudiPolicy::TuneDevice(SchedulingEnv& env, int device_id, bool on_placement,
                             int probe_task_id) {
+  perf::PerfRegion tune_region(env.perf(), "mudi.tune_device");
   const GpuDevice& device = env.device(device_id);
   MUDI_CHECK(device.has_inference());
   size_t service_index = device.inference().service_index;
@@ -144,12 +153,15 @@ void MudiPolicy::TuneDevice(SchedulingEnv& env, int device_id, bool on_placement
 
   int current_batch =
       device.inference().batch_size > 0 ? device.inference().batch_size : ProfilingBatchSizes()[0];
-  Tuner::Result result =
-      on_placement
-          ? tuner_.TuneOnPlacement(curve_provider, objective, ProfilingBatchSizes(), qps,
-                                   service.slo_ms)
-          : tuner_.TuneOnQpsChange(curve_provider, objective, ProfilingBatchSizes(),
-                                   current_batch, qps, service.slo_ms);
+  Tuner::Result result;
+  {
+    perf::PerfRegion region(env.perf(), "mudi.gp_lcb");
+    result = on_placement
+                 ? tuner_.TuneOnPlacement(curve_provider, objective, ProfilingBatchSizes(), qps,
+                                          service.slo_ms)
+                 : tuner_.TuneOnQpsChange(curve_provider, objective, ProfilingBatchSizes(),
+                                          current_batch, qps, service.slo_ms);
+  }
   RecordTuningIterations(result.bo_iterations);
 
   // Resume hysteresis: un-pausing preempted training requires feasibility
@@ -187,8 +199,12 @@ void MudiPolicy::TuneDevice(SchedulingEnv& env, int device_id, bool on_placement
       auto sub_provider = [&](int batch) {
         return predictor_->PredictCurve(service_index, submix, batch);
       };
-      Tuner::Result sub = tuner_.TuneOnQpsChange(sub_provider, objective, ProfilingBatchSizes(),
-                                                 current_batch, qps, service.slo_ms);
+      Tuner::Result sub;
+      {
+        perf::PerfRegion region(env.perf(), "mudi.gp_lcb");
+        sub = tuner_.TuneOnQpsChange(sub_provider, objective, ProfilingBatchSizes(),
+                                     current_batch, qps, service.slo_ms);
+      }
       RecordTuningIterations(sub.bo_iterations);
       if (!sub.feasible) {
         continue;

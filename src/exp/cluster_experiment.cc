@@ -82,6 +82,14 @@ ClusterExperiment::ClusterExperiment(ExperimentOptions options, MultiplexPolicy*
     registry_.Put(DeviceStatusKey(static_cast<int>(d)), "up");
   }
 
+  // Self-profiling wiring: resolve the per-decision region stats once; a
+  // null collector leaves the cached pointers null and every region a no-op.
+  if (perf::PerfCollector* collector = perf()) {
+    perf_select_stat_ = &collector->GetRegionStat("policy.select_device");
+    perf_place_stat_ = &collector->GetRegionStat("policy.on_placed");
+    perf_qps_stat_ = &collector->GetRegionStat("policy.on_qps_change");
+  }
+
   // Telemetry wiring: every instrumented component checks enabled() itself
   // and keeps a null sink otherwise, so this is safe unconditionally.
   sim_.SetTelemetry(&telemetry_);
@@ -773,7 +781,11 @@ void ClusterExperiment::TryDispatchQueue() {
     info.task_id = next->arrival.task_id;
     info.type_index = next->arrival.type_index;
     info.spec = &ModelZoo::TrainingTasks()[next->arrival.type_index];
-    std::optional<int> choice = policy_->SelectDevice(*this, info);
+    std::optional<int> choice;
+    {
+      perf::PerfRegion region(perf_select_stat_);
+      choice = policy_->SelectDevice(*this, info);
+    }
     if (!choice.has_value()) {
       return;  // no capacity: stay queued
     }
@@ -847,7 +859,10 @@ void ClusterExperiment::PlaceTask(const TrainingArrival& arrival, int device_id)
   info.task_id = arrival.task_id;
   info.type_index = arrival.type_index;
   info.spec = &spec;
-  policy_->OnTrainingPlaced(*this, device_id, info);
+  {
+    perf::PerfRegion region(perf_place_stat_);
+    policy_->OnTrainingPlaced(*this, device_id, info);
+  }
   UpdateTrainingSpeeds(device_id);
 }
 
@@ -974,7 +989,10 @@ void ClusterExperiment::MonitorTick() {
     bool stale = sim_.Now() - r.last_trigger_ms >= options_.periodic_retune_ms;
     if (qps_trigger || slo_risk || has_paused || stale) {
       r.last_trigger_ms = sim_.Now();
-      policy_->OnQpsChange(*this, static_cast<int>(d));
+      {
+        perf::PerfRegion region(perf_qps_stat_);
+        policy_->OnQpsChange(*this, static_cast<int>(d));
+      }
       r.monitor.AckQpsChange(sim_.Now());
       RebalanceMemory(static_cast<int>(d));
       UpdateTrainingSpeeds(static_cast<int>(d));
@@ -1073,7 +1091,11 @@ void ClusterExperiment::UtilSampleTick() {
 // ---------------------------------------------------------------------------
 
 ExperimentResult ClusterExperiment::Run() {
-  policy_->Initialize(*this);
+  perf::PerfRegion run_region(perf(), "exp.run");
+  {
+    perf::PerfRegion region(perf(), "policy.initialize");
+    policy_->Initialize(*this);
+  }
 
   // Arm the fault schedule (no-op for an empty plan: zero events, zero RNG
   // perturbation, byte-identical results to a build without fault machinery).
@@ -1206,6 +1228,19 @@ ExperimentResult ClusterExperiment::Run() {
     metrics.GetGauge("exp.avg_mem_util").Set(result.avg_mem_util);
     metrics.GetGauge("queue.final_max_depth").Set(static_cast<double>(queue_.max_depth()));
     telemetry_.Flush(result.policy_name);
+  }
+
+  // Self-profiling export: snapshot the simulator's dispatch totals and the
+  // run's workload counters (observe-only, end-of-run, zero hot-path cost).
+  if (perf::PerfCollector* collector = perf()) {
+    sim_.ExportPerfCounters(collector);
+    collector->SetCounter("exp.tasks_total", result.tasks.size());
+    collector->SetCounter("exp.tasks_completed", result.CompletedTasks());
+    double served = 0.0;
+    for (const auto& r : replicas_) {
+      served += r.served;
+    }
+    collector->SetCounter("exp.requests_served", static_cast<uint64_t>(served));
   }
   return result;
 }

@@ -31,6 +31,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/gpu/perf_oracle.h"
+#include "src/perf/perf_collector.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/telemetry.h"
 #include "src/workload/request_generator.h"
@@ -97,6 +98,14 @@ struct ExperimentOptions {
   // Telemetry sinks (off by default; env vars like MUDI_TRACE_FILE override —
   // see TelemetryOptions::ApplyEnvOverrides, applied in the constructor).
   TelemetryOptions telemetry;
+
+  // Self-profiling collector (src/perf), not owned; null = run unprofiled.
+  // Observe-only: attaching a collector must leave results bit-identical
+  // (determinism_test pins this). The harness records scoped regions around
+  // every policy decision ("policy.select_device", "policy.on_placed",
+  // "policy.on_qps_change", "policy.initialize") and exports the simulator's
+  // event totals at the end of Run().
+  perf::PerfCollector* perf = nullptr;
 };
 
 class ClusterExperiment : public SchedulingEnv, public FaultSink {
@@ -123,6 +132,13 @@ class ClusterExperiment : public SchedulingEnv, public FaultSink {
   bool CanFitTraining(int device_id, const TrainingTaskSpec& spec) const override;
   const PerfOracle& oracle() const override { return oracle_; }
   Telemetry* telemetry() override { return telemetry_.enabled() ? &telemetry_ : nullptr; }
+  perf::PerfCollector* perf() override {
+    return options_.perf != nullptr && options_.perf->enabled() ? options_.perf : nullptr;
+  }
+
+  // Total virtual time reached by the run (>= makespan; includes drain).
+  // Bench_throughput divides this by wall time for sim-sec/wall-sec.
+  TimeMs SimNowMs() const { return sim_.Now(); }
 
   const PerfOracle& ground_truth() const { return oracle_; }
   const Telemetry& telemetry_sink() const { return telemetry_; }
@@ -242,6 +258,13 @@ class ClusterExperiment : public SchedulingEnv, public FaultSink {
   TaskQueue queue_;
   KvStore registry_;
   std::unique_ptr<FaultInjector> fault_injector_;
+
+  // Cached perf-region stats (null when unprofiled): resolved once in the
+  // constructor so each profiled decision costs a branch plus two clock
+  // reads, and nothing at all when options_.perf is null.
+  perf::LatencyStat* perf_select_stat_ = nullptr;
+  perf::LatencyStat* perf_place_stat_ = nullptr;
+  perf::LatencyStat* perf_qps_stat_ = nullptr;
 
   std::vector<Replica> replicas_;
   std::map<int, RunningTask> running_;          // task_id -> runtime state

@@ -1,0 +1,124 @@
+// Opt-in global allocation counting (library `mudi_perf_alloc_hook`).
+//
+// Linking this translation unit replaces the global allocation operators
+// with thin counting forwarders over malloc/free, feeding the atomics in
+// src/perf/mem_probe.h. Only binaries that *measure* allocation behaviour
+// (bench_throughput, perf_test) link it — production simulation binaries
+// keep the default operators and pay nothing.
+//
+// The replacements follow the standard contract: throwing forms loop on
+// std::get_new_handler() before giving up with std::bad_alloc; nothrow and
+// sized/aligned forms forward consistently. malloc/free stay the backing
+// store, so sanitizer interceptors keep working underneath.
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "src/perf/mem_probe.h"
+
+namespace {
+
+using mudi::perf::alloc_hook_internal::g_allocations;
+using mudi::perf::alloc_hook_internal::g_bytes_allocated;
+using mudi::perf::alloc_hook_internal::g_deallocations;
+using mudi::perf::alloc_hook_internal::g_hook_linked;
+
+struct HookMarker {
+  HookMarker() { g_hook_linked.store(true, std::memory_order_relaxed); }
+};
+HookMarker g_hook_marker;
+
+void CountAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_allocated.fetch_add(size, std::memory_order_relaxed);
+}
+
+void CountFree() { g_deallocations.fetch_add(1, std::memory_order_relaxed); }
+
+void* CountedAlloc(std::size_t size) {
+  for (;;) {
+    void* p = std::malloc(size == 0 ? 1 : size);
+    if (p != nullptr) {
+      CountAlloc(size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) {
+      return nullptr;
+    }
+    handler();
+  }
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                       size == 0 ? 1 : size) == 0) {
+      CountAlloc(size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) {
+      return nullptr;
+    }
+    handler();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) {
+    CountFree();
+    std::free(p);
+  }
+}
+
+void operator delete[](void* p) noexcept { operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { operator delete(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { operator delete(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { operator delete(p); }

@@ -1,0 +1,71 @@
+#include "src/perf/mem_probe.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mudi {
+namespace perf {
+
+namespace alloc_hook_internal {
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_deallocations{0};
+std::atomic<uint64_t> g_bytes_allocated{0};
+std::atomic<bool> g_hook_linked{false};
+}  // namespace alloc_hook_internal
+
+namespace {
+
+// Parses "VmRSS:   123456 kB"-style lines; returns bytes, 0 if absent.
+uint64_t StatusLineKb(const char* line) {
+  const char* p = line;
+  while (*p != '\0' && (*p < '0' || *p > '9')) {
+    ++p;
+  }
+  uint64_t kb = 0;
+  while (*p >= '0' && *p <= '9') {
+    kb = kb * 10 + static_cast<uint64_t>(*p - '0');
+    ++p;
+  }
+  return kb * 1024;
+}
+
+}  // namespace
+
+MemoryUsage ReadMemoryUsage() {
+  MemoryUsage usage;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return usage;  // non-Linux: no accounting available
+  }
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      usage.current_rss_bytes = StatusLineKb(line);
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      usage.peak_rss_bytes = StatusLineKb(line);
+    }
+  }
+  std::fclose(f);
+  return usage;
+}
+
+AllocStats ReadAllocStats() {
+  namespace hook = alloc_hook_internal;
+  AllocStats stats;
+  stats.hooked = hook::g_hook_linked.load(std::memory_order_relaxed);
+  stats.allocations = hook::g_allocations.load(std::memory_order_relaxed);
+  stats.deallocations = hook::g_deallocations.load(std::memory_order_relaxed);
+  stats.bytes_allocated = hook::g_bytes_allocated.load(std::memory_order_relaxed);
+  return stats;
+}
+
+AllocStats AllocStatsSince(const AllocStats& baseline) {
+  AllocStats now = ReadAllocStats();
+  now.allocations -= baseline.allocations;
+  now.deallocations -= baseline.deallocations;
+  now.bytes_allocated -= baseline.bytes_allocated;
+  return now;
+}
+
+}  // namespace perf
+}  // namespace mudi

@@ -1,0 +1,53 @@
+// Process-memory and heap-allocation probes for the self-profiling layer.
+//
+// ReadMemoryUsage() samples the kernel's accounting (/proc/self/status on
+// Linux) — zero cost to the simulation itself, observe-only. Allocation
+// counting is opt-in at link time: binaries that want real new/delete counts
+// (bench_throughput, perf_test) additionally link `mudi_perf_alloc_hook`,
+// which replaces the global allocation operators with counting forwarders.
+// Binaries that do not link the hook read all-zero counters with
+// `hooked == false`, so the probe degrades gracefully.
+#ifndef SRC_PERF_MEM_PROBE_H_
+#define SRC_PERF_MEM_PROBE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mudi {
+namespace perf {
+
+struct MemoryUsage {
+  // Resident set size right now / peak over the process lifetime, in bytes.
+  // Zero when the platform exposes no accounting (non-Linux).
+  uint64_t current_rss_bytes = 0;
+  uint64_t peak_rss_bytes = 0;
+};
+
+MemoryUsage ReadMemoryUsage();
+
+struct AllocStats {
+  bool hooked = false;  // true iff mudi_perf_alloc_hook is linked in
+  uint64_t allocations = 0;
+  uint64_t deallocations = 0;
+  uint64_t bytes_allocated = 0;
+};
+
+AllocStats ReadAllocStats();
+
+// Convenience: stats_now - baseline, for per-run deltas.
+AllocStats AllocStatsSince(const AllocStats& baseline);
+
+namespace alloc_hook_internal {
+// Defined in mem_probe.cc (always present); incremented only by the
+// replacement operators in alloc_hook.cc when that library is linked.
+// Atomics because allocation can happen on any thread (gtest, sanitizers).
+extern std::atomic<uint64_t> g_allocations;
+extern std::atomic<uint64_t> g_deallocations;
+extern std::atomic<uint64_t> g_bytes_allocated;
+extern std::atomic<bool> g_hook_linked;
+}  // namespace alloc_hook_internal
+
+}  // namespace perf
+}  // namespace mudi
+
+#endif  // SRC_PERF_MEM_PROBE_H_

@@ -1,0 +1,63 @@
+#include "src/perf/perf_stats.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace mudi {
+namespace perf {
+
+LatencyStat::LatencyStat(size_t max_samples) : max_samples_(max_samples) {
+  MUDI_CHECK_GE(max_samples_, 2u);
+  samples_.reserve(std::min<size_t>(max_samples_, 1024));
+}
+
+void LatencyStat::Record(double ms) {
+  if (count_ == 0) {
+    min_ms_ = ms;
+    max_ms_ = ms;
+  } else {
+    min_ms_ = std::min(min_ms_, ms);
+    max_ms_ = std::max(max_ms_, ms);
+  }
+  ++count_;
+  total_ms_ += ms;
+
+  // Stride admission: keep every stride_-th record in the quantile buffer.
+  if (since_admit_ % stride_ == 0) {
+    if (samples_.size() == max_samples_) {
+      // Buffer full: drop every other retained sample (keeping the evenly
+      // strided half) and halve the future admission rate.
+      size_t w = 0;
+      for (size_t r = 0; r < samples_.size(); r += 2) {
+        samples_[w++] = samples_[r];
+      }
+      samples_.resize(w);
+      stride_ *= 2;
+    }
+    samples_.push_back(ms);
+    since_admit_ = 0;
+  }
+  ++since_admit_;
+}
+
+double LatencyStat::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return Percentile(samples_, 100.0 * q);
+}
+
+void LatencyStat::Reset() {
+  count_ = 0;
+  total_ms_ = 0.0;
+  min_ms_ = 0.0;
+  max_ms_ = 0.0;
+  stride_ = 1;
+  since_admit_ = 0;
+  samples_.clear();
+}
+
+}  // namespace perf
+}  // namespace mudi

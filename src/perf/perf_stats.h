@@ -1,0 +1,64 @@
+// Bounded-memory latency statistics for the self-profiling layer.
+//
+// LatencyStat accumulates wall-time samples for one profiled region. Exact
+// aggregates (count, sum, min, max) are always maintained; for quantiles a
+// capped sample buffer is kept, thinned by deterministic stride decimation
+// when full (keep every other retained sample and double the admission
+// stride). Decimation is deterministic by construction — no RNG — so the
+// perf layer never draws from the simulation's seeded randomness and stays
+// observe-only (mudi-determinism lint discipline).
+#ifndef SRC_PERF_PERF_STATS_H_
+#define SRC_PERF_PERF_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mudi {
+namespace perf {
+
+class LatencyStat {
+ public:
+  static constexpr size_t kDefaultMaxSamples = 16384;
+
+  LatencyStat() : LatencyStat(kDefaultMaxSamples) {}
+  // `max_samples` caps the quantile buffer; must be >= 2.
+  explicit LatencyStat(size_t max_samples);
+
+  void Record(double ms);
+
+  uint64_t count() const { return count_; }
+  double total_ms() const { return total_ms_; }
+  double mean_ms() const {
+    return count_ == 0 ? 0.0 : total_ms_ / static_cast<double>(count_);
+  }
+  double min_ms() const { return count_ == 0 ? 0.0 : min_ms_; }
+  double max_ms() const { return count_ == 0 ? 0.0 : max_ms_; }
+
+  // Linear-interpolated quantile over the retained samples, q in [0, 1].
+  // Exact while count() <= max_samples; an evenly-strided estimate after
+  // decimation kicks in.
+  double Quantile(double q) const;
+
+  // Retained quantile samples (unsorted, admission order).
+  const std::vector<double>& samples() const { return samples_; }
+  // Current admission stride (1 until the buffer first fills).
+  uint64_t stride() const { return stride_; }
+
+  void Reset();
+
+ private:
+  size_t max_samples_;
+  uint64_t count_ = 0;
+  double total_ms_ = 0.0;
+  double min_ms_ = 0.0;
+  double max_ms_ = 0.0;
+  uint64_t stride_ = 1;
+  uint64_t since_admit_ = 0;  // records seen since the last admitted sample
+  std::vector<double> samples_;
+};
+
+}  // namespace perf
+}  // namespace mudi
+
+#endif  // SRC_PERF_PERF_STATS_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/perf/perf_collector.h"
 #include "src/telemetry/telemetry.h"
 
 namespace mudi {
@@ -19,12 +20,30 @@ void Simulator::SetTelemetry(Telemetry* telemetry) {
   cancelled_counter_ = &telemetry->metrics().GetCounter("sim.events_cancelled");
 }
 
+void Simulator::ExportPerfCounters(perf::PerfCollector* collector) const {
+  if (collector == nullptr || !collector->enabled()) {
+    return;
+  }
+  collector->SetCounter("sim.events_fired", events_processed_);
+  collector->SetCounter("sim.events_scheduled", events_scheduled_);
+  collector->SetCounter("sim.events_cancelled", events_cancelled_);
+  collector->SetCounter("sim.events_pending", live_count_);
+}
+
+void Simulator::SetState(EventId id, EventState s) {
+  if (id >= state_.size()) {
+    state_.resize(static_cast<size_t>(id) + 1, static_cast<uint8_t>(EventState::kDead));
+  }
+  state_[id] = static_cast<uint8_t>(s);
+}
+
 Simulator::EventId Simulator::Push(TimeMs t, TimeMs period, Callback cb, EventId reuse_id) {
   MUDI_CHECK_GE(t, now_);
   MUDI_CHECK(cb != nullptr);
   EventId id = reuse_id != kInvalidEventId ? reuse_id : next_id_++;
   queue_.push(Entry{t, next_seq_++, id, period, std::move(cb)});
-  live_.insert(id);
+  SetState(id, EventState::kLive);
+  ++live_count_;
   ++events_scheduled_;
   if (scheduled_counter_ != nullptr) {
     scheduled_counter_->Increment();
@@ -50,10 +69,12 @@ bool Simulator::Cancel(EventId id) {
   // Only ids with a live queue entry are cancellable: already-fired one-shots
   // and double-cancels fall through here instead of being recorded as stale
   // cancellations that would corrupt pending_events() forever.
-  if (live_.erase(id) == 0) {
+  if (State(id) != EventState::kLive) {
     return false;
   }
-  MUDI_CHECK(cancelled_.insert(id).second);
+  SetState(id, EventState::kCancelled);
+  MUDI_CHECK_GT(live_count_, 0u);
+  --live_count_;
   ++stale_cancellations_;
   ++events_cancelled_;
   if (cancelled_counter_ != nullptr) {
@@ -65,11 +86,10 @@ bool Simulator::Cancel(EventId id) {
 bool Simulator::SkipCancelled() {
   while (!queue_.empty()) {
     const Entry& top = queue_.top();
-    auto it = cancelled_.find(top.id);
-    if (it == cancelled_.end()) {
+    if (State(top.id) != EventState::kCancelled) {
       return true;
     }
-    cancelled_.erase(it);
+    SetState(top.id, EventState::kDead);
     MUDI_CHECK_GT(stale_cancellations_, 0u);
     --stale_cancellations_;
     queue_.pop();
@@ -83,7 +103,9 @@ bool Simulator::Step() {
   }
   Entry entry = queue_.top();
   queue_.pop();
-  live_.erase(entry.id);
+  SetState(entry.id, EventState::kDead);
+  MUDI_CHECK_GT(live_count_, 0u);
+  --live_count_;
   MUDI_CHECK_GE(entry.time, now_);
   now_ = entry.time;
   ++events_processed_;

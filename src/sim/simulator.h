@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 namespace mudi {
@@ -21,6 +20,9 @@ class Telemetry;
 namespace telemetry {
 class Counter;
 }  // namespace telemetry
+namespace perf {
+class PerfCollector;
+}  // namespace perf
 
 // Virtual time in milliseconds since simulation start.
 using TimeMs = double;
@@ -68,7 +70,7 @@ class Simulator {
   // Runs at most one event; returns false when the queue is empty.
   bool Step();
 
-  size_t pending_events() const { return live_.size(); }
+  size_t pending_events() const { return live_count_; }
   uint64_t events_processed() const { return events_processed_; }
   uint64_t events_scheduled() const { return events_scheduled_; }
   uint64_t events_cancelled() const { return events_cancelled_; }
@@ -76,6 +78,11 @@ class Simulator {
   // Optional event-dispatch stats (scheduled/fired/cancelled counters).
   // Purely observational; passing nullptr detaches.
   void SetTelemetry(Telemetry* telemetry);
+
+  // Exports the dispatch totals into the self-profiling collector
+  // ("sim.events_*" counters). Snapshot-style — called at end of run, so the
+  // per-event hot path pays nothing for profiling. Observe-only.
+  void ExportPerfCounters(perf::PerfCollector* collector) const;
 
  private:
   struct Entry {
@@ -95,9 +102,26 @@ class Simulator {
     }
   };
 
+  // Per-id lifecycle, tracked in a flat vector indexed by EventId. An id has
+  // at most one queue entry at any time (periodic re-arm pushes only after
+  // the previous occurrence popped), so one byte of state suffices:
+  //   kDead      no entry in the queue (never issued / fired / reaped)
+  //   kLive      scheduled entry pending
+  //   kCancelled entry still queued but Cancel()ed; reaped by SkipCancelled
+  // This replaced two unordered_sets (live_/cancelled_): the per-event cost
+  // of two hash inserts + two hash erases became two byte writes, the top
+  // hot spot found by the src/perf self-attribution (see BENCH_throughput
+  // "sim.event-state-vector"). The vector grows one byte per id ever issued
+  // (ids are monotonic) — ~1 MB per million events, reset with the Simulator.
+  enum class EventState : uint8_t { kDead = 0, kLive = 1, kCancelled = 2 };
+
   EventId Push(TimeMs t, TimeMs period, Callback cb, EventId reuse_id = kInvalidEventId);
   // Pops cancelled entries off the top; returns false when queue is empty.
   bool SkipCancelled();
+  EventState State(EventId id) const {
+    return id < state_.size() ? static_cast<EventState>(state_[id]) : EventState::kDead;
+  }
+  void SetState(EventId id, EventState s);
 
   TimeMs now_ = 0.0;
   uint64_t next_seq_ = 1;
@@ -106,17 +130,14 @@ class Simulator {
   uint64_t events_scheduled_ = 0;
   uint64_t events_cancelled_ = 0;
   size_t stale_cancellations_ = 0;
+  size_t live_count_ = 0;
   // Cached registry objects (stable addresses) so the hot path pays one
   // branch + one add per event.
   telemetry::Counter* fired_counter_ = nullptr;
   telemetry::Counter* scheduled_counter_ = nullptr;
   telemetry::Counter* cancelled_counter_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-  std::unordered_set<EventId> cancelled_;
-  // Ids with a live (scheduled, not cancelled) entry in `queue_`. Lets
-  // Cancel() reject ids that already fired instead of poisoning the
-  // cancellation bookkeeping forever.
-  std::unordered_set<EventId> live_;
+  std::vector<uint8_t> state_;
 };
 
 }  // namespace mudi

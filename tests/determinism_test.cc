@@ -11,6 +11,7 @@
 #include "src/exp/cluster_experiment.h"
 #include "src/exp/presets.h"
 #include "src/fault/fault_plan.h"
+#include "src/perf/perf_collector.h"
 
 namespace mudi {
 namespace {
@@ -90,6 +91,42 @@ TEST_P(SeedDeterminismTest, SameSeedSameMetrics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSystems, SeedDeterminismTest,
+                         ::testing::Values("Mudi", "GSLICE", "gpulets", "MuxFlow", "Random",
+                                           "Optimal"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+// The src/perf layer must be observe-only: attaching a PerfCollector may not
+// perturb a run in any bit. Same seed, with and without profiling, for every
+// system — if a PerfRegion ever drew from an Rng, scheduled an event, or fed
+// a measured wall time back into a decision, this would diverge.
+class PerfObserveOnlyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PerfObserveOnlyTest, AttachedCollectorLeavesResultsBitIdentical) {
+  ExperimentOptions options = SmallOptions(/*seed=*/31);
+  ExperimentResult plain = RunOnce(GetParam(), options);
+
+  perf::PerfCollector collector;
+  options.perf = &collector;
+  ExperimentResult profiled = RunOnce(GetParam(), options);
+
+  ExpectIdenticalResults(plain, profiled);
+  // And the collector genuinely observed the run — an accidentally-detached
+  // collector would make the identity check vacuous.
+  EXPECT_GT(collector.counters().at("sim.events_fired"), 0u);
+  EXPECT_GT(collector.counters().at("exp.tasks_total"), 0u);
+  EXPECT_EQ(collector.regions().at("exp.run").count(), 1u);
+  EXPECT_GT(collector.regions().at("policy.select_device").count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, PerfObserveOnlyTest,
                          ::testing::Values("Mudi", "GSLICE", "gpulets", "MuxFlow", "Random",
                                            "Optimal"),
                          [](const auto& info) {

@@ -1,0 +1,367 @@
+// Tests for the src/perf self-profiling subsystem: LatencyStat aggregates
+// and deterministic decimation, PerfCollector/PerfRegion semantics, the
+// memory/allocation probes, PerfReport JSON round-trips through the bundled
+// JSON checker, the BENCH_throughput.json schema validator, and the
+// MUDI_BENCH_SCALE parser. This binary links mudi_perf_alloc_hook, so the
+// allocation probe runs in its hooked configuration here.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/perf/json_check.h"
+#include "src/perf/mem_probe.h"
+#include "src/perf/perf_collector.h"
+#include "src/perf/perf_report.h"
+#include "src/perf/perf_stats.h"
+
+namespace mudi {
+namespace perf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LatencyStat
+
+TEST(LatencyStatTest, ExactAggregates) {
+  LatencyStat stat;
+  stat.Record(3.0);
+  stat.Record(1.0);
+  stat.Record(2.0);
+  EXPECT_EQ(stat.count(), 3u);
+  EXPECT_DOUBLE_EQ(stat.total_ms(), 6.0);
+  EXPECT_DOUBLE_EQ(stat.mean_ms(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.min_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max_ms(), 3.0);
+}
+
+TEST(LatencyStatTest, EmptyStatIsAllZero) {
+  LatencyStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.max_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyStatTest, QuantilesExactBelowCap) {
+  LatencyStat stat;
+  for (int i = 1; i <= 100; ++i) {
+    stat.Record(static_cast<double>(i));
+  }
+  EXPECT_NEAR(stat.Quantile(0.50), 50.5, 1.0);
+  EXPECT_NEAR(stat.Quantile(0.95), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(stat.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(stat.Quantile(0.0), 1.0);
+}
+
+TEST(LatencyStatTest, DecimationKeepsAggregatesExactAndBoundsMemory) {
+  LatencyStat stat(/*max_samples=*/8);
+  for (int i = 1; i <= 1000; ++i) {
+    stat.Record(static_cast<double>(i));
+  }
+  // Aggregates stay exact no matter how hard the buffer decimates.
+  EXPECT_EQ(stat.count(), 1000u);
+  EXPECT_DOUBLE_EQ(stat.total_ms(), 500500.0);
+  EXPECT_DOUBLE_EQ(stat.min_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max_ms(), 1000.0);
+  // Buffer bounded; stride grew past 1; quantile is a coarse but sane
+  // estimate over the evenly-strided survivors.
+  EXPECT_LE(stat.samples().size(), 8u);
+  EXPECT_GT(stat.stride(), 1u);
+  double p50 = stat.Quantile(0.5);
+  EXPECT_GT(p50, 100.0);
+  EXPECT_LT(p50, 900.0);
+}
+
+TEST(LatencyStatTest, DecimationIsDeterministic) {
+  LatencyStat a(/*max_samples=*/16);
+  LatencyStat b(/*max_samples=*/16);
+  for (int i = 0; i < 5000; ++i) {
+    double v = static_cast<double>((i * 37) % 101);
+    a.Record(v);
+    b.Record(v);
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+  EXPECT_EQ(a.stride(), b.stride());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.95), b.Quantile(0.95));
+}
+
+TEST(LatencyStatTest, ResetClearsEverything) {
+  LatencyStat stat(/*max_samples=*/4);
+  for (int i = 0; i < 100; ++i) {
+    stat.Record(1.0);
+  }
+  stat.Reset();
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_TRUE(stat.samples().empty());
+  EXPECT_EQ(stat.stride(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// PerfCollector / PerfRegion
+
+TEST(PerfCollectorTest, CountersIncrementAndSet) {
+  PerfCollector collector;
+  collector.IncrementCounter("a");
+  collector.IncrementCounter("a", 4);
+  collector.SetCounter("b", 7);
+  EXPECT_EQ(collector.counters().at("a"), 5u);
+  EXPECT_EQ(collector.counters().at("b"), 7u);
+}
+
+TEST(PerfCollectorTest, RegionStatAddressesAreStable) {
+  PerfCollector collector;
+  LatencyStat* first = &collector.GetRegionStat("hot");
+  for (int i = 0; i < 100; ++i) {
+    collector.GetRegionStat("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(first, &collector.GetRegionStat("hot"));
+}
+
+TEST(PerfRegionTest, RecordsOneSampleOnScopeExit) {
+  PerfCollector collector;
+  {
+    PerfRegion region(&collector, "scope");
+  }
+  const LatencyStat& stat = collector.regions().at("scope");
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_GE(stat.max_ms(), 0.0);
+}
+
+TEST(PerfRegionTest, NullCollectorIsSafeNoOp) {
+  PerfRegion region(static_cast<PerfCollector*>(nullptr), "nowhere");
+  // Nothing to assert beyond "does not crash"; the disabled path must also
+  // not read the clock, which the determinism suite pins end-to-end.
+}
+
+TEST(PerfRegionTest, DisabledCollectorRecordsNothing) {
+  PerfCollector collector;
+  collector.set_enabled(false);
+  {
+    PerfRegion region(&collector, "scope");
+  }
+  EXPECT_TRUE(collector.regions().empty());
+}
+
+TEST(PerfCollectorTest, RecordValueFeedsRegion) {
+  PerfCollector collector;
+  collector.RecordValue("manual", 2.5);
+  EXPECT_EQ(collector.regions().at("manual").count(), 1u);
+  EXPECT_DOUBLE_EQ(collector.regions().at("manual").total_ms(), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Memory / allocation probes
+
+TEST(MemProbeTest, MemoryUsageIsPopulatedOnLinux) {
+  MemoryUsage usage = ReadMemoryUsage();
+  EXPECT_GT(usage.current_rss_bytes, 0u);
+  EXPECT_GE(usage.peak_rss_bytes, usage.current_rss_bytes);
+}
+
+TEST(MemProbeTest, AllocHookCountsAllocations) {
+  AllocStats baseline = ReadAllocStats();
+  ASSERT_TRUE(baseline.hooked) << "perf_test must link mudi_perf_alloc_hook";
+  {
+    std::vector<double> v(4096, 1.0);
+    EXPECT_EQ(v.size(), 4096u);
+  }
+  AllocStats delta = AllocStatsSince(baseline);
+  EXPECT_TRUE(delta.hooked);
+  EXPECT_GE(delta.allocations, 1u);
+  EXPECT_GE(delta.bytes_allocated, 4096u * sizeof(double));
+}
+
+// ---------------------------------------------------------------------------
+// PerfReport
+
+TEST(PerfReportTest, SnapshotsRegionsAndCounters) {
+  PerfCollector collector;
+  collector.RecordValue("region.x", 1.0);
+  collector.RecordValue("region.x", 3.0);
+  collector.SetCounter("counter.y", 42);
+  PerfReport report = PerfReport::FromCollector(collector);
+  const RegionSummary* region = report.FindRegion("region.x");
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->count, 2u);
+  EXPECT_DOUBLE_EQ(region->total_ms, 4.0);
+  EXPECT_DOUBLE_EQ(region->mean_ms, 2.0);
+  EXPECT_EQ(report.CounterValue("counter.y"), 42u);
+  EXPECT_EQ(report.CounterValue("missing"), 0u);
+  EXPECT_EQ(report.FindRegion("missing"), nullptr);
+}
+
+TEST(PerfReportTest, JsonRoundTripsThroughTheChecker) {
+  PerfCollector collector;
+  collector.RecordValue("needs \"escaping\"\n", 1.5);
+  collector.SetCounter("events", 9);
+  PerfReport report = PerfReport::FromCollector(collector);
+  StatusOr<JsonValue> doc = ParseJson(report.ToJsonString());
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  const JsonValue* regions = doc->Find("regions");
+  ASSERT_NE(regions, nullptr);
+  const JsonValue* region = regions->Find("needs \"escaping\"\n");
+  ASSERT_NE(region, nullptr);
+  const JsonValue* count = region->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->number(), 1.0);
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("events")->number(), 9.0);
+}
+
+TEST(PerfReportTest, BuildMetadataIsPopulated) {
+  BuildMetadata meta = BuildMetadata::Current();
+  EXPECT_EQ(meta.schema_version, "mudi.perf.v1");
+  EXPECT_FALSE(meta.compiler.empty());
+  EXPECT_TRUE(meta.build_type == "release" || meta.build_type == "debug");
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser + BENCH_throughput.json schema validator
+
+TEST(JsonCheckTest, ParsesScalarsArraysObjects) {
+  StatusOr<JsonValue> doc =
+      ParseJson(R"({"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "s"})");
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->array()[2].number(), -300.0);
+  EXPECT_TRUE(doc->Find("b")->Find("c")->boolean());
+  EXPECT_TRUE(doc->Find("b")->Find("d")->is_null());
+  EXPECT_EQ(doc->Find("e")->string(), "s");
+}
+
+TEST(JsonCheckTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(JsonCheckTest, ReportsLineInParseErrors) {
+  Status status = ParseJson("{\n\"a\": oops\n}").status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos) << status.message();
+}
+
+std::string GoodBenchJson() {
+  return R"({
+    "schema": "mudi.bench_throughput.v1",
+    "build": {"compiler": "test"},
+    "records": [
+      {"preset": "smoke", "policy": "Mudi",
+       "wall_ms": 10.0, "sim_ms": 100.0,
+       "events_fired": 5, "events_scheduled": 6, "events_cancelled": 1,
+       "events_per_sec": 500.0, "sim_seconds_per_wall_second": 10.0,
+       "decision_latency_ms": {"count": 3, "p50": 0.1, "p95": 0.2, "p99": 0.3, "max": 0.4}}
+    ],
+    "optimizations": [
+      {"name": "sim.event-state-vector",
+       "before_events_per_sec": 1.0, "after_events_per_sec": 2.0, "speedup": 2.0}
+    ]
+  })";
+}
+
+TEST(BenchSchemaTest, AcceptsWellFormedDocument) {
+  StatusOr<JsonValue> doc = ParseJson(GoodBenchJson());
+  ASSERT_TRUE(doc.ok());
+  Status status = ValidateBenchThroughputJson(*doc);
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+void ExpectInvalid(const std::string& json, const std::string& needle) {
+  StatusOr<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  Status status = ValidateBenchThroughputJson(*doc);
+  ASSERT_FALSE(status.ok()) << "validator accepted: " << json;
+  EXPECT_NE(status.message().find(needle), std::string::npos) << status.message();
+}
+
+TEST(BenchSchemaTest, RejectsWrongSchemaTag) {
+  std::string json = GoodBenchJson();
+  json.replace(json.find("mudi.bench_throughput.v1"), 24, "mudi.bench_throughput.v9");
+  ExpectInvalid(json, "unknown schema");
+}
+
+TEST(BenchSchemaTest, RejectsEmptyRecords) {
+  ExpectInvalid(R"({"schema": "mudi.bench_throughput.v1", "build": {},
+                    "records": [], "optimizations": []})",
+                "'records' is empty");
+}
+
+TEST(BenchSchemaTest, RejectsMissingDecisionLatency) {
+  std::string json = GoodBenchJson();
+  size_t pos = json.find("\"decision_latency_ms\"");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, std::strlen("\"decision_latency_ms\""), "\"renamed\"");
+  ExpectInvalid(json, "decision_latency_ms");
+}
+
+TEST(BenchSchemaTest, RejectsMissingOptimizations) {
+  std::string json = GoodBenchJson();
+  size_t pos = json.find("\"optimizations\"");
+  json.replace(pos, std::strlen("\"optimizations\""), "\"optimisations\"");
+  ExpectInvalid(json, "optimizations");
+}
+
+TEST(BenchSchemaTest, RejectsEmptyOptimizations) {
+  std::string json = GoodBenchJson();
+  size_t start = json.find("\"optimizations\": [");
+  size_t open = json.find('[', start);
+  size_t close = json.find(']', open);
+  json.erase(open + 1, close - open - 1);
+  ExpectInvalid(json, "'optimizations' is empty");
+}
+
+TEST(BenchSchemaTest, RejectsNonNumericMetric) {
+  std::string json = GoodBenchJson();
+  size_t pos = json.find("\"wall_ms\": 10.0");
+  json.replace(pos, std::strlen("\"wall_ms\": 10.0"), "\"wall_ms\": \"fast\"");
+  ExpectInvalid(json, "wall_ms");
+}
+
+}  // namespace
+}  // namespace perf
+
+// ---------------------------------------------------------------------------
+// MUDI_BENCH_SCALE parsing (bench/bench_util)
+
+namespace {
+
+TEST(ParseBenchScaleTest, AcceptsValidScales) {
+  EXPECT_DOUBLE_EQ(*ParseBenchScale("1"), 1.0);
+  EXPECT_DOUBLE_EQ(*ParseBenchScale("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseBenchScale("1e-3"), 0.001);
+  EXPECT_DOUBLE_EQ(*ParseBenchScale("  0.25  "), 0.25);
+}
+
+TEST(ParseBenchScaleTest, RejectsNonNumeric) {
+  EXPECT_FALSE(ParseBenchScale("fast").ok());
+  EXPECT_FALSE(ParseBenchScale("0.5x").ok());
+  EXPECT_FALSE(ParseBenchScale("").ok());
+  EXPECT_FALSE(ParseBenchScale("   ").ok());
+  EXPECT_FALSE(ParseBenchScale("nan").ok());
+}
+
+TEST(ParseBenchScaleTest, RejectsOutOfRange) {
+  EXPECT_FALSE(ParseBenchScale("0").ok());
+  EXPECT_FALSE(ParseBenchScale("-0.5").ok());
+  EXPECT_FALSE(ParseBenchScale("1.0001").ok());
+  EXPECT_FALSE(ParseBenchScale("2").ok());
+}
+
+TEST(ParseBenchScaleTest, ErrorsNameTheOffendingValue) {
+  Status status = ParseBenchScale("2").status();
+  EXPECT_NE(status.message().find("\"2\""), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find("<= 1"), std::string::npos) << status.message();
+}
+
+}  // namespace
+}  // namespace mudi

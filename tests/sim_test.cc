@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-
+#include "src/perf/perf_collector.h"
 #include "src/sim/simulator.h"
 
 namespace mudi {
@@ -295,6 +295,33 @@ TEST(SimulatorTest, PendingEventsConsistencyUnderChurn) {
   EXPECT_EQ(sim.pending_events(), live_before - cancelled);
   sim.RunUntilIdle();
   EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// The end-of-run perf export must agree with the simulator's own counters
+// and with what actually happened.
+TEST(SimulatorTest, ExportPerfCountersSnapshotsDispatchTotals) {
+  Simulator sim;
+  sim.ScheduleAt(1.0, [] {});
+  Simulator::EventId doomed = sim.ScheduleAt(2.0, [] {});
+  sim.ScheduleAt(3.0, [] {});
+  Simulator::EventId pending = sim.ScheduleAt(4.0, [] {});
+  sim.Cancel(doomed);
+  sim.RunUntil(3.5);
+
+  perf::PerfCollector collector;
+  sim.ExportPerfCounters(&collector);
+  EXPECT_EQ(collector.counters().at("sim.events_scheduled"), 4u);
+  EXPECT_EQ(collector.counters().at("sim.events_fired"), 2u);
+  EXPECT_EQ(collector.counters().at("sim.events_cancelled"), 1u);
+  EXPECT_EQ(collector.counters().at("sim.events_pending"), 1u);
+  EXPECT_TRUE(sim.Cancel(pending));
+
+  // Null/disabled collectors are no-ops.
+  sim.ExportPerfCounters(nullptr);
+  perf::PerfCollector disabled;
+  disabled.set_enabled(false);
+  sim.ExportPerfCounters(&disabled);
+  EXPECT_TRUE(disabled.counters().empty());
 }
 
 TEST(SimulatorTest, TimeConstants) {

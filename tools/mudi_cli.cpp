@@ -17,6 +17,8 @@
 #include "src/common/table.h"
 #include "src/exp/cluster_experiment.h"
 #include "src/exp/presets.h"
+#include "src/perf/perf_collector.h"
+#include "src/perf/perf_report.h"
 
 namespace {
 
@@ -37,6 +39,7 @@ struct CliArgs {
   size_t trace_ring = 0;
   std::string metrics_json;
   std::string metrics_csv;
+  std::string perf_report;
   bool help = false;
 };
 
@@ -59,7 +62,9 @@ void PrintUsage() {
       "  --trace FILE       write an event trace (.json = Chrome trace, else binary)\n"
       "  --trace-ring N     bound the trace to the newest N events (0 = unbounded)\n"
       "  --metrics-json F   append a telemetry metrics JSON line to F\n"
-      "  --metrics-csv F    write the telemetry snapshot time series to F\n");
+      "  --metrics-csv F    write the telemetry snapshot time series to F\n"
+      "  --perf-report F    write a src/perf self-profiling report (JSON) to F\n"
+      "                     ('-' prints to stdout); observe-only, results unchanged\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -135,6 +140,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->metrics_csv = v;
+    } else if (flag == "--perf-report") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->perf_report = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -194,10 +203,25 @@ int main(int argc, char** argv) {
     options.telemetry.metrics_csv = args.metrics_csv;
   }
 
+  perf::PerfCollector perf_collector;
+  if (!args.perf_report.empty()) {
+    options.perf = &perf_collector;
+  }
+
   PerfOracle profiling_oracle(options.oracle_seed);
   auto policy = MakePolicy(args.policy, profiling_oracle);
   ClusterExperiment experiment(options, policy.get());
   ExperimentResult result = experiment.Run();
+
+  if (!args.perf_report.empty()) {
+    perf::PerfReport report = perf::PerfReport::FromCollector(perf_collector);
+    if (args.perf_report == "-") {
+      std::printf("%s\n", report.ToJsonString().c_str());
+    } else {
+      std::ofstream out(args.perf_report);
+      out << report.ToJsonString() << '\n';
+    }
+  }
 
   std::printf("== mudi_cli: %s on %d nodes x %d GPUs, %zu tasks, queue=%s, load=%.1fx ==\n",
               result.policy_name.c_str(), args.nodes, args.gpus, args.tasks,
