@@ -17,7 +17,12 @@
 #   bench    perf-trajectory smoke: bench_throughput at the tiny "smoke"
 #            preset, then schema-validate the JSON it emitted. Opt-in via
 #            --bench. Fails on a non-zero bench exit, a missing artifact,
-#            or a malformed/incomplete document.
+#            or a malformed/incomplete document. When the committed
+#            BENCH_throughput.json baseline exists, also re-runs the smoke
+#            preset at full scale and FAILS if any (preset, policy) pair's
+#            events/s regressed more than 20% against it (WARN instead of
+#            FAIL under --fast, so quick local iterations aren't blocked by
+#            machine noise).
 #
 # Usage: scripts/check.sh [--fast | --sanitize | --tsan | --bench ...] [build-dir]
 #   (no flags)   lint + format + build + tests + asan
@@ -38,6 +43,7 @@ RUN_TESTS=1
 RUN_ASAN=1
 RUN_TSAN=0
 RUN_BENCH=0
+FAST_MODE=0
 EXPLICIT_MODE=0
 BUILD_DIR="build"
 
@@ -46,6 +52,7 @@ while [ $# -gt 0 ]; do
     --fast)
       RUN_ASAN=0
       RUN_TSAN=0
+      FAST_MODE=1
       EXPLICIT_MODE=1
       ;;
     --sanitize)
@@ -241,16 +248,43 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   echo "== bench: perf-trajectory smoke =="
   BENCH_BIN="$BUILD_DIR/bench/bench_throughput"
   BENCH_OUT=$(mktemp -t bench_throughput_smoke.XXXXXX.json)
+  BENCH_RESULT=PASS
   if cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_throughput > /dev/null &&
      MUDI_BENCH_SCALE=0.05 "$BENCH_BIN" --presets=smoke --out="$BENCH_OUT" &&
      [ -s "$BENCH_OUT" ] &&
      "$BENCH_BIN" --validate="$BENCH_OUT"; then
-    record "bench" PASS
+    BENCH_RESULT=PASS
   else
     echo "bench: smoke run or JSON validation failed"
-    record "bench" FAIL
+    BENCH_RESULT=FAIL
   fi
   rm -f "$BENCH_OUT"
+  # Regression gate against the committed perf-trajectory baseline. The
+  # committed artifact was produced at full scale, so the gate re-runs the
+  # smoke preset at full scale too (it is tiny — well under a minute) for an
+  # apples-to-apples events/s comparison; exit 3 means some (preset, policy)
+  # pair regressed past --max-regress.
+  if [ "$BENCH_RESULT" = PASS ] && [ -f BENCH_throughput.json ]; then
+    echo "== bench: smoke events/s vs committed BENCH_throughput.json (>20% fails) =="
+    REGRESS_OUT=$(mktemp -t bench_throughput_regress.XXXXXX.json)
+    MUDI_BENCH_SCALE=1 "$BENCH_BIN" --presets=smoke --out="$REGRESS_OUT" \
+      --compare=BENCH_throughput.json --max-regress=0.2
+    REGRESS_RC=$?
+    rm -f "$REGRESS_OUT"
+    if [ "$REGRESS_RC" -eq 3 ]; then
+      if [ "$FAST_MODE" -eq 1 ]; then
+        echo "bench: smoke events/s regressed >20% vs baseline (WARN under --fast)"
+        BENCH_RESULT=WARN
+      else
+        echo "bench: smoke events/s regressed >20% vs committed baseline"
+        BENCH_RESULT=FAIL
+      fi
+    elif [ "$REGRESS_RC" -ne 0 ]; then
+      echo "bench: regression compare failed (rc=$REGRESS_RC)"
+      BENCH_RESULT=FAIL
+    fi
+  fi
+  record "bench" "$BENCH_RESULT"
 else
   record "bench" SKIP
 fi

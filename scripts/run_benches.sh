@@ -12,6 +12,12 @@
 #     --build-dir DIR   build tree holding bench binaries   (default: build)
 #     --out-dir DIR     where .txt/.err/.json land          (default: bench_results)
 #     --scale S         export MUDI_BENCH_SCALE=S (0 < S <= 1)
+#     --compare F       after bench_throughput runs, print a per-(preset,
+#                       policy) events/s + decision-latency regression table
+#                       against baseline artifact F (a prior BENCH_throughput
+#                       .json, e.g. the committed one)
+#     --max-regress R   with --compare: fail the campaign when any pair's
+#                       events/s fell more than fraction R (0 < R < 1)
 #     --list            print the default campaign bench list and exit
 #     bench ...         run only these benches (default: the full campaign)
 set -u
@@ -21,6 +27,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OUT_DIR=bench_results
 SCALE=""
+COMPARE=""
+MAX_REGRESS=""
 ONLY=()
 
 ALL_BENCHES=(
@@ -39,6 +47,8 @@ while [[ $# -gt 0 ]]; do
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out-dir)   OUT_DIR="$2";   shift 2 ;;
     --scale)     SCALE="$2";     shift 2 ;;
+    --compare)     COMPARE="$2";     shift 2 ;;
+    --max-regress) MAX_REGRESS="$2"; shift 2 ;;
     --list)      printf '%s\n' "${ALL_BENCHES[@]}"; exit 0 ;;
     -h|--help)   grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     --*)         echo "unknown option: $1" >&2; exit 2 ;;
@@ -67,8 +77,18 @@ for b in "${BENCHES[@]}"; do
   echo "=== RUNNING $b ==="
   if [[ "$b" == bench_throughput ]]; then
     # The perf-trajectory bench writes its own versioned JSON artifact.
-    "$bin" --out="$OUT_DIR/BENCH_throughput.json" \
-      > "$OUT_DIR/$b.txt" 2> "$OUT_DIR/$b.err"
+    # With --compare it also prints the regression table vs the baseline
+    # (visible on the terminal, not just in the .txt, so campaign runs show
+    # the trajectory at a glance) and exits non-zero past --max-regress.
+    THROUGHPUT_FLAGS=()
+    if [[ -n "$COMPARE" ]]; then
+      THROUGHPUT_FLAGS+=("--compare=$COMPARE")
+    fi
+    if [[ -n "$MAX_REGRESS" ]]; then
+      THROUGHPUT_FLAGS+=("--max-regress=$MAX_REGRESS")
+    fi
+    "$bin" --out="$OUT_DIR/BENCH_throughput.json" "${THROUGHPUT_FLAGS[@]}" \
+      > >(tee "$OUT_DIR/$b.txt") 2> "$OUT_DIR/$b.err"
   else
     # Each experiment run appends one labeled JSON line (counters, gauges,
     # histograms — queue depth, utilization, decision counts) to the bench's

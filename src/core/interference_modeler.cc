@@ -65,14 +65,30 @@ void InterferenceModeler::AddSamplesFromProfiler(const LatencyProfiler& profiler
 
 void InterferenceModeler::Fit(size_t folds) {
   auto zoo = DefaultRegressorZoo();
+  // Flatten every (service, param) selection into one batch so the cache
+  // lookup and the worker-pool fan-out see all shards at once. Slot order is
+  // the service/param iteration order, which fixes the reduction order.
+  std::vector<FitTask> tasks;
+  std::vector<std::pair<ServiceModels*, size_t>> slots;
   for (auto& sm : per_service_) {
     if (sm.x.size() < 4) {
       continue;  // not enough co-location samples for this service yet
     }
     for (size_t p = 0; p < kNumCurveParams; ++p) {
-      ModelSelectionResult result = SelectBestModel(zoo, sm.x, sm.y[p], folds);
-      sm.model[p] = std::move(result.model);
-      sm.model_name[p] = result.model_name;
+      tasks.push_back(FitTask{&sm.x, &sm.y[p], folds});
+      slots.emplace_back(&sm, p);
+    }
+  }
+  std::vector<SharedSelectionResult> results = SelectBestModelsCached(zoo, tasks);
+  last_fit_cached_ = 0;
+  last_fit_computed_ = 0;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    slots[i].first->model[slots[i].second] = results[i].model;
+    slots[i].first->model_name[slots[i].second] = results[i].model_name;
+    if (results[i].from_cache) {
+      ++last_fit_cached_;
+    } else {
+      ++last_fit_computed_;
     }
   }
   fitted_ = true;

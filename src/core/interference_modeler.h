@@ -37,8 +37,15 @@ class InterferenceModeler {
   void AddSamplesFromProfiler(const LatencyProfiler& profiler);
 
   // (Re)trains the per-service, per-parameter learners; call after adding
-  // samples. `folds` controls the model-selection cross-validation.
+  // samples. `folds` controls the model-selection cross-validation. Fits are
+  // memoized process-wide (FitCache) and fanned out deterministically
+  // (FitPool) — see SelectBestModelsCached.
   void Fit(size_t folds = 5);
+
+  // Shard accounting for the most recent Fit(): how many (service, param)
+  // selections were served from the cache vs computed fresh. Observational.
+  size_t last_fit_cached() const { return last_fit_cached_; }
+  size_t last_fit_computed() const { return last_fit_computed_; }
 
   // Predicts the piece-wise linear latency curve for `service_index` when
   // co-located with training task(s) of cumulative architecture `arch` at
@@ -59,12 +66,16 @@ class InterferenceModeler {
   struct ServiceModels {
     std::vector<std::vector<double>> x;
     std::array<std::vector<double>, kNumCurveParams> y;
-    std::array<std::unique_ptr<Regressor>, kNumCurveParams> model;
+    // Shared because fitted models are immutable (Predict is const) and may
+    // be held jointly by this modeler and the process-global FitCache.
+    std::array<std::shared_ptr<const Regressor>, kNumCurveParams> model;
     std::array<std::string, kNumCurveParams> model_name;
   };
 
   std::vector<ServiceModels> per_service_;
   bool fitted_ = false;
+  size_t last_fit_cached_ = 0;
+  size_t last_fit_computed_ = 0;
 };
 
 }  // namespace mudi

@@ -62,6 +62,11 @@ void MudiPolicy::Initialize(SchedulingEnv& env) {
     modeler_.AddSamplesFromProfiler(profiler_);
     modeler_.Fit();
   }
+  if (env.perf() != nullptr && env.perf()->enabled()) {
+    // Snapshot-style, observe-only: how much of the fit the FitCache absorbed.
+    env.perf()->SetCounter("mudi.fit_shards_cached", modeler_.last_fit_cached());
+    env.perf()->SetCounter("mudi.fit_shards_computed", modeler_.last_fit_computed());
+  }
   initialized_ = true;
   MUDI_LOG(Info) << name() << ": offline profiling done, "
                  << profiler_.curves().size() << " curves, "

@@ -1,0 +1,89 @@
+#include "src/ml/fit_cache.h"
+
+#include <cstring>
+
+namespace mudi {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline void Mix(uint64_t word, uint64_t* hi, uint64_t* lo) {
+  // Two FNV-1a lanes over the same word stream, decorrelated by a Weyl
+  // constant, give 128 bits — enough that accidental collisions across the
+  // few hundred datasets a process ever fits are not a practical concern.
+  *lo = (*lo ^ word) * kFnvPrime;
+  *hi = (*hi ^ (word + 0x9e3779b97f4a7c15ull)) * kFnvPrime;
+}
+
+inline uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+FitFingerprint FingerprintSamples(const std::vector<std::vector<double>>& x,
+                                  const std::vector<double>& y, size_t folds) {
+  uint64_t hi = kFnvOffset;
+  uint64_t lo = kFnvOffset ^ 0x6a09e667f3bcc908ull;
+  Mix(static_cast<uint64_t>(folds), &hi, &lo);
+  Mix(static_cast<uint64_t>(x.size()), &hi, &lo);
+  for (const auto& row : x) {
+    Mix(static_cast<uint64_t>(row.size()), &hi, &lo);
+    for (double v : row) {
+      Mix(DoubleBits(v), &hi, &lo);
+    }
+  }
+  Mix(static_cast<uint64_t>(y.size()), &hi, &lo);
+  for (double v : y) {
+    Mix(DoubleBits(v), &hi, &lo);
+  }
+  return FitFingerprint{hi, lo};
+}
+
+FitCache& FitCache::Global() {
+  static FitCache* cache = new FitCache();
+  return *cache;
+}
+
+std::shared_ptr<const CachedFit> FitCache::Find(const FitFingerprint& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void FitCache::Insert(const FitFingerprint& key, std::shared_ptr<const CachedFit> fit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = std::move(fit);
+}
+
+void FitCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+uint64_t FitCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t FitCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t FitCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace mudi

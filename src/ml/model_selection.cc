@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/ml/fit_cache.h"
+#include "src/ml/fit_pool.h"
 #include "src/ml/knn.h"
 #include "src/ml/linear_regression.h"
 #include "src/ml/mlp.h"
@@ -85,6 +87,81 @@ ModelSelectionResult SelectBestModel(const std::vector<RegressorFactory>& factor
   result.model_name = result.model->name();
   result.cv_error = best_err;
   return result;
+}
+
+std::vector<SharedSelectionResult> SelectBestModelsCached(
+    const std::vector<RegressorFactory>& factories, const std::vector<FitTask>& tasks) {
+  MUDI_CHECK(!factories.empty());
+  std::vector<SharedSelectionResult> results(tasks.size());
+
+  // Resolve cache hits first so only genuinely new datasets pay for CV.
+  std::vector<size_t> pending;  // indices into tasks, ascending
+  std::vector<FitFingerprint> keys(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const FitTask& task = tasks[i];
+    MUDI_CHECK(task.x != nullptr && task.y != nullptr);
+    keys[i] = FingerprintSamples(*task.x, *task.y, task.folds);
+    if (std::shared_ptr<const CachedFit> hit = FitCache::Global().Find(keys[i])) {
+      results[i].model = hit->model;
+      results[i].model_name = hit->model_name;
+      results[i].cv_error = hit->cv_error;
+      results[i].from_cache = true;
+    } else {
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty()) {
+    return results;
+  }
+
+  // Phase A — cross-validate every (pending task, factory) shard. Shard
+  // order is fixed (task-major), each shard is pure and internally seeded,
+  // and each writes only errors[shard], so the matrix is thread-count
+  // independent.
+  const size_t num_factories = factories.size();
+  std::vector<double> errors(pending.size() * num_factories, 0.0);
+  FitPool::ParallelFor(errors.size(), [&](size_t shard) {
+    const FitTask& task = tasks[pending[shard / num_factories]];
+    errors[shard] =
+        KFoldRelativeError(factories[shard % num_factories], *task.x, *task.y, task.folds);
+  });
+
+  // Phase B — serial winner pick, factory order, strict `<`: byte-for-byte
+  // the SelectBestModel rule, applied to the deterministic error matrix.
+  std::vector<size_t> winner(pending.size(), 0);
+  for (size_t p = 0; p < pending.size(); ++p) {
+    double best_err = std::numeric_limits<double>::infinity();
+    for (size_t f = 0; f < num_factories; ++f) {
+      double err = errors[p * num_factories + f];
+      if (err < best_err) {
+        best_err = err;
+        winner[p] = f;
+      }
+    }
+    results[pending[p]].cv_error = best_err;
+  }
+
+  // Phase C — refit each winner on all data, one shard per pending task.
+  std::vector<std::shared_ptr<const Regressor>> refit(pending.size());
+  FitPool::ParallelFor(pending.size(), [&](size_t p) {
+    const FitTask& task = tasks[pending[p]];
+    std::unique_ptr<Regressor> model = factories[winner[p]]();
+    model->Fit(*task.x, *task.y);
+    refit[p] = std::shared_ptr<const Regressor>(std::move(model));
+  });
+
+  // Fixed-order reduction + cache fill on the calling thread.
+  for (size_t p = 0; p < pending.size(); ++p) {
+    size_t i = pending[p];
+    results[i].model = refit[p];
+    results[i].model_name = refit[p]->name();
+    auto cached = std::make_shared<CachedFit>();
+    cached->model = results[i].model;
+    cached->model_name = results[i].model_name;
+    cached->cv_error = results[i].cv_error;
+    FitCache::Global().Insert(keys[i], std::move(cached));
+  }
+  return results;
 }
 
 }  // namespace mudi

@@ -31,6 +31,32 @@ ModelSelectionResult SelectBestModel(const std::vector<RegressorFactory>& factor
                                      const std::vector<std::vector<double>>& x,
                                      const std::vector<double>& y, size_t folds = 5);
 
+// One independent selection problem in a batch; the pointed-to data must
+// outlive the SelectBestModelsCached call.
+struct FitTask {
+  const std::vector<std::vector<double>>* x = nullptr;
+  const std::vector<double>* y = nullptr;
+  size_t folds = 5;
+};
+
+struct SharedSelectionResult {
+  std::shared_ptr<const Regressor> model;  // winner refit on all data
+  std::string model_name;
+  double cv_error = 0.0;
+  bool from_cache = false;
+};
+
+// Batch counterpart of SelectBestModel: memoized through FitCache and
+// parallelized through FitPool. Tasks already in the cache are returned
+// immediately; the rest are cross-validated one (task, factory) shard at a
+// time across the pool, winners picked serially in factory order with the
+// same strict `<` rule as SelectBestModel, then refit in parallel. Every
+// shard is an internally-seeded pure function of its inputs and every result
+// lands in a pre-sized slot read back in task order, so the returned vector
+// is bit-identical for any MUDI_FIT_THREADS setting.
+std::vector<SharedSelectionResult> SelectBestModelsCached(
+    const std::vector<RegressorFactory>& factories, const std::vector<FitTask>& tasks);
+
 }  // namespace mudi
 
 #endif  // SRC_ML_MODEL_SELECTION_H_

@@ -28,6 +28,8 @@ void Simulator::ExportPerfCounters(perf::PerfCollector* collector) const {
   collector->SetCounter("sim.events_scheduled", events_scheduled_);
   collector->SetCounter("sim.events_cancelled", events_cancelled_);
   collector->SetCounter("sim.events_pending", live_count_);
+  collector->SetCounter("sim.calendar_migrations", queue_.migrations());
+  collector->SetCounter("sim.arena_slabs", arena_.slabs());
 }
 
 void Simulator::SetState(EventId id, EventState s) {
@@ -39,9 +41,16 @@ void Simulator::SetState(EventId id, EventState s) {
 
 Simulator::EventId Simulator::Push(TimeMs t, TimeMs period, Callback cb, EventId reuse_id) {
   MUDI_CHECK_GE(t, now_);
-  MUDI_CHECK(cb != nullptr);
+  MUDI_CHECK(cb);
   EventId id = reuse_id != kInvalidEventId ? reuse_id : next_id_++;
-  queue_.push(Entry{t, next_seq_++, id, period, std::move(cb)});
+  EventArena::Slot slot = arena_.Allocate();
+  EventArena::Event& ev = arena_[slot];
+  ev.time = t;
+  ev.period = period;
+  ev.seq = next_seq_++;
+  ev.id = id;
+  ev.cb = std::move(cb);
+  queue_.Push(CalendarQueue::Item{t, ev.seq, slot});
   SetState(id, EventState::kLive);
   ++live_count_;
   ++events_scheduled_;
@@ -84,15 +93,16 @@ bool Simulator::Cancel(EventId id) {
 }
 
 bool Simulator::SkipCancelled() {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (State(top.id) != EventState::kCancelled) {
+  while (const CalendarQueue::Item* top = queue_.PeekMin()) {
+    EventArena::Event& ev = arena_[top->slot];
+    if (State(ev.id) != EventState::kCancelled) {
       return true;
     }
-    SetState(top.id, EventState::kDead);
+    SetState(ev.id, EventState::kDead);
     MUDI_CHECK_GT(stale_cancellations_, 0u);
     --stale_cancellations_;
-    queue_.pop();
+    arena_.Recycle(top->slot);
+    queue_.PopMin();
   }
   return false;
 }
@@ -101,28 +111,44 @@ bool Simulator::Step() {
   if (!SkipCancelled()) {
     return false;
   }
-  Entry entry = queue_.top();
-  queue_.pop();
-  SetState(entry.id, EventState::kDead);
-  MUDI_CHECK_GT(live_count_, 0u);
-  --live_count_;
-  MUDI_CHECK_GE(entry.time, now_);
-  now_ = entry.time;
+  CalendarQueue::Item item = queue_.PopMin();
+  EventArena::Event& ev = arena_[item.slot];
+  MUDI_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
   ++events_processed_;
   if (fired_counter_ != nullptr) {
     fired_counter_->Increment();
   }
-  if (entry.period > 0.0) {
-    // Re-arm before running so the callback can Cancel() its own id.
-    Push(entry.time + entry.period, entry.period, entry.cb, entry.id);
+  if (ev.period > 0.0) {
+    // Re-arm before running so the callback can Cancel() its own id: the
+    // event keeps its arena slot and id, gets a fresh seq, and is pushed at
+    // the next occurrence — no state flip, no allocation, no callback move.
+    // The callback is then invoked from its (re-queued) slot; Cancel during
+    // the call marks the state and the slot is reaped lazily.
+    ev.time += ev.period;
+    ev.seq = next_seq_++;
+    queue_.Push(CalendarQueue::Item{ev.time, ev.seq, item.slot});
+    ++events_scheduled_;
+    if (scheduled_counter_ != nullptr) {
+      scheduled_counter_->Increment();
+    }
+    ev.cb();
+    return true;
   }
-  entry.cb();
+  // One-shot: move the callback out and recycle the slot *before* invoking,
+  // so events the callback schedules reuse this still-cache-warm slot.
+  SetState(ev.id, EventState::kDead);
+  MUDI_CHECK_GT(live_count_, 0u);
+  --live_count_;
+  Callback cb = std::move(ev.cb);
+  arena_.Recycle(item.slot);
+  cb();
   return true;
 }
 
 void Simulator::RunUntil(TimeMs t) {
   MUDI_CHECK_GE(t, now_);
-  while (SkipCancelled() && queue_.top().time <= t) {
+  while (SkipCancelled() && queue_.PeekMin()->time <= t) {
     Step();
   }
   now_ = t;

@@ -6,13 +6,23 @@
 // Periodic events re-arm themselves until cancelled. The engine is
 // single-threaded by design — determinism matters more than parallelism for
 // cluster-scheduling studies.
+//
+// Internals (see DESIGN.md §12): events live in a slab arena (EventArena)
+// and are ordered by a calendar queue (CalendarQueue) holding 20-byte
+// {time, seq, slot} items; callbacks are small-buffer-optimized
+// (SmallFunction), so the steady-state schedule/fire/cancel path performs no
+// heap allocation per event. Callbacks run from their arena slot; they may
+// schedule and Cancel freely, but must not re-enter Run*/Step on the same
+// Simulator.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "src/common/small_function.h"
+#include "src/sim/calendar_queue.h"
+#include "src/sim/event_arena.h"
 
 namespace mudi {
 
@@ -33,7 +43,7 @@ constexpr TimeMs kMsPerHour = 60.0 * kMsPerMinute;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFunction<void()>;
   using EventId = uint64_t;
 
   static constexpr EventId kInvalidEventId = 0;
@@ -75,6 +85,11 @@ class Simulator {
   uint64_t events_scheduled() const { return events_scheduled_; }
   uint64_t events_cancelled() const { return events_cancelled_; }
 
+  // Arena/queue internals, exposed for tests and perf counters.
+  size_t arena_slabs() const { return arena_.slabs(); }
+  size_t arena_high_water() const { return arena_.high_water(); }
+  uint64_t calendar_migrations() const { return queue_.migrations(); }
+
   // Optional event-dispatch stats (scheduled/fired/cancelled counters).
   // Purely observational; passing nullptr detaches.
   void SetTelemetry(Telemetry* telemetry);
@@ -85,23 +100,6 @@ class Simulator {
   void ExportPerfCounters(perf::PerfCollector* collector) const;
 
  private:
-  struct Entry {
-    TimeMs time;
-    uint64_t seq;  // tie-break: FIFO among same-time events
-    EventId id;
-    // Period > 0 marks a periodic event that re-arms after firing.
-    TimeMs period;
-    Callback cb;
-  };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
   // Per-id lifecycle, tracked in a flat vector indexed by EventId. An id has
   // at most one queue entry at any time (periodic re-arm pushes only after
   // the previous occurrence popped), so one byte of state suffices:
@@ -136,7 +134,8 @@ class Simulator {
   telemetry::Counter* fired_counter_ = nullptr;
   telemetry::Counter* scheduled_counter_ = nullptr;
   telemetry::Counter* cancelled_counter_ = nullptr;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  EventArena arena_;
+  CalendarQueue queue_;
   std::vector<uint8_t> state_;
 };
 

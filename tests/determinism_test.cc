@@ -6,11 +6,13 @@
 // byte-identical" guarantee) assume bit-reproducibility.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "src/exp/cluster_experiment.h"
 #include "src/exp/presets.h"
 #include "src/fault/fault_plan.h"
+#include "src/ml/fit_cache.h"
 #include "src/perf/perf_collector.h"
 
 namespace mudi {
@@ -146,6 +148,53 @@ TEST(SeedDeterminismFaultTest, SameSeedSameMetricsUnderChaos) {
   ExperimentResult b = RunOnce("Mudi", options);
   ExpectIdenticalResults(a, b);
   EXPECT_GT(a.faults.faults_injected, 0u);
+}
+
+// Parallel fitting must be invisible in the results. FitPool shards the fit
+// workload deterministically and reduces in a fixed order, so the number of
+// worker threads may change wall time but never a single output bit. The
+// cache is cleared before each run so every thread count actually executes
+// the fits rather than replaying the first run's cached models.
+TEST(FitThreadDeterminismTest, MudiBitIdenticalAcrossFitThreadCounts) {
+  ExperimentOptions options = SmallOptions(/*seed=*/41);
+
+  const char* saved = std::getenv("MUDI_FIT_THREADS");
+  std::string saved_value = saved != nullptr ? saved : "";
+
+  ExperimentResult results[3];
+  const char* thread_counts[3] = {"1", "2", "8"};
+  for (int i = 0; i < 3; ++i) {
+    setenv("MUDI_FIT_THREADS", thread_counts[i], /*overwrite=*/1);
+    FitCache::Global().Clear();
+    results[i] = RunOnce("Mudi", options);
+  }
+
+  if (saved != nullptr) {
+    setenv("MUDI_FIT_THREADS", saved_value.c_str(), /*overwrite=*/1);
+  } else {
+    unsetenv("MUDI_FIT_THREADS");
+  }
+
+  ExpectIdenticalResults(results[0], results[1]);
+  ExpectIdenticalResults(results[0], results[2]);
+}
+
+// The fit cache is a pure memoization: replaying cached models must yield the
+// same bits as recomputing them. A cold run (cache cleared) and a warm run
+// (cache populated by the cold run) must agree exactly — and the warm run
+// must actually hit the cache, or the identity check proves nothing.
+TEST(FitCacheDeterminismTest, WarmCacheBitIdenticalToColdRun) {
+  ExperimentOptions options = SmallOptions(/*seed=*/43);
+
+  FitCache::Global().Clear();
+  ExperimentResult cold = RunOnce("Mudi", options);
+  uint64_t hits_before = FitCache::Global().hits();
+
+  ExperimentResult warm = RunOnce("Mudi", options);
+  EXPECT_GT(FitCache::Global().hits(), hits_before)
+      << "second run never hit the fit cache; warm-path identity is vacuous";
+
+  ExpectIdenticalResults(cold, warm);
 }
 
 TEST(SeedDeterminismTestNegative, DifferentSeedsDiverge) {

@@ -347,13 +347,59 @@ TEST(IncludeCheckTest, NolintSuppresses) {
 }
 
 // ---------------------------------------------------------------------------
+// mudi-fit-thread
+// ---------------------------------------------------------------------------
+
+TEST(FitThreadCheckTest, FlagsStdThreadAndAsync) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F() {\n"
+                       "  std::thread worker([] {});\n"
+                       "  auto fut = std::async([] { return 1; });\n"
+                       "  worker.join();\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-fit-thread"), 2u);
+}
+
+TEST(FitThreadCheckTest, FlagsThreadAndFutureIncludes) {
+  auto findings = Lint("src/core/foo.cc",
+                       "#include <thread>\n"
+                       "#include <future>\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-fit-thread"), 2u);
+}
+
+TEST(FitThreadCheckTest, FitPoolHeaderIsAllowlisted) {
+  const std::string code =
+      "#include <thread>\n"
+      "std::thread worker;\n";
+  EXPECT_EQ(CountCheck(Lint("src/ml/fit_pool.h", code), "mudi-fit-thread"), 0u);
+  EXPECT_EQ(CountCheck(Lint("src/ml/other.h", code), "mudi-fit-thread"), 2u);
+}
+
+TEST(FitThreadCheckTest, UnqualifiedThreadIdentifierIsClean) {
+  // `thread` as a plain variable/member name (e.g. a config field) is fine;
+  // only std-qualified spawn primitives and the spawning headers are banned.
+  auto findings = Lint("src/core/foo.cc",
+                       "struct Config { int thread = 0; };\n"
+                       "int Threads(const Config& c) { return c.thread; }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-fit-thread"), 0u);
+}
+
+TEST(FitThreadCheckTest, NolintSuppresses) {
+  auto findings = Lint("src/core/foo.cc",
+                       "// NOLINTNEXTLINE(mudi-fit-thread) test-only stress harness\n"
+                       "std::thread worker([] {});\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-fit-thread"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-fit-thread", /*include_suppressed=*/true), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Engine plumbing
 // ---------------------------------------------------------------------------
 
 TEST(EngineTest, CheckNamesSortedAndComplete) {
   auto names = CheckNames();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 6u);
 }
 
 TEST(EngineTest, EnabledChecksRestrictsFindings) {

@@ -330,5 +330,121 @@ TEST(SimulatorTest, TimeConstants) {
   EXPECT_EQ(kMsPerHour, 3600000.0);
 }
 
+// ---------------------------------------------------------------------------
+// Calendar-queue / event-arena edge cases. The calendar queue buckets events
+// into 1 ms ticks inside a sliding window; everything observable must stay
+// identical to the old binary-heap ordering — these tests pin the seams
+// (bucket boundaries, window rotation, overflow heap, slot recycling).
+// ---------------------------------------------------------------------------
+
+// Scheduling order must break ties even when the tied events land exactly on
+// a bucket boundary and their neighbors sit in adjacent buckets.
+TEST(SimulatorTest, TieBreakAcrossBucketBoundaries) {
+  Simulator sim;
+  std::vector<int> order;
+  const double boundary_ms = 4096.0;  // half-window boundary tick at default geometry
+  sim.ScheduleAt(boundary_ms, [&] { order.push_back(1); });          // boundary bucket
+  sim.ScheduleAt(boundary_ms - 0.25, [&] { order.push_back(0); });   // previous bucket
+  sim.ScheduleAt(boundary_ms, [&] { order.push_back(2); });          // tie: after 1
+  sim.ScheduleAt(boundary_ms + 0.25, [&] { order.push_back(3); });   // same bucket, later
+  sim.ScheduleAt(boundary_ms + 1.0, [&] { order.push_back(4); });    // next bucket
+  sim.ScheduleAt(boundary_ms, [&] { order.push_back(5); });          // tie: after 2
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 5, 3, 4}));
+}
+
+// Ties scheduled into the far-future overflow heap keep FIFO order through
+// the heap and through migration back into calendar buckets.
+TEST(SimulatorTest, TieBreakSurvivesOverflowMigration) {
+  Simulator sim;
+  std::vector<int> order;
+  const double far = 50000.0;  // beyond the initial calendar window
+  for (int i = 0; i < 8; ++i) {
+    sim.ScheduleAt(far, [&order, i] { order.push_back(i); });
+  }
+  sim.ScheduleAt(1.0, [&] { order.push_back(-1); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(order.size(), 9u);
+  EXPECT_EQ(order[0], -1);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[i + 1], i);
+  }
+}
+
+// A firing callback cancels a same-bucket later event, a different-bucket
+// event, and a far-future overflow event; none of them may fire.
+TEST(SimulatorTest, CancelFromInsideCallbackAcrossBuckets) {
+  Simulator sim;
+  int fired = 0;
+  const double far_future_ms = 90 * kMsPerSecond;  // beyond the calendar window
+  Simulator::EventId same_bucket = sim.ScheduleAt(10.5, [&] { ++fired; });
+  Simulator::EventId other_bucket = sim.ScheduleAt(900.0, [&] { ++fired; });
+  Simulator::EventId far_future = sim.ScheduleAt(far_future_ms, [&] { ++fired; });
+  sim.ScheduleAt(10.25, [&] {
+    EXPECT_TRUE(sim.Cancel(same_bucket));
+    EXPECT_TRUE(sim.Cancel(other_bucket));
+    EXPECT_TRUE(sim.Cancel(far_future));
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// A periodic event whose period repeatedly carries it across half-window
+// rotations (the calendar re-uses bucket indices mod the window size) must
+// fire exactly on schedule the whole way.
+TEST(SimulatorTest, PeriodicReArmAcrossWindowRotation) {
+  Simulator sim;
+  std::vector<double> times;
+  const double period_ms = 2.5 * kMsPerSecond;
+  const double horizon_ms = 50 * kMsPerSecond;  // ~12 half-window slides at default geometry
+  Simulator::EventId id = sim.SchedulePeriodic(500.0, period_ms, [&] { times.push_back(sim.Now()); });
+  sim.RunUntil(horizon_ms);
+  EXPECT_TRUE(sim.Cancel(id));
+  ASSERT_EQ(times.size(), 20u);  // 500, 3000, 5500, ..., 48000
+  for (size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(times[i], 500.0 + period_ms * static_cast<double>(i));
+  }
+}
+
+// Far-future events take the overflow-heap path and come back in order once
+// the clock reaches them; events scheduled after the window has moved out
+// there interleave correctly with them.
+TEST(SimulatorTest, FarFutureOverflowOrdering) {
+  Simulator sim;
+  std::vector<int> order;
+  const double far_a_ms = 1000 * kMsPerSecond;
+  const double far_mid_ms = 1500 * kMsPerSecond;
+  const double far_b_ms = 2000 * kMsPerSecond;
+  sim.ScheduleAt(far_b_ms, [&] { order.push_back(2); });
+  sim.ScheduleAt(far_a_ms, [&, far_mid_ms] {
+    order.push_back(1);
+    // Scheduled after the window has migrated out to far_a_ms: lands between
+    // the two original far-future events.
+    sim.ScheduleAt(far_mid_ms, [&] { order.push_back(10); });
+  });
+  sim.ScheduleAt(5.0, [&] { order.push_back(0); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 2}));
+  EXPECT_GE(sim.calendar_migrations(), 1u);
+}
+
+// Cancelled events' arena slots are recycled once reaped: heavy
+// schedule/cancel churn must not grow the arena beyond its first slab.
+TEST(SimulatorTest, ArenaReusesSlotsAfterCancel) {
+  Simulator sim;
+  for (int round = 0; round < 1000; ++round) {
+    Simulator::EventId keep = sim.ScheduleAt(sim.Now() + 1.0, [] {});
+    Simulator::EventId doomed = sim.ScheduleAt(sim.Now() + 2.0, [] {});
+    EXPECT_TRUE(sim.Cancel(doomed));
+    sim.RunUntil(sim.Now() + 3.0);
+    EXPECT_EQ(sim.pending_events(), 0u);
+    (void)keep;
+  }
+  // 1000 rounds x 2 events touched only a handful of distinct slots.
+  EXPECT_EQ(sim.arena_slabs(), 1u);
+  EXPECT_LE(sim.arena_high_water(), 4u);
+}
+
 }  // namespace
 }  // namespace mudi

@@ -335,6 +335,47 @@ void CheckDeterminism(const std::string& path, const std::vector<Token>& tokens,
 }
 
 // ---------------------------------------------------------------------------
+// mudi-fit-thread
+// ---------------------------------------------------------------------------
+
+// Thread-spawning primitives are confined to src/ml/fit_pool.h, the one
+// sanctioned worker pool (deterministic sharding, fixed-order reduction,
+// MUDI_FIT_THREADS-bounded). Ad-hoc std::thread/std::async anywhere else
+// can introduce scheduling-order nondeterminism that the seeded-run
+// bit-identity contract cannot tolerate.
+void CheckFitThread(const std::string& path, const std::vector<Token>& tokens,
+                    std::vector<Finding>* findings) {
+  if (EndsWith(path, "src/ml/fit_pool.h")) {
+    return;  // the sanctioned fit worker pool
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Token::Kind::kIdentifier) {
+      continue;
+    }
+    // `#include <thread>` / `<future>`: the headers exist only to spawn.
+    if (tok.preprocessor && (tok.text == "thread" || tok.text == "future") && i >= 2 &&
+        tokens[i - 1].text == "<" && tokens[i - 2].text == "include") {
+      findings->push_back({path, tok.line, "mudi-fit-thread", Severity::kError,
+                           "#include <" + tok.text +
+                               "> outside src/ml/fit_pool.h; spawn workers only through "
+                               "FitPool::ParallelFor so parallelism stays deterministic"});
+      continue;
+    }
+    // `std::thread` / `std::jthread` / `std::async` spawn sites.
+    if ((tok.text == "thread" || tok.text == "jthread" || tok.text == "async") && i >= 2 &&
+        tokens[i - 1].kind == Token::Kind::kPunct && tokens[i - 1].text == "::" &&
+        tokens[i - 2].kind == Token::Kind::kIdentifier && tokens[i - 2].text == "std") {
+      findings->push_back({path, tok.line, "mudi-fit-thread", Severity::kError,
+                           "'std::" + tok.text +
+                               "' outside src/ml/fit_pool.h; spawn workers only through "
+                               "FitPool::ParallelFor (src/ml/fit_pool.h) so fits stay "
+                               "bit-identical for any MUDI_FIT_THREADS"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // mudi-status
 // ---------------------------------------------------------------------------
 
@@ -604,8 +645,8 @@ std::string Finding::ToString() const {
 }
 
 std::vector<std::string> CheckNames() {
-  return {"mudi-determinism", "mudi-float-eq", "mudi-include", "mudi-status",
-          "mudi-time-unit"};
+  return {"mudi-determinism", "mudi-fit-thread", "mudi-float-eq", "mudi-include",
+          "mudi-status", "mudi-time-unit"};
 }
 
 std::vector<Token> Tokenize(std::string_view content) {
@@ -664,6 +705,9 @@ std::vector<Finding> LintFile(const std::string& path, std::string_view content,
   std::vector<Finding> findings;
   if (CheckEnabled(options, "mudi-determinism")) {
     CheckDeterminism(path, tokenized.tokens, &findings);
+  }
+  if (CheckEnabled(options, "mudi-fit-thread")) {
+    CheckFitThread(path, tokenized.tokens, &findings);
   }
   if (CheckEnabled(options, "mudi-status")) {
     CheckStatusDiscard(path, tokenized.tokens, options, &findings);

@@ -9,6 +9,12 @@
 //                      run must be byte-identical; rand(), time(),
 //                      std::random_device and the std::chrono clocks break
 //                      that silently.
+//   mudi-fit-thread    no std::thread / std::async / <thread> / <future>
+//                      outside src/ml/fit_pool.h, the one sanctioned worker
+//                      pool. FitPool's deterministic sharding + fixed-order
+//                      reduction is what keeps parallel fits bit-identical;
+//                      ad-hoc threads would reintroduce scheduling
+//                      nondeterminism invisibly.
 //   mudi-status        a call to a Status/StatusOr-returning function whose
 //                      result is discarded. Backed by [[nodiscard]] on the
 //                      types themselves; the lint also catches call sites in
