@@ -23,13 +23,18 @@
 #            events/s regressed more than 20% against it (WARN instead of
 #            FAIL under --fast, so quick local iterations aren't blocked by
 #            machine noise).
+#   chaos    the fault suites — device faults (Fault*), control-plane faults
+#            (CtrlFault*/ControlFault*/KvStore*), retry/backoff (Retr*), and
+#            the determinism replays — under the ASan+UBSan tree. Opt-in via
+#            --chaos. Reuses build-asan when the asan stage already built it.
 #
-# Usage: scripts/check.sh [--fast | --sanitize | --tsan | --bench ...] [build-dir]
+# Usage: scripts/check.sh [--fast | --sanitize | --tsan | --bench | --chaos ...] [build-dir]
 #   (no flags)   lint + format + build + tests + asan
 #   --fast       lint + format + build + tests (skip all sanitizer trees)
 #   --sanitize   lint + asan tree only (the pre-existing deep-memory gate)
 #   --tsan       lint + tsan tree only; combine with --sanitize to run both
 #   --bench      additionally run the bench smoke stage (any mode)
+#   --chaos      additionally run the fault suites under ASan (any mode)
 #   build-dir    plain-tree build directory (default: build). Sanitizer trees
 #                always use build-asan / build-tsan.
 #
@@ -43,6 +48,7 @@ RUN_TESTS=1
 RUN_ASAN=1
 RUN_TSAN=0
 RUN_BENCH=0
+RUN_CHAOS=0
 FAST_MODE=0
 EXPLICIT_MODE=0
 BUILD_DIR="build"
@@ -75,6 +81,9 @@ while [ $# -gt 0 ]; do
       ;;
     --bench)
       RUN_BENCH=1
+      ;;
+    --chaos)
+      RUN_CHAOS=1
       ;;
     -h|--help)
       sed -n '2,34p' "$0"
@@ -287,6 +296,38 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   record "bench" "$BENCH_RESULT"
 else
   record "bench" SKIP
+fi
+
+# -- chaos: fault suites under ASan (opt-in) ----------------------------------
+if [ "$RUN_CHAOS" -eq 1 ]; then
+  echo "== chaos: fault suites (device + control plane) under ASan+UBSan =="
+  CHAOS_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+  CHAOS_RESULT=PASS
+  # Only the suites the fault domain touches are built, so --chaos stays much
+  # cheaper than the full asan stage (and reuses build-asan when that stage
+  # already populated it).
+  if cmake -B build-asan -S . \
+       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DCMAKE_CXX_FLAGS="$CHAOS_FLAGS" \
+       -DCMAKE_EXE_LINKER_FLAGS="$CHAOS_FLAGS" > /dev/null &&
+     cmake --build build-asan -j "$(nproc)" \
+       --target fault_test determinism_test cluster_test common_test > /dev/null; then
+    if (cd build-asan && \
+        env ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+            UBSAN_OPTIONS=print_stacktrace=1 \
+        ctest --output-on-failure -j "$(nproc)" \
+          -R '(Fault|KvStore|Retr|Determinism|Chaos)'); then
+      CHAOS_RESULT=PASS
+    else
+      CHAOS_RESULT=FAIL
+    fi
+  else
+    echo "chaos: failed to build fault suites under ASan"
+    CHAOS_RESULT=FAIL
+  fi
+  record "chaos" "$CHAOS_RESULT"
+else
+  record "chaos" SKIP
 fi
 
 summary_and_exit

@@ -2,7 +2,10 @@
 # Runs the reproduction bench campaign: every figure/table bench plus the
 # perf-trajectory bench (bench_throughput), one output file per bench under
 # --out-dir, then copies the machine-readable BENCH_*.json artifacts to the
-# repo root so trajectory diffs show up in review.
+# repo root so trajectory diffs show up in review. Each successful
+# bench_throughput run also appends one schema-tagged line to the committed
+# BENCH_history.jsonl, so the perf trajectory accumulates across campaigns
+# and any prior entry can serve as a --compare baseline (FILE.jsonl[:N]).
 #
 # This replaces the three ad-hoc root-level run_benches*.sh scripts: the
 # bench list, scale, and output location are flags instead of copies.
@@ -15,7 +18,8 @@
 #     --compare F       after bench_throughput runs, print a per-(preset,
 #                       policy) events/s + decision-latency regression table
 #                       against baseline artifact F (a prior BENCH_throughput
-#                       .json, e.g. the committed one)
+#                       .json, e.g. the committed one; or FILE.jsonl[:N] to
+#                       compare against history entry N — default: the last)
 #     --max-regress R   with --compare: fail the campaign when any pair's
 #                       events/s fell more than fraction R (0 < R < 1)
 #     --list            print the default campaign bench list and exit
@@ -38,9 +42,57 @@ ALL_BENCHES=(
   bench_fig11_model_accuracy bench_fig12_incremental bench_fig13_ablation
   bench_fig14_max_throughput bench_fig15_load_sensitivity bench_fig16_bursty_case
   bench_fig17_mudi_more bench_fig18_overhead bench_fig19_fault_recovery
-  bench_micro_substrates bench_tab02_fitting_error bench_tab04_swap_fraction
-  bench_throughput
+  bench_ctrl_fault bench_micro_substrates bench_tab02_fitting_error
+  bench_tab04_swap_fraction bench_throughput
 )
+
+HISTORY_FILE=BENCH_history.jsonl
+
+# Appends one schema-tagged line to the committed BENCH_history.jsonl from a
+# fresh BENCH_throughput.json: the artifact flattened to a single line with a
+# "history" envelope ({schema, seq, recorded_utc, git}) spliced in as the
+# first key. Each line stays a valid bench_throughput document (the validator
+# tolerates the extra top-level key), so any entry works as a --compare
+# baseline directly.
+append_history() {
+  local artifact="$1" seq stamp git_rev body
+  seq=1
+  if [[ -f "$HISTORY_FILE" ]]; then
+    seq=$(($(wc -l < "$HISTORY_FILE") + 1))
+  fi
+  stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+  git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+  body=$(tr '\n' ' ' < "$artifact" | sed 's/^[^{]*{//')
+  printf '{"history":{"schema":"mudi.bench_history.v1","seq":%s,"recorded_utc":"%s","git":"%s"},%s\n' \
+    "$seq" "$stamp" "$git_rev" "$body" >> "$HISTORY_FILE"
+  echo "history: appended entry $seq to $HISTORY_FILE"
+}
+
+# Resolves a --compare spec to a baseline JSON document on stdout: a plain
+# .json path passes through untouched; FILE.jsonl takes the last history
+# entry; FILE.jsonl:N takes entry N (1-based line number, which matches each
+# entry's "seq" field). Fails when the file or the entry is missing.
+extract_history_entry() {
+  local spec="$1" file="$1" n=""
+  if [[ "$spec" == *.jsonl:* ]]; then
+    file="${spec%:*}"
+    n="${spec##*:}"
+  fi
+  if [[ ! -f "$file" ]]; then
+    echo "no history file: $file" >&2
+    return 1
+  fi
+  local total
+  total=$(wc -l < "$file")
+  if [[ -z "$n" ]]; then
+    n="$total"
+  fi
+  if ! [[ "$n" =~ ^[0-9]+$ ]] || (( n < 1 || n > total )); then
+    echo "history entry '$n' out of range (1..$total) in $file" >&2
+    return 1
+  fi
+  sed -n "${n}p" "$file"
+}
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -82,7 +134,15 @@ for b in "${BENCHES[@]}"; do
     # the trajectory at a glance) and exits non-zero past --max-regress.
     THROUGHPUT_FLAGS=()
     if [[ -n "$COMPARE" ]]; then
-      THROUGHPUT_FLAGS+=("--compare=$COMPARE")
+      BASELINE="$COMPARE"
+      if [[ "$COMPARE" == *.jsonl || "$COMPARE" == *.jsonl:* ]]; then
+        BASELINE="$OUT_DIR/.compare_baseline.json"
+        if ! extract_history_entry "$COMPARE" > "$BASELINE"; then
+          echo "bad --compare spec: $COMPARE" >&2
+          exit 2
+        fi
+      fi
+      THROUGHPUT_FLAGS+=("--compare=$BASELINE")
     fi
     if [[ -n "$MAX_REGRESS" ]]; then
       THROUGHPUT_FLAGS+=("--max-regress=$MAX_REGRESS")
@@ -100,6 +160,8 @@ for b in "${BENCHES[@]}"; do
   echo "=== DONE $b (rc=$rc) ==="
   if [[ $rc -ne 0 ]]; then
     failures=$((failures + 1))
+  elif [[ "$b" == bench_throughput ]]; then
+    append_history "$OUT_DIR/BENCH_throughput.json"
   fi
 done
 

@@ -1,6 +1,7 @@
 #include "src/cluster/kv_store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace mudi {
 
@@ -10,17 +11,88 @@ bool HasPrefix(const std::string& s, const std::string& prefix) {
 }
 }  // namespace
 
-uint64_t KvStore::Put(const std::string& key, const std::string& value) {
-  data_[key] = value;
+uint64_t KvStore::BumpRevision(const std::string& key, std::optional<std::string> prev) {
   ++revision_;
-  // Copy the watcher list so callbacks may add/remove watches safely.
-  std::vector<Watcher> snapshot = watchers_;
-  for (const auto& w : snapshot) {
-    if (HasPrefix(key, w.prefix)) {
-      w.callback(key, value, revision_);
+  if (degraded_) {
+    history_.push_back(UndoEntry{revision_, key, std::move(prev)});
+    while (history_.size() > kMaxHistory) {
+      history_.pop_front();
     }
   }
   return revision_;
+}
+
+uint64_t KvStore::Put(const std::string& key, const std::string& value) {
+  auto it = data_.find(key);
+  std::optional<std::string> prev =
+      it == data_.end() ? std::nullopt : std::optional<std::string>(it->second);
+  data_[key] = value;
+  uint64_t revision = BumpRevision(key, std::move(prev));
+  NotifyWatchers(key, value, revision);
+  return revision;
+}
+
+void KvStore::NotifyWatchers(const std::string& key, const std::string& value,
+                             uint64_t revision) {
+  // Copy the watcher list so callbacks may add/remove watches safely.
+  std::vector<Watcher> snapshot = watchers_;
+  bool async = degraded_ && (degrade_.watch_delay_ms > 0.0 ||
+                             degrade_.watch_delay_jitter_ms > 0.0 ||
+                             degrade_.watch_drop_prob > 0.0);
+  for (const auto& w : snapshot) {
+    if (!HasPrefix(key, w.prefix)) {
+      continue;
+    }
+    if (degraded_ && partitioned_) {
+      // A partitioned watch stream does not buffer: updates inside the
+      // window are lost and consumers must catch up once it heals. This
+      // holds even when delay/drop knobs are all zero (a plan may arm
+      // partitions without degrading delivery).
+      ++watch_lost_partition_;
+      continue;
+    }
+    if (!async) {
+      w.callback(key, value, revision);
+      continue;
+    }
+    DeliverLater(w, key, value, revision);
+  }
+}
+
+void KvStore::DeliverLater(const Watcher& watcher, const std::string& key,
+                           const std::string& value, uint64_t revision) {
+  Rng& rng = WatcherRng(watcher.id);
+  if (degrade_.watch_drop_prob > 0.0 && rng.Uniform() < degrade_.watch_drop_prob) {
+    ++watch_dropped_;
+    return;
+  }
+  TimeMs delay = degrade_.watch_delay_ms;
+  if (degrade_.watch_delay_jitter_ms > 0.0) {
+    delay += rng.ExponentialMean(degrade_.watch_delay_jitter_ms);
+  }
+  WatchId id = watcher.id;
+  sim_->ScheduleAfter(delay, [this, id, key, value, revision] {
+    // Deliver only if the watch is still registered (a watch-loss event or
+    // Unwatch in the meantime kills in-flight notifications too). A
+    // re-established watch has a fresh id, so it never receives deliveries
+    // aimed at its predecessor.
+    for (const auto& w : watchers_) {
+      if (w.id == id) {
+        ++watch_delivered_;
+        w.callback(key, value, revision);
+        return;
+      }
+    }
+    ++watch_dropped_;
+  });
+}
+
+Rng& KvStore::WatcherRng(WatchId id) {
+  auto it = watcher_rngs_.find(id);
+  if (it == watcher_rngs_.end()) {
+    it = watcher_rngs_.emplace(id, degrade_rng_->Fork(id)).first;
+  }
+  return it->second;
 }
 
 std::optional<std::string> KvStore::Get(const std::string& key) const {
@@ -48,18 +120,44 @@ StatusOr<std::string> KvStore::GetRequired(const std::string& key) const {
   return it->second;
 }
 
-bool KvStore::Delete(const std::string& key) { return data_.erase(key) > 0; }
+bool KvStore::Delete(const std::string& key) {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return false;
+  }
+  if (!delete_events_) {
+    data_.erase(it);
+    return true;
+  }
+  std::optional<std::string> prev = it->second;
+  data_.erase(it);
+  uint64_t revision = BumpRevision(key, std::move(prev));
+  NotifyWatchers(key, "", revision);
+  return true;
+}
 
 size_t KvStore::DeletePrefix(const std::string& prefix) {
-  auto first = data_.lower_bound(prefix);
-  auto last = first;
-  size_t count = 0;
-  while (last != data_.end() && HasPrefix(last->first, prefix)) {
-    ++last;
-    ++count;
+  if (!delete_events_) {
+    auto first = data_.lower_bound(prefix);
+    auto last = first;
+    size_t count = 0;
+    while (last != data_.end() && HasPrefix(last->first, prefix)) {
+      ++last;
+      ++count;
+    }
+    data_.erase(first, last);
+    return count;
   }
-  data_.erase(first, last);
-  return count;
+  // Key-ordered per-key deletes so each emits its own tombstone event.
+  std::vector<std::string> keys;
+  for (auto it = data_.lower_bound(prefix); it != data_.end() && HasPrefix(it->first, prefix);
+       ++it) {
+    keys.push_back(it->first);
+  }
+  for (const std::string& key : keys) {
+    MUDI_CHECK(Delete(key));
+  }
+  return keys.size();
 }
 
 KvStore::WatchId KvStore::Watch(const std::string& prefix, WatchCallback callback) {
@@ -76,6 +174,85 @@ bool KvStore::Unwatch(WatchId id) {
   }
   watchers_.erase(it);
   return true;
+}
+
+void KvStore::EnableDegradedMode(Simulator* sim, const KvDegradeOptions& options, Rng rng) {
+  MUDI_CHECK(sim != nullptr);
+  sim_ = sim;
+  degrade_ = options;
+  degrade_rng_.emplace(rng);
+  degraded_ = true;
+}
+
+std::map<std::string, std::string> KvStore::SnapshotAt(uint64_t target_rev) const {
+  std::map<std::string, std::string> snapshot = data_;
+  // Undo newest-first down to the target. The log is bounded, so very old
+  // targets clamp to the oldest reconstructable revision — an even staler
+  // read, which is the right failure direction for chaos.
+  for (auto it = history_.rbegin(); it != history_.rend() && it->rev > target_rev; ++it) {
+    if (it->prev.has_value()) {
+      snapshot[it->key] = *it->prev;
+    } else {
+      snapshot.erase(it->key);
+    }
+  }
+  return snapshot;
+}
+
+uint64_t KvStore::ReadRevision() {
+  if (!degraded_ || degrade_.stale_read_prob <= 0.0 || degrade_.stale_rev_lag == 0 ||
+      revision_ == 0) {
+    return revision_;
+  }
+  if (degrade_rng_->Uniform() >= degrade_.stale_read_prob) {
+    return revision_;
+  }
+  uint64_t lag =
+      static_cast<uint64_t>(degrade_rng_->UniformInt(1, static_cast<int64_t>(degrade_.stale_rev_lag)));
+  ++stale_reads_;
+  return revision_ > lag ? revision_ - lag : 0;
+}
+
+StatusOr<std::string> KvStore::CtrlGet(const std::string& key, uint64_t* read_rev) {
+  if (partitioned_) {
+    ++unavailable_reads_;
+    return UnavailableError("kv: partitioned, cannot read: " + key);
+  }
+  uint64_t rev = ReadRevision();
+  if (read_rev != nullptr) {
+    *read_rev = rev;
+  }
+  if (rev == revision_) {
+    return GetRequired(key);
+  }
+  std::map<std::string, std::string> snapshot = SnapshotAt(rev);
+  auto it = snapshot.find(key);
+  if (it == snapshot.end()) {
+    return NotFoundError("kv: no such key at revision " + std::to_string(rev) + ": " + key);
+  }
+  return it->second;
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> KvStore::CtrlList(
+    const std::string& prefix, uint64_t* read_rev) {
+  if (partitioned_) {
+    ++unavailable_reads_;
+    return UnavailableError("kv: partitioned, cannot list: " + prefix);
+  }
+  uint64_t rev = ReadRevision();
+  if (read_rev != nullptr) {
+    *read_rev = rev;
+  }
+  if (rev == revision_) {
+    return List(prefix);
+  }
+  std::map<std::string, std::string> snapshot = SnapshotAt(rev);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = snapshot.lower_bound(prefix);
+       it != snapshot.end() && HasPrefix(it->first, prefix); ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
 }
 
 }  // namespace mudi

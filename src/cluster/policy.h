@@ -157,6 +157,15 @@ class MultiplexPolicy {
     (void)device_id;
   }
 
+  // The scheduler/coordinator process restarted after a crash and just
+  // finished reconstructing its view from a KvStore scan (DESIGN.md §13).
+  // Device and task state observed through the control plane may have been
+  // stale while the scheduler was down, so stateful policies should drop
+  // derived caches (fit/tune/interference snapshots) and let the next
+  // monitor trigger re-converge. Default: no-op, safe for the stateless
+  // baselines.
+  virtual void OnControlPlaneRestart(SchedulingEnv& env) { (void)env; }
+
   // Max co-located training tasks per device (1 for Mudi, 3 for Mudi-more).
   virtual int MaxTrainingsPerDevice() const { return 1; }
 

@@ -1,0 +1,177 @@
+// Sanctioned control-plane retry/backoff discipline (DESIGN.md §13).
+//
+// All retried control-plane work — KvStore reads during a partition, watch
+// re-establishment after a watch-loss event, the scheduler recovery scan —
+// must route through this header. `BackoffDelayMs` computes capped
+// exponential backoff with deterministic jitter drawn from the caller's
+// seeded Rng (no ambient randomness, so same-seed replays are bit-identical).
+// `Retrier` drives an asynchronous attempt loop on the Simulator: run the
+// attempt; on a non-OK Status re-schedule after the next backoff; stop on
+// success, attempt exhaustion, or deadline.
+//
+// mudi_lint's `mudi-retry` check bans ad-hoc retry loops and naked
+// re-ScheduleAfter polling of the KvStore everywhere outside this file, so
+// backoff parameters and retry telemetry stay in one auditable place.
+#ifndef SRC_COMMON_RETRY_H_
+#define SRC_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+
+namespace mudi {
+
+struct RetryPolicy {
+  // Backoff before the k-th retry is
+  //   min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms)
+  // plus jitter uniform in [0, jitter_frac * backoff).
+  TimeMs initial_backoff_ms = 50.0;
+  double multiplier = 2.0;
+  TimeMs max_backoff_ms = 5.0 * kMsPerSecond;
+  double jitter_frac = 0.25;
+  // Total attempts allowed (first try + retries). 0 = unbounded; the caller
+  // is then responsible for the condition eventually clearing (e.g. a
+  // partition window ending).
+  int max_attempts = 0;
+  // Give up this long after Start() (virtual ms). 0 = no deadline.
+  TimeMs deadline_ms = 0.0;
+
+  Status Validate() const {
+    if (initial_backoff_ms < 0.0 || max_backoff_ms < initial_backoff_ms) {
+      return InvalidArgumentError("retry policy: backoff bounds inverted");
+    }
+    if (multiplier < 1.0) {
+      return InvalidArgumentError("retry policy: multiplier must be >= 1");
+    }
+    if (jitter_frac < 0.0 || jitter_frac > 1.0) {
+      return InvalidArgumentError("retry policy: jitter_frac outside [0, 1]");
+    }
+    if (max_attempts < 0 || deadline_ms < 0.0) {
+      return InvalidArgumentError("retry policy: negative attempt/deadline bound");
+    }
+    return Status::Ok();
+  }
+};
+
+// Backoff (ms) to sleep before retry number `retry_index` (1 = first retry).
+// Jitter is drawn from `rng`, so callers holding forked streams get
+// independent, reproducible delays.
+inline TimeMs BackoffDelayMs(const RetryPolicy& policy, int retry_index, Rng& rng) {
+  MUDI_CHECK_GE(retry_index, 1);
+  TimeMs backoff = policy.initial_backoff_ms;
+  for (int i = 1; i < retry_index && backoff < policy.max_backoff_ms; ++i) {
+    backoff *= policy.multiplier;
+  }
+  if (backoff > policy.max_backoff_ms) {
+    backoff = policy.max_backoff_ms;
+  }
+  if (policy.jitter_frac > 0.0) {
+    backoff += rng.Uniform(0.0, policy.jitter_frac * backoff);
+  }
+  return backoff;
+}
+
+// Asynchronous retry driver. One Retrier runs at most one attempt loop at a
+// time; Start() while a loop is in flight cancels the pending attempt and
+// begins a fresh loop (this is exactly what a crash-during-recovery needs).
+// All scheduling goes through the owning Simulator, so retries are ordinary
+// deterministic events.
+class Retrier {
+ public:
+  using AttemptFn = std::function<Status()>;
+  // Invoked once per loop with the final status (OK, or the last failure
+  // when attempts/deadline ran out) and the number of attempts made.
+  using DoneFn = std::function<void(const Status&, int attempts)>;
+
+  Retrier(Simulator* sim, RetryPolicy policy, Rng rng)
+      : sim_(sim), policy_(std::move(policy)), rng_(rng) {
+    MUDI_CHECK(sim_ != nullptr);
+    MUDI_CHECK_OK(policy_.Validate());
+  }
+
+  Retrier(const Retrier&) = delete;
+  Retrier& operator=(const Retrier&) = delete;
+
+  // Schedules the first attempt `initial_delay_ms` from now.
+  void Start(TimeMs initial_delay_ms, AttemptFn attempt, DoneFn done) {
+    MUDI_CHECK_GE(initial_delay_ms, 0.0);
+    MUDI_CHECK(attempt != nullptr);
+    Cancel();
+    attempt_ = std::move(attempt);
+    done_ = std::move(done);
+    attempts_made_ = 0;
+    started_at_ms_ = sim_->Now();
+    pending_ = sim_->ScheduleAfter(initial_delay_ms, [this] { RunAttempt(); });
+  }
+
+  // Abandons the loop in flight (no DoneFn call). No-op when idle.
+  void Cancel() {
+    if (pending_ != Simulator::kInvalidEventId) {
+      (void)sim_->Cancel(pending_);
+      pending_ = Simulator::kInvalidEventId;
+    }
+    attempt_ = nullptr;
+    done_ = nullptr;
+  }
+
+  bool active() const { return pending_ != Simulator::kInvalidEventId; }
+  // Attempts made by the current/most recent loop.
+  int attempts() const { return attempts_made_; }
+  // Re-attempts (attempts beyond the first) across the Retrier's lifetime;
+  // the feed for the ctrl.retries telemetry counter.
+  uint64_t total_retries() const { return total_retries_; }
+
+ private:
+  void RunAttempt() {
+    pending_ = Simulator::kInvalidEventId;
+    ++attempts_made_;
+    if (attempts_made_ > 1) {
+      ++total_retries_;
+    }
+    Status status = attempt_();
+    if (status.ok()) {
+      Finish(status);
+      return;
+    }
+    if (policy_.max_attempts > 0 && attempts_made_ >= policy_.max_attempts) {
+      Finish(status);
+      return;
+    }
+    TimeMs backoff = BackoffDelayMs(policy_, attempts_made_, rng_);
+    if (policy_.deadline_ms > 0.0 &&
+        sim_->Now() + backoff > started_at_ms_ + policy_.deadline_ms) {
+      Finish(status);
+      return;
+    }
+    pending_ = sim_->ScheduleAfter(backoff, [this] { RunAttempt(); });
+  }
+
+  void Finish(const Status& status) {
+    DoneFn done = std::move(done_);
+    attempt_ = nullptr;
+    done_ = nullptr;
+    if (done != nullptr) {
+      done(status, attempts_made_);
+    }
+  }
+
+  Simulator* sim_;
+  RetryPolicy policy_;
+  Rng rng_;
+  AttemptFn attempt_;
+  DoneFn done_;
+  Simulator::EventId pending_ = Simulator::kInvalidEventId;
+  int attempts_made_ = 0;
+  uint64_t total_retries_ = 0;
+  TimeMs started_at_ms_ = 0.0;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_COMMON_RETRY_H_

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INFEASIBLE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted,
   kInfeasible,
   kInternal,
+  kUnavailable,
 };
 
 // Human-readable name for a StatusCode, e.g. "INVALID_ARGUMENT".
@@ -66,6 +67,11 @@ inline Status InfeasibleError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+// A transiently unreachable dependency (e.g. a partitioned KvStore); the
+// caller may retry through src/common/retry.h.
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 // Value-or-error carrier. Accessing value() on an error status aborts.

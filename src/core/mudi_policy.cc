@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/wallclock.h"
+#include "src/ml/fit_cache.h"
 #include "src/perf/perf_collector.h"
 #include "src/telemetry/telemetry.h"
 
@@ -388,6 +389,19 @@ void MudiPolicy::OnDeviceRecovered(SchedulingEnv& env, int device_id) {
   // (first observation on a fresh monitor) handles it.
   if (env.MeasuredQps(device_id) > 0.0) {
     OnQpsChange(env, device_id);
+  }
+}
+
+void MudiPolicy::OnControlPlaneRestart(SchedulingEnv& env) {
+  // The scheduler was down: configs it believed applied may have been lost,
+  // and the recovery scan may have served stale rows. Every derived cache is
+  // suspect — interference scores against an unknown cluster snapshot and
+  // memoized fits alike. Drop them all; re-tunes after restart then recompute
+  // against observed state.
+  predictor_->InvalidateCache();
+  FitCache::Global().Clear();
+  if (env.telemetry() != nullptr && env.telemetry()->enabled()) {
+    env.telemetry()->metrics().GetCounter("policy.control_plane_restarts").Increment();
   }
 }
 

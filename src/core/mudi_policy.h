@@ -68,6 +68,10 @@ class MudiPolicy : public MultiplexPolicy {
   void OnDeviceFailed(SchedulingEnv& env, int device_id,
                       const std::vector<TrainingTaskInfo>& displaced) override;
   void OnDeviceRecovered(SchedulingEnv& env, int device_id) override;
+  // Crash-recovery: the reconstructed view may reflect stale configs, so
+  // drop every derived cache (interference scores, memoized fits) and let
+  // the harness-driven retune sweep re-converge the cluster.
+  void OnControlPlaneRestart(SchedulingEnv& env) override;
   int MaxTrainingsPerDevice() const override { return options_.max_trainings_per_device; }
   bool SupportsMemorySwap() const override { return true; }
 

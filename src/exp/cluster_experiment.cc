@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
@@ -59,6 +61,12 @@ ClusterExperiment::ClusterExperiment(ExperimentOptions options, MultiplexPolicy*
   fault_injector_ = std::make_unique<FaultInjector>(&sim_, this,
                                                     static_cast<int>(cluster_.num_devices()),
                                                     options_.num_nodes, &telemetry_);
+  // Opt-in tombstone delete events (forced on later if a control fault plan
+  // arms): must be set before the first Put so revision numbering is
+  // consistent for the whole run.
+  if (options_.registry_delete_events) {
+    registry_.EnableDeleteEvents(true);
+  }
 
   // Place one inference replica per device, service round-robin.
   replicas_.resize(cluster_.num_devices());
@@ -210,6 +218,26 @@ void ClusterExperiment::ApplyInferenceConfig(int device_id, int batch, double gp
   MUDI_CHECK_GT(batch, 0);
   MUDI_CHECK_GT(gpu_fraction, 0.0);
   MUDI_CHECK_LE(gpu_fraction, 1.0);
+  if (!ctrl_enabled_) {
+    ApplyInferenceConfigDirect(device_id, batch, gpu_fraction);
+    return;
+  }
+  // Control-plane delivery (DESIGN.md §13): the scheduler publishes the
+  // tuned config to the registry; the device agent's watch applies it when
+  // (and if) the notification arrives. Under degradation the update can be
+  // delayed, dropped, or lost to a partition — the periodic retune rewrites
+  // the key, bounding how long a lost config stays lost.
+  ++configs_published_;
+  // The publication sequence number lets the device agent deduplicate
+  // deliveries that arrive both through its watch and a catch-up read.
+  char encoded[96];
+  std::snprintf(encoded, sizeof(encoded), "%llu|%d|%.17g",
+                static_cast<unsigned long long>(configs_published_), batch, gpu_fraction);
+  registry_.Put(SchedConfigKey(device_id), encoded);
+}
+
+void ClusterExperiment::ApplyInferenceConfigDirect(int device_id, int batch,
+                                                   double gpu_fraction) {
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
   if (!dev.healthy()) {
     return;  // dead replica: nothing to configure (degrade gracefully)
@@ -691,7 +719,11 @@ void ClusterExperiment::OnDeviceDown(int device_id, bool permanent, TimeMs now) 
   MUDI_LOG(Info) << "device " << device_id << (permanent ? " permanently" : "") << " failed at t="
                  << now / kMsPerSecond << "s: " << displaced.size() << " training(s) displaced";
 
-  policy_->OnDeviceFailed(*this, device_id, displaced);
+  // A crashed scheduler observes nothing: the failure shows up in its
+  // recovery scan instead, and OnControlPlaneRestart drops stale caches.
+  if (scheduler_up_) {
+    policy_->OnDeviceFailed(*this, device_id, displaced);
+  }
   TryDispatchQueue();
 }
 
@@ -728,7 +760,9 @@ void ClusterExperiment::OnDeviceUp(int device_id, TimeMs now) {
   }
   MUDI_LOG(Info) << "device " << device_id << " recovered at t=" << now / kMsPerSecond << "s";
 
-  policy_->OnDeviceRecovered(*this, device_id);
+  if (scheduler_up_) {
+    policy_->OnDeviceRecovered(*this, device_id);
+  }
   TryDispatchQueue();
 }
 
@@ -748,6 +782,256 @@ void ClusterExperiment::OnFeedbackLost(int device_id, TimeMs now) {
 
 void ClusterExperiment::OnFeedbackRestored(int device_id, TimeMs now) {
   replicas_[static_cast<size_t>(device_id)].monitor.SetFeedbackLost(false, now);
+}
+
+// ---------------------------------------------------------------------------
+// Control plane (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+std::string ClusterExperiment::SchedConfigKey(int device_id) const {
+  // The "/inference" terminator keeps the per-device watch prefix exact:
+  // without it, the device-1 watch would also match devices 10, 11, ...
+  return "/sched/config/" + std::to_string(device_id) + "/inference";
+}
+
+void ClusterExperiment::StartControlPlane() {
+  const ControlFaultPlan& plan = options_.ctrl_fault_plan;
+  MUDI_CHECK(!plan.empty());
+  MUDI_CHECK_OK(plan.Validate());
+  ctrl_enabled_ = true;
+
+  // The registry becomes a real (degradable) control-plane dependency.
+  // Delete events are forced on so recovery can observe deregistration
+  // instead of polling for absence.
+  registry_.EnableDeleteEvents(true);
+  Rng ctrl_rng = rng_.Fork(0x6374726Cull);  // "ctrl"
+  registry_.EnableDegradedMode(&sim_, plan.degrade, ctrl_rng.Fork(1));
+  recovery_retrier_ = std::make_unique<Retrier>(&sim_, options_.ctrl_retry, ctrl_rng.Fork(2));
+  watch_retrier_ = std::make_unique<Retrier>(&sim_, options_.ctrl_retry, ctrl_rng.Fork(3));
+
+  config_watches_.assign(cluster_.num_devices(), 0);
+  config_applied_rev_.assign(cluster_.num_devices(), 0);
+  config_applied_seq_.assign(cluster_.num_devices(), 0);
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    RegisterConfigWatch(static_cast<int>(d));
+  }
+
+  ctrl_injector_ = std::make_unique<ControlFaultInjector>(&sim_, this, &telemetry_);
+  MUDI_CHECK_OK(ctrl_injector_->Arm(plan));
+
+  // Coordinator heartbeat: the epoch key tells the recovery scan how fresh
+  // the registry's view of the scheduler is. ("/sched/epoch" does not prefix
+  // any per-device config watch, so heartbeats draw nothing from the
+  // watchers' delivery streams.)
+  if (options_.ctrl_checkpoint_period_ms > 0.0) {
+    sim_.SchedulePeriodic(options_.ctrl_checkpoint_period_ms, options_.ctrl_checkpoint_period_ms,
+                          [this] {
+                            if (!scheduler_up_) {
+                              return;  // a crashed scheduler stops heartbeating
+                            }
+                            ++ckpt_epoch_;
+                            registry_.Put("/sched/epoch", std::to_string(ckpt_epoch_));
+                          });
+  }
+}
+
+void ClusterExperiment::RegisterConfigWatch(int device_id) {
+  config_watches_[static_cast<size_t>(device_id)] = registry_.Watch(
+      SchedConfigKey(device_id),
+      [this, device_id](const std::string& /*key*/, const std::string& value, uint64_t revision) {
+        OnConfigDelivered(device_id, value, revision);
+      });
+}
+
+void ClusterExperiment::OnConfigDelivered(int device_id, const std::string& value,
+                                          uint64_t revision) {
+  size_t d = static_cast<size_t>(device_id);
+  if (revision <= config_applied_rev_[d]) {
+    return;  // out-of-order, duplicate, or stale-snapshot delivery: never regress
+  }
+  config_applied_rev_[d] = revision;
+  if (value.empty()) {
+    return;  // tombstone: the config key was deleted, nothing to apply
+  }
+  char* sep = nullptr;
+  uint64_t seq = std::strtoull(value.c_str(), &sep, 10);
+  MUDI_CHECK(sep != nullptr && *sep == '|');
+  char* sep2 = nullptr;
+  long batch = std::strtol(sep + 1, &sep2, 10);
+  MUDI_CHECK(sep2 != nullptr && *sep2 == '|');
+  double gpu_fraction = std::strtod(sep2 + 1, nullptr);
+  if (seq <= config_applied_seq_[d]) {
+    return;  // this publication already reached the device (e.g. via a
+             // catch-up read racing its own delayed watch delivery)
+  }
+  config_applied_seq_[d] = seq;
+  ++configs_applied_;
+  if (telemetry_.enabled()) {
+    MUDI_TRACE_INSTANT(&telemetry_, "ctrl", "config_applied", device_id, sim_.Now(),
+                       telemetry::TraceArgs{
+                           telemetry::TraceArg::Num("batch", static_cast<double>(batch)),
+                           telemetry::TraceArg::Num("fraction", gpu_fraction),
+                           telemetry::TraceArg::Num("revision", static_cast<double>(revision))});
+  }
+  ApplyInferenceConfigDirect(device_id, static_cast<int>(batch), gpu_fraction);
+}
+
+Status ClusterExperiment::CatchUpConfig(int device_id) {
+  uint64_t rev = 0;
+  StatusOr<std::string> value = registry_.CtrlGet(SchedConfigKey(device_id), &rev);
+  if (!value.ok()) {
+    if (value.status().code() == StatusCode::kNotFound) {
+      // Nothing published yet (or a stale snapshot predating the first
+      // publish) — nothing to catch up on, not a retriable failure.
+      return Status::Ok();
+    }
+    return value.status();
+  }
+  // The delivery guard in OnConfigDelivered makes catch-up idempotent and
+  // immune to stale snapshots regressing a newer applied config.
+  OnConfigDelivered(device_id, *value, rev);
+  return Status::Ok();
+}
+
+void ClusterExperiment::OnKvPartitionStart(TimeMs /*now*/) { registry_.SetPartitioned(true); }
+
+void ClusterExperiment::OnKvPartitionEnd(TimeMs /*now*/) {
+  registry_.SetPartitioned(false);
+  // Updates inside the window were lost, not buffered: catch every device
+  // agent up through the control read path (deterministic device order).
+  // The partition just healed, so the only possible miss is a stale
+  // snapshot, which CatchUpConfig treats as "nothing to apply".
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    MUDI_CHECK_OK(CatchUpConfig(static_cast<int>(d)));
+  }
+}
+
+void ClusterExperiment::OnWatchesLost(TimeMs now) {
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    if (config_watches_[d] != 0) {
+      (void)registry_.Unwatch(config_watches_[d]);
+      config_watches_[d] = 0;
+    }
+  }
+  MUDI_LOG(Info) << "control plane lost its watches at t=" << now / kMsPerSecond << "s";
+  // Re-establish through the sanctioned retry loop: a concurrent partition
+  // makes the catch-up reads fail Unavailable until the window ends.
+  watch_retrier_->Start(
+      0.0,
+      [this]() -> Status {
+        for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+          if (config_watches_[d] == 0) {
+            RegisterConfigWatch(static_cast<int>(d));
+          }
+          MUDI_RETURN_IF_ERROR(CatchUpConfig(static_cast<int>(d)));
+        }
+        return Status::Ok();
+      },
+      [this](const Status& status, int attempts) {
+        if (!status.ok()) {
+          MUDI_LOG(Warning) << "watch re-establishment abandoned after " << attempts
+                            << " attempt(s): " << status.ToString();
+        }
+      });
+}
+
+void ClusterExperiment::OnSchedulerCrash(TimeMs restart_delay_ms, TimeMs now) {
+  if (scheduler_up_) {
+    scheduler_up_ = false;
+    scheduler_crashed_at_ = now;
+    MUDI_LOG(Info) << "scheduler crashed at t=" << now / kMsPerSecond << "s, restart in "
+                   << restart_delay_ms / kMsPerSecond << "s";
+  } else {
+    MUDI_LOG(Info) << "scheduler crashed again (mid-recovery) at t=" << now / kMsPerSecond << "s";
+  }
+  // Start() cancels any in-flight recovery loop: a crash during recovery
+  // restarts recovery from scratch while downtime keeps accruing from the
+  // first crash instant.
+  recovery_retrier_->Start(
+      restart_delay_ms, [this]() -> Status { return AttemptSchedulerRecovery(); },
+      [this](const Status& status, int attempts) {
+        if (status.ok()) {
+          FinishSchedulerRecovery();
+        } else {
+          MUDI_LOG(Warning) << "scheduler recovery abandoned after " << attempts
+                            << " attempt(s): " << status.ToString();
+        }
+      });
+}
+
+Status ClusterExperiment::AttemptSchedulerRecovery() {
+  // Reconstruct the scheduler's policy-visible view from a registry scan.
+  // Either list failing (partition) aborts the attempt; the Retrier backs
+  // off and re-reads.
+  StatusOr<std::vector<std::pair<std::string, std::string>>> device_rows =
+      registry_.CtrlList("/devices/");
+  if (!device_rows.ok()) {
+    return device_rows.status();
+  }
+  StatusOr<std::vector<std::pair<std::string, std::string>>> sched_rows =
+      registry_.CtrlList("/sched/");
+  if (!sched_rows.ok()) {
+    return sched_rows.status();
+  }
+  // Cross-check the scan against live (ground-truth) cluster state. Rows a
+  // stale snapshot or a pre-crash write left behind are counted, not
+  // trusted: the policy re-derives everything from probes after
+  // OnControlPlaneRestart anyway.
+  size_t mismatches = 0;
+  size_t scanned_tasks = 0;
+  for (size_t d = 0; d < cluster_.num_devices(); ++d) {
+    const std::string status_key = DeviceStatusKey(static_cast<int>(d));
+    std::string scanned;
+    for (const auto& [key, value] : *device_rows) {
+      if (key == status_key) {
+        scanned = value;
+        break;
+      }
+    }
+    if ((scanned == "up") != cluster_.device(d).healthy()) {
+      ++mismatches;
+    }
+  }
+  for (const auto& [key, value] : *device_rows) {
+    if (key.find("/tasks/") != std::string::npos) {
+      ++scanned_tasks;
+    }
+  }
+  if (scanned_tasks != running_.size()) {
+    mismatches += scanned_tasks > running_.size() ? scanned_tasks - running_.size()
+                                                  : running_.size() - scanned_tasks;
+  }
+  for (const auto& [key, value] : *sched_rows) {
+    if (key == "/sched/epoch" && value != std::to_string(ckpt_epoch_)) {
+      ++mismatches;  // the heartbeat row lags the coordinator's last beat
+    }
+  }
+  stale_scan_entries_ += mismatches;
+  return Status::Ok();
+}
+
+void ClusterExperiment::FinishSchedulerRecovery() {
+  TimeMs now = sim_.Now();
+  double recovery_ms = now - scheduler_crashed_at_;
+  scheduler_up_ = true;
+  ++scheduler_recoveries_;
+  recovery_ms_sum_ += recovery_ms;
+  MUDI_LOG(Info) << "scheduler recovered at t=" << now / kMsPerSecond << "s ("
+                 << recovery_ms / kMsPerSecond << "s outage, " << stale_scan_entries_
+                 << " stale scan entries so far)";
+  if (telemetry_.enabled()) {
+    telemetry_.metrics().GetCounter("ctrl.scheduler_recoveries").Increment();
+    MUDI_TRACE_INSTANT(&telemetry_, "ctrl", "scheduler_recovered",
+                       static_cast<int>(cluster_.num_devices()), now,
+                       telemetry::TraceArgs{telemetry::TraceArg::Num("recovery_ms", recovery_ms)});
+  }
+  // The reconstructed view may be stale: drop policy caches and force a full
+  // retune sweep at the next MonitorTick (stale-trigger every replica).
+  policy_->OnControlPlaneRestart(*this);
+  for (auto& r : replicas_) {
+    r.last_trigger_ms = now - options_.periodic_retune_ms;
+  }
+  TryDispatchQueue();
 }
 
 // ---------------------------------------------------------------------------
@@ -774,6 +1058,9 @@ void ClusterExperiment::OnTrainingArrival(const TrainingArrival& arrival) {
 }
 
 void ClusterExperiment::TryDispatchQueue() {
+  if (!scheduler_up_) {
+    return;  // placements need the scheduler; tasks wait out the crash
+  }
   while (!queue_.empty()) {
     const PendingTask* next = queue_.Peek();
     MUDI_CHECK(next != nullptr);
@@ -971,6 +1258,10 @@ void ClusterExperiment::OnTrainingComplete(int device_id, int task_id) {
 // ---------------------------------------------------------------------------
 
 void ClusterExperiment::MonitorTick() {
+  if (!scheduler_up_) {
+    return;  // no tuning decisions while the scheduler is down; the replicas
+             // keep serving on their last-applied configurations
+  }
   for (size_t d = 0; d < cluster_.num_devices(); ++d) {
     if (!cluster_.device(d).healthy()) {
       continue;  // no monitor feedback and nothing to retune while down
@@ -1097,6 +1388,12 @@ ExperimentResult ClusterExperiment::Run() {
     policy_->Initialize(*this);
   }
 
+  // Arm the control-plane fault domain (no-op for an empty plan: zero events,
+  // zero registry traffic, byte-identical results — ctrl_fault_test pins it).
+  if (!options_.ctrl_fault_plan.empty()) {
+    StartControlPlane();
+  }
+
   // Arm the fault schedule (no-op for an empty plan: zero events, zero RNG
   // perturbation, byte-identical results to a build without fault machinery).
   if (!options_.fault_plan.empty()) {
@@ -1220,6 +1517,33 @@ ExperimentResult ClusterExperiment::Run() {
     total_served += r.served;
   }
   fm.goodput_rps = sim_.Now() > 0.0 ? total_served / (sim_.Now() / kMsPerSecond) : 0.0;
+
+  // Control-plane fault/recovery aggregates (all zero without a ctrl plan).
+  if (ctrl_enabled_) {
+    ControlMetrics& cm = result.ctrl;
+    cm.events_injected = ctrl_injector_->events_injected();
+    cm.kv_partitions = ctrl_injector_->partitions();
+    cm.watch_losses = ctrl_injector_->watch_losses();
+    cm.scheduler_crashes = ctrl_injector_->scheduler_crashes();
+    cm.scheduler_recoveries = scheduler_recoveries_;
+    cm.total_recovery_ms = recovery_ms_sum_;
+    cm.retries = static_cast<size_t>(recovery_retrier_->total_retries() +
+                                     watch_retrier_->total_retries());
+    cm.stale_reads = static_cast<size_t>(registry_.stale_reads());
+    cm.unavailable_reads = static_cast<size_t>(registry_.unavailable_reads());
+    cm.watch_delivered = static_cast<size_t>(registry_.watch_delivered());
+    cm.watch_dropped = static_cast<size_t>(registry_.watch_dropped());
+    cm.watch_lost_partition = static_cast<size_t>(registry_.watch_lost_partition());
+    cm.configs_published = configs_published_;
+    cm.configs_applied = configs_applied_;
+    cm.stale_scan_entries = stale_scan_entries_;
+    if (telemetry_.enabled()) {
+      auto& metrics = telemetry_.metrics();
+      metrics.GetCounter("ctrl.retries").Increment(static_cast<double>(cm.retries));
+      metrics.GetCounter("ctrl.stale_reads").Increment(static_cast<double>(cm.stale_reads));
+      metrics.GetGauge("ctrl.recovery_ms").Set(cm.total_recovery_ms);
+    }
+  }
 
   if (telemetry_.enabled()) {
     auto& metrics = telemetry_.metrics();

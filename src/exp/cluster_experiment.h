@@ -26,8 +26,11 @@
 #include "src/cluster/policy.h"
 #include "src/cluster/task_queue.h"
 #include "src/common/rng.h"
+#include "src/common/retry.h"
 #include "src/core/memory_manager.h"
 #include "src/exp/metrics.h"
+#include "src/fault/control_fault_injector.h"
+#include "src/fault/control_fault_plan.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/gpu/perf_oracle.h"
@@ -88,6 +91,26 @@ struct ExperimentOptions {
   // failure resumes from its last checkpoint (progress since then is lost).
   TimeMs checkpoint_period_ms = 60.0 * kMsPerSecond;
 
+  // Control-plane fault schedule (degraded KvStore watches/reads, partition
+  // windows, watch loss, scheduler crashes), armed when Run() starts. While
+  // the plan is non-empty the scheduler's inference configs travel through
+  // the registry (Put + watch) instead of being applied directly, and its
+  // reads route through CtrlGet/CtrlList + retry. An empty plan adds zero
+  // events and zero registry traffic: the run stays byte-identical to one
+  // without any control-fault machinery (ctrl_fault_test pins this).
+  ControlFaultPlan ctrl_fault_plan;
+  // Opt-in tombstone delete events on the registry (KvStore delete events).
+  // Forced on while a control fault plan is armed so recovery can observe
+  // deregistration. With no watchers registered this only affects revision
+  // numbers, never results.
+  bool registry_delete_events = false;
+  // Scheduler state-checkpoint period while the control fault domain is
+  // active: the coordinator heartbeats its epoch into the registry so the
+  // recovery scan can tell how stale its view is.
+  TimeMs ctrl_checkpoint_period_ms = 10.0 * kMsPerSecond;
+  // Backoff discipline for control-plane reads and watch re-establishment.
+  RetryPolicy ctrl_retry;
+
   bool record_util_series = false;
   // Device id to trace for Fig. 16 (-1 = none).
   int trace_device_id = -1;
@@ -108,7 +131,7 @@ struct ExperimentOptions {
   perf::PerfCollector* perf = nullptr;
 };
 
-class ClusterExperiment : public SchedulingEnv, public FaultSink {
+class ClusterExperiment : public SchedulingEnv, public FaultSink, public ControlFaultSink {
  public:
   ClusterExperiment(ExperimentOptions options, MultiplexPolicy* policy);
   ~ClusterExperiment() override;
@@ -153,6 +176,16 @@ class ClusterExperiment : public SchedulingEnv, public FaultSink {
   void OnStragglerFactor(int device_id, double factor, TimeMs now) override;
   void OnFeedbackLost(int device_id, TimeMs now) override;
   void OnFeedbackRestored(int device_id, TimeMs now) override;
+
+  // --- ControlFaultSink (driven by the ControlFaultInjector) ---
+  void OnKvPartitionStart(TimeMs now) override;
+  void OnKvPartitionEnd(TimeMs now) override;
+  void OnWatchesLost(TimeMs now) override;
+  void OnSchedulerCrash(TimeMs restart_delay_ms, TimeMs now) override;
+
+  // Whether the scheduler process is up (always true without a control
+  // fault plan; exposed for tests).
+  bool scheduler_up() const { return scheduler_up_; }
 
  private:
   struct Cohort {
@@ -230,6 +263,24 @@ class ClusterExperiment : public SchedulingEnv, public FaultSink {
   std::string DeviceStatusKey(int device_id) const;
   std::string DeviceTaskKey(int device_id, int task_id) const;
 
+  // --- control-plane path (active only with a non-empty ctrl_fault_plan) ---
+  std::string SchedConfigKey(int device_id) const;
+  // Turns on the degraded registry, registers per-device config watches,
+  // arms the control injector, and starts the coordinator heartbeat.
+  void StartControlPlane();
+  // Applies a batch/GPU% pair on the device agent (the pre-control-plane
+  // direct path; also the endpoint of a delivered config watch event).
+  void ApplyInferenceConfigDirect(int device_id, int batch, double gpu_fraction);
+  // Watch endpoint: parse, guard revision monotonicity, apply.
+  void OnConfigDelivered(int device_id, const std::string& value, uint64_t revision);
+  void RegisterConfigWatch(int device_id);
+  // Catch-up read of a device's config through the control path (used after
+  // partitions heal and watches re-establish).
+  Status CatchUpConfig(int device_id);
+  // The recovery scan: reconstruct the scheduler's view from the registry.
+  Status AttemptSchedulerRecovery();
+  void FinishSchedulerRecovery();
+
   // --- training path ---
   void OnTrainingArrival(const TrainingArrival& arrival);
   void TryDispatchQueue();
@@ -258,6 +309,7 @@ class ClusterExperiment : public SchedulingEnv, public FaultSink {
   TaskQueue queue_;
   KvStore registry_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  std::unique_ptr<ControlFaultInjector> ctrl_injector_;
 
   // Cached perf-region stats (null when unprofiled): resolved once in the
   // constructor so each profiled decision costs a branch plus two clock
@@ -285,6 +337,27 @@ class ClusterExperiment : public SchedulingEnv, public FaultSink {
   double rerouted_requests_ = 0.0;
   double replacement_time_sum_ms_ = 0.0;
   std::map<int, TimeMs> displaced_at_;  // task_id -> displacement time
+
+  // Control-plane fault state (inert without a ctrl fault plan).
+  bool ctrl_enabled_ = false;
+  bool scheduler_up_ = true;
+  TimeMs scheduler_crashed_at_ = 0.0;
+  size_t scheduler_recoveries_ = 0;
+  double recovery_ms_sum_ = 0.0;
+  size_t configs_published_ = 0;
+  size_t configs_applied_ = 0;
+  size_t stale_scan_entries_ = 0;
+  uint64_t ckpt_epoch_ = 0;
+  std::vector<KvStore::WatchId> config_watches_;   // per device; 0 = none
+  std::vector<uint64_t> config_applied_rev_;       // monotonic delivery guard
+  // Highest publication sequence number applied per device: catch-up reads
+  // re-deliver the same publication, and this keeps configs_applied_ a true
+  // count of publications that reached the device (never double-counted).
+  std::vector<uint64_t> config_applied_seq_;
+  // Retriers for the two retried control flows. Constructed in
+  // StartControlPlane so fault-free runs never touch them.
+  std::unique_ptr<Retrier> recovery_retrier_;
+  std::unique_ptr<Retrier> watch_retrier_;
 };
 
 }  // namespace mudi

@@ -85,6 +85,40 @@ struct FaultMetrics {
   bool any() const { return faults_injected > 0; }
 };
 
+// Control-plane fault/recovery aggregates (DESIGN.md §13) for runs with a
+// ControlFaultPlan armed. All-zero (and absent from reports) when the plan
+// is empty.
+struct ControlMetrics {
+  size_t events_injected = 0;     // timed control faults armed
+  size_t kv_partitions = 0;       // collapsed partition windows
+  size_t watch_losses = 0;        // watch-loss episodes
+  size_t scheduler_crashes = 0;
+  size_t scheduler_recoveries = 0;
+  size_t retries = 0;             // sanctioned backoff re-attempts (ctrl.retries)
+  size_t stale_reads = 0;         // control reads served at a lagged revision
+  size_t unavailable_reads = 0;   // control reads rejected by a partition
+  size_t watch_delivered = 0;     // degraded-mode notifications that arrived
+  size_t watch_dropped = 0;       // lossy delivery / dead-watch deliveries
+  size_t watch_lost_partition = 0;  // notifications lost inside a partition
+  size_t configs_published = 0;   // inference configs written to the store
+  size_t configs_applied = 0;     // configs that reached a device agent
+  size_t stale_scan_entries = 0;  // recovery-scan rows contradicting live state
+  double total_recovery_ms = 0.0;  // crash to recovered-view, summed
+
+  double MeanRecoveryMs() const {
+    return scheduler_recoveries == 0
+               ? 0.0
+               : total_recovery_ms / static_cast<double>(scheduler_recoveries);
+  }
+  // Configs published but never applied: dropped deliveries, partition
+  // losses, and in-flight updates at run end.
+  size_t configs_lost() const {
+    return configs_published >= configs_applied ? configs_published - configs_applied : 0;
+  }
+  bool any() const { return events_injected > 0 || watch_delivered > 0 || watch_dropped > 0 ||
+                            stale_reads > 0 || configs_published > 0; }
+};
+
 struct ExperimentResult {
   std::string policy_name;
   std::map<std::string, ServiceMetrics> per_service;
@@ -108,6 +142,7 @@ struct ExperimentResult {
   std::vector<DeviceSeriesSample> device_series;  // when a device is traced
 
   FaultMetrics faults;
+  ControlMetrics ctrl;
 
   // --- derived aggregates ---
   double OverallSloViolationRate() const;

@@ -1,0 +1,81 @@
+#include "src/fault/control_fault_injector.h"
+
+#include "src/common/check.h"
+#include "src/telemetry/telemetry.h"
+
+namespace mudi {
+
+ControlFaultInjector::ControlFaultInjector(Simulator* sim, ControlFaultSink* sink,
+                                           Telemetry* telemetry)
+    : sim_(sim), sink_(sink), telemetry_(telemetry) {
+  MUDI_CHECK(sim_ != nullptr);
+  MUDI_CHECK(sink_ != nullptr);
+}
+
+Status ControlFaultInjector::Arm(const ControlFaultPlan& plan) {
+  if (plan.events.empty()) {
+    return Status::Ok();
+  }
+  MUDI_RETURN_IF_ERROR(plan.Validate());
+  for (const ControlFaultSpec& spec : plan.events) {
+    if (spec.at_ms < sim_->Now()) {
+      return InvalidArgumentError("control fault scheduled in the past: " +
+                                  ControlFaultSpecDebugString(spec));
+    }
+  }
+  for (const ControlFaultSpec& spec : plan.events) {
+    ++events_injected_;
+    switch (spec.kind) {
+      case ControlFaultKind::kKvPartition:
+        sim_->ScheduleAt(spec.at_ms, [this] { PartitionStart(); });
+        sim_->ScheduleAt(spec.at_ms + spec.duration_ms, [this] { PartitionEnd(); });
+        break;
+      case ControlFaultKind::kWatchLoss:
+        sim_->ScheduleAt(spec.at_ms, [this] { WatchesLost(); });
+        break;
+      case ControlFaultKind::kSchedulerCrash: {
+        TimeMs restart = spec.duration_ms;
+        sim_->ScheduleAt(spec.at_ms, [this, restart] { SchedulerCrash(restart); });
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void ControlFaultInjector::EmitInstant(const char* name, double arg_value, const char* arg_key) {
+  MUDI_TRACE_INSTANT(telemetry_, "ctrl", name, /*device_id=*/-1, sim_->Now(),
+                     telemetry::TraceArgs{telemetry::TraceArg::Num(arg_key, arg_value)});
+}
+
+void ControlFaultInjector::PartitionStart() {
+  if (partition_depth_++ > 0) {
+    return;  // Already partitioned: the new window only extends the outage.
+  }
+  ++partitions_;
+  EmitInstant("kv_partition_start", 1.0, "active");
+  sink_->OnKvPartitionStart(sim_->Now());
+}
+
+void ControlFaultInjector::PartitionEnd() {
+  MUDI_CHECK_GT(partition_depth_, 0);
+  if (--partition_depth_ > 0) {
+    return;  // Still covered by another window.
+  }
+  EmitInstant("kv_partition_end", 0.0, "active");
+  sink_->OnKvPartitionEnd(sim_->Now());
+}
+
+void ControlFaultInjector::WatchesLost() {
+  ++watch_losses_;
+  EmitInstant("watch_loss", 1.0, "count");
+  sink_->OnWatchesLost(sim_->Now());
+}
+
+void ControlFaultInjector::SchedulerCrash(TimeMs restart_delay_ms) {
+  ++scheduler_crashes_;
+  EmitInstant("scheduler_crash", restart_delay_ms, "restart_delay_ms");
+  sink_->OnSchedulerCrash(restart_delay_ms, sim_->Now());
+}
+
+}  // namespace mudi

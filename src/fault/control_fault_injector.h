@@ -1,0 +1,80 @@
+// Arms a ControlFaultPlan against the virtual clock and drives a
+// ControlFaultSink through control-plane fault transitions.
+//
+// Mirrors FaultInjector for the coordination layer: the injector owns the
+// timeline semantics so the sink (the experiment harness) only sees clean
+// edges — overlapping KvStore partition windows collapse into a single
+// start/end edge pair via depth counting. The store-wide degradation in
+// ControlFaultPlan::degrade is NOT applied here; the harness enables it on
+// its KvStore directly (the injector only drives timed events).
+// Every transition is recorded as a typed telemetry instant in the "ctrl"
+// category.
+#ifndef SRC_FAULT_CONTROL_FAULT_INJECTOR_H_
+#define SRC_FAULT_CONTROL_FAULT_INJECTOR_H_
+
+#include <cstddef>
+
+#include "src/common/status.h"
+#include "src/fault/control_fault_plan.h"
+#include "src/sim/simulator.h"
+
+namespace mudi {
+
+class Telemetry;
+
+// Implemented by the experiment harness; all callbacks run at the fault's
+// virtual timestamp, from inside a simulator event.
+class ControlFaultSink {
+ public:
+  virtual ~ControlFaultSink() = default;
+
+  // The KvStore just became unreachable / reachable again (first covering
+  // window began / last covering window ended).
+  virtual void OnKvPartitionStart(TimeMs now) = 0;
+  virtual void OnKvPartitionEnd(TimeMs now) = 0;
+  // Every registered watch died; the sink must unregister and re-establish.
+  virtual void OnWatchesLost(TimeMs now) = 0;
+  // The scheduler crashed; its replacement starts recovering
+  // `restart_delay_ms` from now.
+  virtual void OnSchedulerCrash(TimeMs restart_delay_ms, TimeMs now) = 0;
+};
+
+class ControlFaultInjector {
+ public:
+  ControlFaultInjector(Simulator* sim, ControlFaultSink* sink, Telemetry* telemetry = nullptr);
+  ControlFaultInjector(const ControlFaultInjector&) = delete;
+  ControlFaultInjector& operator=(const ControlFaultInjector&) = delete;
+
+  // Validates `plan` and schedules every timed event on the simulator. An
+  // empty event list schedules nothing at all. Events in the past
+  // (at_ms < sim->Now()) are rejected.
+  Status Arm(const ControlFaultPlan& plan);
+
+  bool partitioned() const { return partition_depth_ > 0; }
+
+  // Aggregates for ExperimentResult / bench tables.
+  size_t events_injected() const { return events_injected_; }
+  size_t partitions() const { return partitions_; }
+  size_t watch_losses() const { return watch_losses_; }
+  size_t scheduler_crashes() const { return scheduler_crashes_; }
+
+ private:
+  void PartitionStart();
+  void PartitionEnd();
+  void WatchesLost();
+  void SchedulerCrash(TimeMs restart_delay_ms);
+  void EmitInstant(const char* name, double arg_value, const char* arg_key);
+
+  Simulator* sim_;
+  ControlFaultSink* sink_;
+  Telemetry* telemetry_;
+  int partition_depth_ = 0;
+  size_t events_injected_ = 0;
+  size_t partitions_ = 0;
+  size_t watch_losses_ = 0;
+  size_t scheduler_crashes_ = 0;
+};
+
+}  // namespace mudi
+
+#endif  // SRC_FAULT_CONTROL_FAULT_INJECTOR_H_

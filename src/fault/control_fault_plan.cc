@@ -1,0 +1,123 @@
+#include "src/fault/control_fault_plan.h"
+
+#include <sstream>
+
+namespace mudi {
+
+const char* ControlFaultKindName(ControlFaultKind kind) {
+  switch (kind) {
+    case ControlFaultKind::kKvPartition:
+      return "kv_partition";
+    case ControlFaultKind::kWatchLoss:
+      return "watch_loss";
+    case ControlFaultKind::kSchedulerCrash:
+      return "scheduler_crash";
+  }
+  return "unknown";
+}
+
+ControlFaultPlan& ControlFaultPlan::DegradeWatches(TimeMs delay_ms, TimeMs jitter_ms,
+                                                   double drop_prob) {
+  degrade.watch_delay_ms = delay_ms;
+  degrade.watch_delay_jitter_ms = jitter_ms;
+  degrade.watch_drop_prob = drop_prob;
+  return *this;
+}
+
+ControlFaultPlan& ControlFaultPlan::StaleReads(double prob, uint64_t rev_lag) {
+  degrade.stale_read_prob = prob;
+  degrade.stale_rev_lag = rev_lag;
+  return *this;
+}
+
+ControlFaultPlan& ControlFaultPlan::Partition(TimeMs at_ms, TimeMs duration_ms) {
+  ControlFaultSpec spec;
+  spec.kind = ControlFaultKind::kKvPartition;
+  spec.at_ms = at_ms;
+  spec.duration_ms = duration_ms;
+  return Add(spec);
+}
+
+ControlFaultPlan& ControlFaultPlan::LoseWatches(TimeMs at_ms) {
+  ControlFaultSpec spec;
+  spec.kind = ControlFaultKind::kWatchLoss;
+  spec.at_ms = at_ms;
+  spec.duration_ms = 0.0;
+  return Add(spec);
+}
+
+ControlFaultPlan& ControlFaultPlan::CrashScheduler(TimeMs at_ms, TimeMs restart_delay_ms) {
+  ControlFaultSpec spec;
+  spec.kind = ControlFaultKind::kSchedulerCrash;
+  spec.at_ms = at_ms;
+  spec.duration_ms = restart_delay_ms;
+  return Add(spec);
+}
+
+Status ControlFaultPlan::Validate() const {
+  if (degrade.watch_delay_ms < 0.0 || degrade.watch_delay_jitter_ms < 0.0) {
+    return InvalidArgumentError("control fault plan: negative watch delay");
+  }
+  if (degrade.watch_drop_prob < 0.0 || degrade.watch_drop_prob >= 1.0) {
+    return InvalidArgumentError(
+        "control fault plan: watch_drop_prob outside [0, 1) — dropping every "
+        "update would deadlock config delivery");
+  }
+  if (degrade.stale_read_prob < 0.0 || degrade.stale_read_prob > 1.0) {
+    return InvalidArgumentError("control fault plan: stale_read_prob outside [0, 1]");
+  }
+  if (degrade.stale_read_prob > 0.0 && degrade.stale_rev_lag == 0) {
+    return InvalidArgumentError(
+        "control fault plan: stale_read_prob > 0 requires stale_rev_lag >= 1");
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ControlFaultSpec& spec = events[i];
+    std::string where =
+        "control fault #" + std::to_string(i) + " (" + ControlFaultKindName(spec.kind) + "): ";
+    if (spec.at_ms < 0.0) {
+      return InvalidArgumentError(where + "at_ms must be >= 0");
+    }
+    switch (spec.kind) {
+      case ControlFaultKind::kKvPartition:
+        if (spec.duration_ms <= 0.0) {
+          return InvalidArgumentError(where + "duration_ms must be > 0");
+        }
+        break;
+      case ControlFaultKind::kSchedulerCrash:
+        if (spec.duration_ms < 0.0) {
+          return InvalidArgumentError(where + "restart delay must be >= 0");
+        }
+        break;
+      case ControlFaultKind::kWatchLoss:
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+ControlFaultPlan StandardControlChaosPlan() {
+  ControlFaultPlan plan;
+  plan.DegradeWatches(/*delay_ms=*/250.0, /*jitter_ms=*/250.0, /*drop_prob=*/0.05);
+  plan.StaleReads(/*prob=*/0.1, /*rev_lag=*/4);
+  plan.Partition(90 * kMsPerSecond, 20 * kMsPerSecond);
+  plan.LoseWatches(150 * kMsPerSecond);
+  plan.CrashScheduler(210 * kMsPerSecond, 2 * kMsPerSecond);
+  // Second crash arrives inside a partition window: the recovery scan fails
+  // Unavailable and must back off through retry until the window closes.
+  plan.CrashScheduler(270 * kMsPerSecond, 1 * kMsPerSecond);
+  plan.Partition(270 * kMsPerSecond, 15 * kMsPerSecond);
+  return plan;
+}
+
+std::string ControlFaultSpecDebugString(const ControlFaultSpec& spec) {
+  std::ostringstream os;
+  os << ControlFaultKindName(spec.kind) << "@" << spec.at_ms << "ms";
+  if (spec.kind == ControlFaultKind::kKvPartition) {
+    os << " duration=" << spec.duration_ms << "ms";
+  } else if (spec.kind == ControlFaultKind::kSchedulerCrash) {
+    os << " restart_delay=" << spec.duration_ms << "ms";
+  }
+  return os.str();
+}
+
+}  // namespace mudi

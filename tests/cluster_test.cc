@@ -4,6 +4,8 @@
 
 #include "src/cluster/cluster_state.h"
 #include "src/cluster/kv_store.h"
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
 #include "src/cluster/monitor.h"
 #include "src/cluster/policy.h"
 #include "src/cluster/task_queue.h"
@@ -128,6 +130,170 @@ TEST(KvStoreTest, WatcherMayAddWatchDuringCallback) {
   kv.Put("a", "1");  // installs watcher on "b"
   kv.Put("b", "2");
   EXPECT_EQ(inner, 1);
+}
+
+// ---------------------------------------------------------------------------
+// KvStore: delete events and degraded mode (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+TEST(KvStoreTest, DeleteIsSilentByDefault) {
+  KvStore kv;
+  kv.Put("k", "v");
+  uint64_t rev_before = kv.revision();
+  int events = 0;
+  kv.Watch("", [&](const std::string&, const std::string&, uint64_t) { ++events; });
+  EXPECT_TRUE(kv.Delete("k"));
+  EXPECT_EQ(events, 0);
+  EXPECT_EQ(kv.revision(), rev_before);
+}
+
+TEST(KvStoreTest, DeleteEventsDeliverTombstones) {
+  KvStore kv;
+  kv.EnableDeleteEvents(true);
+  kv.Put("/devices/3/tasks/7", "resnet");
+  kv.Put("/devices/3/tasks/9", "bert");
+  uint64_t rev_before = kv.revision();
+
+  std::vector<std::pair<std::string, std::string>> events;
+  std::vector<uint64_t> revs;
+  kv.Watch("/devices/3/", [&](const std::string& key, const std::string& value, uint64_t rev) {
+    events.emplace_back(key, value);
+    revs.push_back(rev);
+  });
+
+  EXPECT_TRUE(kv.Delete("/devices/3/tasks/7"));
+  EXPECT_EQ(kv.DeletePrefix("/devices/3/"), 1u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<std::string, std::string>{"/devices/3/tasks/7", ""}));
+  EXPECT_EQ(events[1], (std::pair<std::string, std::string>{"/devices/3/tasks/9", ""}));
+  // Tombstones bump the revision like writes, so watch dedup guards keyed on
+  // revision keep working across deletes.
+  EXPECT_GT(revs[0], rev_before);
+  EXPECT_GT(revs[1], revs[0]);
+  // Deleting an absent key stays event-free.
+  EXPECT_FALSE(kv.Delete("/devices/3/tasks/7"));
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(KvStoreTest, DegradedModeDelaysWatchDelivery) {
+  Simulator sim;
+  KvStore kv;
+  KvDegradeOptions degrade;
+  degrade.watch_delay_ms = 100.0;
+  kv.EnableDegradedMode(&sim, degrade, Rng(7));
+
+  std::vector<std::string> seen;
+  kv.Watch("cfg/", [&](const std::string& key, const std::string&, uint64_t) {
+    seen.push_back(key);
+  });
+  kv.Put("cfg/a", "1");
+  EXPECT_TRUE(seen.empty());  // no longer synchronous
+  sim.RunUntil(99.0);
+  EXPECT_TRUE(seen.empty());
+  sim.RunUntilIdle();
+  EXPECT_EQ(seen, (std::vector<std::string>{"cfg/a"}));
+  EXPECT_EQ(kv.watch_delivered(), 1u);
+}
+
+TEST(KvStoreTest, DegradedModeDropsDeliveries) {
+  Simulator sim;
+  KvStore kv;
+  KvDegradeOptions degrade;
+  degrade.watch_delay_ms = 10.0;
+  degrade.watch_drop_prob = 1.0;
+  kv.EnableDegradedMode(&sim, degrade, Rng(7));
+
+  int events = 0;
+  kv.Watch("", [&](const std::string&, const std::string&, uint64_t) { ++events; });
+  kv.Put("a", "1");
+  kv.Put("b", "2");
+  sim.RunUntilIdle();
+  EXPECT_EQ(events, 0);
+  EXPECT_EQ(kv.watch_dropped(), 2u);
+  // The omniscient view is never degraded.
+  EXPECT_EQ(*kv.Get("a"), "1");
+}
+
+TEST(KvStoreTest, PartitionLosesWatchesAndFailsCtrlReads) {
+  Simulator sim;
+  KvStore kv;
+  kv.EnableDegradedMode(&sim, KvDegradeOptions{}, Rng(7));
+  kv.Put("k", "v");
+
+  int events = 0;
+  kv.Watch("", [&](const std::string&, const std::string&, uint64_t) { ++events; });
+  kv.SetPartitioned(true);
+  kv.Put("k", "v2");
+  sim.RunUntilIdle();
+  EXPECT_EQ(events, 0);  // lost, not buffered
+  EXPECT_EQ(kv.watch_lost_partition(), 1u);
+
+  auto read = kv.CtrlGet("k");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(kv.CtrlList("").ok());
+  EXPECT_EQ(kv.unavailable_reads(), 2u);
+  // The omniscient view still works mid-partition.
+  EXPECT_EQ(*kv.Get("k"), "v2");
+
+  kv.SetPartitioned(false);
+  ASSERT_TRUE(kv.CtrlGet("k").ok());
+  kv.Put("k", "v3");
+  sim.RunUntilIdle();
+  EXPECT_EQ(events, 1);  // delivery resumes after the partition heals
+}
+
+TEST(KvStoreTest, StaleReadsServeLaggedRevision) {
+  Simulator sim;
+  KvStore kv;
+  KvDegradeOptions degrade;
+  degrade.stale_read_prob = 1.0;  // every control read is stale
+  degrade.stale_rev_lag = 1;     // ... by exactly one revision
+  kv.EnableDegradedMode(&sim, degrade, Rng(7));
+
+  kv.Put("k", "old");
+  uint64_t old_rev = kv.revision();
+  kv.Put("k", "new");
+
+  uint64_t read_rev = 0;
+  auto stale = kv.CtrlGet("k", &read_rev);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(*stale, "old");
+  EXPECT_EQ(read_rev, old_rev);
+  EXPECT_GE(kv.stale_reads(), 1u);
+  // The omniscient view is current.
+  EXPECT_EQ(*kv.Get("k"), "new");
+}
+
+TEST(KvStoreTest, StaleReadMissesKeyNewerThanSnapshot) {
+  Simulator sim;
+  KvStore kv;
+  KvDegradeOptions degrade;
+  degrade.stale_read_prob = 1.0;
+  degrade.stale_rev_lag = 1;
+  kv.EnableDegradedMode(&sim, degrade, Rng(7));
+
+  kv.Put("a", "1");
+  kv.Put("fresh", "v");  // only exists at the newest revision
+
+  auto read = kv.CtrlGet("fresh");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, HealthyCtrlReadsMatchOmniscientView) {
+  KvStore kv;
+  kv.Put("k", "v");
+  uint64_t read_rev = 0;
+  auto got = kv.CtrlGet("k", &read_rev);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v");
+  EXPECT_EQ(read_rev, kv.revision());
+  auto listed = kv.CtrlList("");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), kv.List("").size());
+  EXPECT_EQ(kv.stale_reads(), 0u);
+  EXPECT_EQ(kv.unavailable_reads(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -4,10 +4,12 @@
 #include <string>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/common/table.h"
+#include "src/sim/simulator.h"
 
 namespace mudi {
 namespace {
@@ -333,6 +335,168 @@ TEST(TableTest, NumFormatting) {
 }
 
 TEST(TableTest, PctFormatting) { EXPECT_EQ(Table::Pct(0.256, 1), "25.6%"); }
+
+// ---------------------------------------------------------------------------
+// Retry / backoff (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, ValidateAcceptsDefaultsAndRejectsBadBounds) {
+  EXPECT_TRUE(RetryPolicy{}.Validate().ok());
+
+  RetryPolicy inverted;
+  inverted.initial_backoff_ms = 100.0;
+  inverted.max_backoff_ms = 10.0;
+  EXPECT_FALSE(inverted.Validate().ok());
+
+  RetryPolicy shrinking;
+  shrinking.multiplier = 0.5;
+  EXPECT_FALSE(shrinking.Validate().ok());
+
+  RetryPolicy wild_jitter;
+  wild_jitter.jitter_frac = 1.5;
+  EXPECT_FALSE(wild_jitter.Validate().ok());
+}
+
+TEST(RetryBackoffTest, GrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100.0;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 350.0;
+  policy.jitter_frac = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 1, rng), 100.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 2, rng), 200.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 3, rng), 350.0);  // capped
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 10, rng), 350.0);
+}
+
+TEST(RetryBackoffTest, JitterIsBoundedAndSeedDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100.0;
+  policy.jitter_frac = 0.25;
+  Rng a(42);
+  Rng b(42);
+  for (int k = 1; k <= 5; ++k) {
+    double base = 0.0;
+    {
+      RetryPolicy bare = policy;
+      bare.jitter_frac = 0.0;
+      Rng unused(0);
+      base = BackoffDelayMs(bare, k, unused);
+    }
+    double da = BackoffDelayMs(policy, k, a);
+    double db = BackoffDelayMs(policy, k, b);
+    EXPECT_DOUBLE_EQ(da, db);  // same seed, same delays
+    EXPECT_GE(da, base);
+    EXPECT_LT(da, base * 1.25);
+  }
+}
+
+TEST(RetrierTest, SucceedsAfterFailuresWithBackoff) {
+  Simulator sim;
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100.0;
+  policy.multiplier = 2.0;
+  policy.jitter_frac = 0.0;
+  Retrier retrier(&sim, policy, Rng(1));
+
+  int calls = 0;
+  Status final_status = InternalError("never finished");
+  int final_attempts = 0;
+  retrier.Start(
+      10.0,
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) {
+          return UnavailableError("partitioned");
+        }
+        return Status::Ok();
+      },
+      [&](const Status& status, int attempts) {
+        final_status = status;
+        final_attempts = attempts;
+      });
+  sim.RunUntilIdle();
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(final_status.ok());
+  EXPECT_EQ(final_attempts, 3);
+  EXPECT_EQ(retrier.total_retries(), 2u);
+  // initial delay 10 + backoffs 100 + 200
+  EXPECT_DOUBLE_EQ(sim.Now(), 310.0);
+  EXPECT_FALSE(retrier.active());
+}
+
+TEST(RetrierTest, MaxAttemptsExhaustionReportsLastError) {
+  Simulator sim;
+  RetryPolicy policy;
+  policy.jitter_frac = 0.0;
+  policy.max_attempts = 3;
+  Retrier retrier(&sim, policy, Rng(1));
+
+  int calls = 0;
+  Status final_status;
+  retrier.Start(
+      0.0, [&]() -> Status { ++calls; return UnavailableError("still down"); },
+      [&](const Status& status, int) { final_status = status; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(final_status.code(), StatusCode::kUnavailable);
+}
+
+TEST(RetrierTest, DeadlineStopsTheLoop) {
+  Simulator sim;
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100.0;
+  policy.jitter_frac = 0.0;
+  policy.deadline_ms = 150.0;  // allows the first backoff but not the second
+  Retrier retrier(&sim, policy, Rng(1));
+
+  int calls = 0;
+  Status final_status;
+  retrier.Start(
+      0.0, [&]() -> Status { ++calls; return UnavailableError("down"); },
+      [&](const Status& status, int) { final_status = status; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(final_status.code(), StatusCode::kUnavailable);
+}
+
+TEST(RetrierTest, RestartCancelsInFlightLoop) {
+  // Start() during an active loop abandons it without firing its DoneFn —
+  // the crash-during-recovery shape: a second crash restarts the recovery
+  // loop and only the final loop reports.
+  Simulator sim;
+  RetryPolicy policy;
+  policy.jitter_frac = 0.0;
+  Retrier retrier(&sim, policy, Rng(1));
+
+  int first_loop_done = 0;
+  retrier.Start(
+      100.0, [&]() -> Status { return Status::Ok(); },
+      [&](const Status&, int) { ++first_loop_done; });
+  sim.ScheduleAfter(50.0, [&] {
+    retrier.Start(
+        10.0, [&]() -> Status { return Status::Ok(); },
+        [&](const Status&, int) {});
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(first_loop_done, 0);   // the first loop never completed
+  EXPECT_DOUBLE_EQ(sim.Now(), 60.0);  // second loop ran at 50 + 10
+}
+
+TEST(RetrierTest, CancelIsIdempotentAndStopsAttempts) {
+  Simulator sim;
+  Retrier retrier(&sim, RetryPolicy{}, Rng(1));
+  int calls = 0;
+  retrier.Start(
+      100.0, [&]() -> Status { ++calls; return Status::Ok(); },
+      [&](const Status&, int) {});
+  retrier.Cancel();
+  retrier.Cancel();
+  sim.RunUntilIdle();
+  EXPECT_EQ(calls, 0);
+  EXPECT_FALSE(retrier.active());
+}
 
 }  // namespace
 }  // namespace mudi

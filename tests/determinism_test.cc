@@ -81,6 +81,20 @@ void ExpectIdenticalResults(const ExperimentResult& a, const ExperimentResult& b
   EXPECT_EQ(a.faults.failed_requests, b.faults.failed_requests);
   EXPECT_EQ(a.faults.rerouted_requests, b.faults.rerouted_requests);
   EXPECT_EQ(a.faults.goodput_rps, b.faults.goodput_rps);
+
+  EXPECT_EQ(a.ctrl.events_injected, b.ctrl.events_injected);
+  EXPECT_EQ(a.ctrl.scheduler_crashes, b.ctrl.scheduler_crashes);
+  EXPECT_EQ(a.ctrl.scheduler_recoveries, b.ctrl.scheduler_recoveries);
+  EXPECT_EQ(a.ctrl.retries, b.ctrl.retries);
+  EXPECT_EQ(a.ctrl.stale_reads, b.ctrl.stale_reads);
+  EXPECT_EQ(a.ctrl.unavailable_reads, b.ctrl.unavailable_reads);
+  EXPECT_EQ(a.ctrl.watch_delivered, b.ctrl.watch_delivered);
+  EXPECT_EQ(a.ctrl.watch_dropped, b.ctrl.watch_dropped);
+  EXPECT_EQ(a.ctrl.watch_lost_partition, b.ctrl.watch_lost_partition);
+  EXPECT_EQ(a.ctrl.configs_published, b.ctrl.configs_published);
+  EXPECT_EQ(a.ctrl.configs_applied, b.ctrl.configs_applied);
+  EXPECT_EQ(a.ctrl.stale_scan_entries, b.ctrl.stale_scan_entries);
+  EXPECT_EQ(a.ctrl.total_recovery_ms, b.ctrl.total_recovery_ms);
 }
 
 class SeedDeterminismTest : public ::testing::TestWithParam<std::string> {};
@@ -149,6 +163,43 @@ TEST(SeedDeterminismFaultTest, SameSeedSameMetricsUnderChaos) {
   ExpectIdenticalResults(a, b);
   EXPECT_GT(a.faults.faults_injected, 0u);
 }
+
+// Combined chaos: device faults AND a degraded control plane in the same run,
+// for every policy. This is the hardest reproducibility case — delayed watch
+// deliveries, stale reads, retry backoff, and a scheduler crash all draw from
+// forked Rng streams while devices fail and recover underneath — and it must
+// still replay bit-identically from the seed alone.
+class CombinedChaosDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CombinedChaosDeterminismTest, DeviceAndControlChaosReplaysBitIdentically) {
+  ExperimentOptions options = SmallOptions(/*seed=*/29);
+  options.fault_plan = StandardChaosPlan(/*num_devices=*/4, /*num_nodes=*/2);
+  options.ctrl_fault_plan.DegradeWatches(/*delay_ms=*/150.0, /*jitter_ms=*/100.0,
+                                         /*drop_prob=*/0.08);
+  options.ctrl_fault_plan.StaleReads(/*prob=*/0.15, /*rev_lag=*/4);
+  options.ctrl_fault_plan.Partition(12.0 * kMsPerSecond, 4.0 * kMsPerSecond);
+  options.ctrl_fault_plan.LoseWatches(18.0 * kMsPerSecond);
+  options.ctrl_fault_plan.CrashScheduler(24.0 * kMsPerSecond, 2.0 * kMsPerSecond);
+
+  ExperimentResult a = RunOnce(GetParam(), options);
+  ExperimentResult b = RunOnce(GetParam(), options);
+  ExpectIdenticalResults(a, b);
+  EXPECT_GT(a.faults.faults_injected, 0u);
+  EXPECT_GT(a.ctrl.events_injected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, CombinedChaosDeterminismTest,
+                         ::testing::Values("Mudi", "GSLICE", "gpulets", "MuxFlow", "Random",
+                                           "Optimal"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
 
 // Parallel fitting must be invisible in the results. FitPool shards the fit
 // workload deterministically and reduces in a fixed order, so the number of

@@ -7,6 +7,8 @@
 
 #include "src/exp/cluster_experiment.h"
 #include "src/exp/presets.h"
+#include "src/fault/control_fault_injector.h"
+#include "src/fault/control_fault_plan.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/sim/simulator.h"
@@ -386,6 +388,280 @@ TEST(FaultRecoveryTest, EmptyPlanLeavesFaultMetricsZero) {
   EXPECT_DOUBLE_EQ(result.faults.total_downtime_ms, 0.0);
   EXPECT_EQ(result.TotalWindowsViolatedFailure(), 0u);
   EXPECT_EQ(result.CompletedTasks(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// ControlFaultPlan
+// ---------------------------------------------------------------------------
+
+TEST(ControlFaultPlanTest, BuildersProduceExpectedSpecs) {
+  ControlFaultPlan plan;
+  plan.DegradeWatches(100.0, 50.0, 0.1)
+      .StaleReads(0.2, 4)
+      .Partition(10.0 * kMsPerSecond, 5.0 * kMsPerSecond)
+      .LoseWatches(20.0 * kMsPerSecond)
+      .CrashScheduler(30.0 * kMsPerSecond, 2.0 * kMsPerSecond);
+  EXPECT_FALSE(plan.empty());
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan.degrade.watch_delay_ms, 100.0);
+  EXPECT_DOUBLE_EQ(plan.degrade.stale_read_prob, 0.2);
+  EXPECT_EQ(plan.degrade.stale_rev_lag, 4u);
+  EXPECT_EQ(plan.events[0].kind, ControlFaultKind::kKvPartition);
+  EXPECT_EQ(plan.events[1].kind, ControlFaultKind::kWatchLoss);
+  EXPECT_EQ(plan.events[2].kind, ControlFaultKind::kSchedulerCrash);
+  EXPECT_DOUBLE_EQ(plan.events[2].duration_ms, 2.0 * kMsPerSecond);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(ControlFaultPlanTest, ValidateRejectsBadSpecs) {
+  {
+    ControlFaultPlan plan;
+    plan.DegradeWatches(-1.0, 0.0, 0.0);  // negative delay
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  {
+    ControlFaultPlan plan;
+    plan.DegradeWatches(0.0, 0.0, 1.0);  // dropping everything deadlocks
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  {
+    ControlFaultPlan plan;
+    plan.StaleReads(0.5, 0);  // stale reads need a lag bound
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  {
+    ControlFaultPlan plan;
+    plan.Partition(10.0, 0.0);  // a window needs a duration
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  {
+    ControlFaultPlan plan;
+    plan.CrashScheduler(10.0, -1.0);  // negative restart delay
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+}
+
+TEST(ControlFaultPlanTest, StandardControlChaosPlanValidates) {
+  ControlFaultPlan plan = StandardControlChaosPlan();
+  EXPECT_TRUE(plan.Validate().ok());
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.degrade.any());
+  EXPECT_GE(plan.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// ControlFaultInjector
+// ---------------------------------------------------------------------------
+
+class RecordingCtrlSink : public ControlFaultSink {
+ public:
+  struct Event {
+    std::string what;
+    TimeMs at;
+    double arg;
+  };
+
+  void OnKvPartitionStart(TimeMs now) override { events.push_back({"partition_start", now, 0.0}); }
+  void OnKvPartitionEnd(TimeMs now) override { events.push_back({"partition_end", now, 0.0}); }
+  void OnWatchesLost(TimeMs now) override { events.push_back({"watch_loss", now, 0.0}); }
+  void OnSchedulerCrash(TimeMs restart_delay_ms, TimeMs now) override {
+    events.push_back({"crash", now, restart_delay_ms});
+  }
+
+  std::vector<Event> events;
+};
+
+TEST(ControlFaultInjectorTest, EmptyPlanSchedulesNothing) {
+  Simulator sim;
+  RecordingCtrlSink sink;
+  ControlFaultInjector injector(&sim, &sink);
+  EXPECT_TRUE(injector.Arm(ControlFaultPlan{}).ok());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(injector.events_injected(), 0u);
+}
+
+TEST(ControlFaultInjectorTest, ArmRejectsInvalidAndPastEvents) {
+  Simulator sim;
+  RecordingCtrlSink sink;
+  ControlFaultInjector injector(&sim, &sink);
+  ControlFaultPlan bad;
+  bad.Partition(10.0, 0.0);
+  EXPECT_FALSE(injector.Arm(bad).ok());
+
+  sim.RunUntil(100.0);
+  ControlFaultPlan past;
+  past.LoseWatches(50.0);
+  EXPECT_FALSE(injector.Arm(past).ok());
+}
+
+TEST(ControlFaultInjectorTest, OverlappingPartitionsCollapseToOneEdgePair) {
+  Simulator sim;
+  RecordingCtrlSink sink;
+  ControlFaultInjector injector(&sim, &sink);
+  ControlFaultPlan plan;
+  plan.Partition(100.0, 100.0);  // 100..200
+  plan.Partition(150.0, 100.0);  // 150..250, overlapping
+  ASSERT_TRUE(injector.Arm(plan).ok());
+  sim.RunUntilIdle();
+
+  ASSERT_EQ(sink.events.size(), 2u);  // one edge pair, not two
+  EXPECT_EQ(sink.events[0].what, "partition_start");
+  EXPECT_DOUBLE_EQ(sink.events[0].at, 100.0);
+  EXPECT_EQ(sink.events[1].what, "partition_end");
+  EXPECT_DOUBLE_EQ(sink.events[1].at, 250.0);
+  EXPECT_EQ(injector.events_injected(), 2u);
+  EXPECT_EQ(injector.partitions(), 1u);
+  EXPECT_FALSE(injector.partitioned());
+}
+
+TEST(ControlFaultInjectorTest, BackToBackPartitionsKeepSeparateEdges) {
+  Simulator sim;
+  RecordingCtrlSink sink;
+  ControlFaultInjector injector(&sim, &sink);
+  ControlFaultPlan plan;
+  plan.Partition(100.0, 50.0);  // 100..150
+  plan.Partition(200.0, 50.0);  // 200..250, disjoint
+  ASSERT_TRUE(injector.Arm(plan).ok());
+  sim.RunUntilIdle();
+  ASSERT_EQ(sink.events.size(), 4u);
+  EXPECT_EQ(injector.partitions(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end control-plane recovery through ClusterExperiment
+// ---------------------------------------------------------------------------
+
+TEST(CtrlFaultRecoveryTest, EmptyCtrlPlanLeavesCtrlMetricsZero) {
+  ExperimentOptions options = SmallClusterOptions(6);
+  ExperimentResult result = RunMudi(options);
+  EXPECT_FALSE(result.ctrl.any());
+  EXPECT_EQ(result.ctrl.configs_published, 0u);
+  EXPECT_EQ(result.ctrl.retries, 0u);
+  EXPECT_EQ(result.ctrl.scheduler_crashes, 0u);
+}
+
+TEST(CtrlFaultRecoveryTest, SchedulerCrashRecoversAndTasksComplete) {
+  ExperimentOptions options = SmallClusterOptions(10);
+  options.ctrl_fault_plan.CrashScheduler(15.0 * kMsPerSecond, 2.0 * kMsPerSecond);
+
+  ExperimentResult result = RunMudi(options);
+  EXPECT_EQ(result.CompletedTasks(), 10u);
+  EXPECT_EQ(result.ctrl.scheduler_crashes, 1u);
+  EXPECT_EQ(result.ctrl.scheduler_recoveries, 1u);
+  // Recovery takes at least the restart delay (crash -> scan start).
+  EXPECT_GE(result.ctrl.total_recovery_ms, 2.0 * kMsPerSecond);
+}
+
+TEST(CtrlFaultRecoveryTest, CrashDuringRecoveryRestartsTheLoop) {
+  ExperimentOptions options = SmallClusterOptions(10);
+  // The first crash's replacement would only begin scanning at t=40s; the
+  // second crash at t=20s kills it mid-recovery and restarts with a 1s
+  // delay. Exactly one recovery completes, and its latency is measured from
+  // the first crash (the span the scheduler was actually absent).
+  options.ctrl_fault_plan.CrashScheduler(10.0 * kMsPerSecond, 30.0 * kMsPerSecond);
+  options.ctrl_fault_plan.CrashScheduler(20.0 * kMsPerSecond, 1.0 * kMsPerSecond);
+
+  ExperimentResult result = RunMudi(options);
+  EXPECT_EQ(result.CompletedTasks(), 10u);
+  EXPECT_EQ(result.ctrl.scheduler_crashes, 2u);
+  EXPECT_EQ(result.ctrl.scheduler_recoveries, 1u);
+  EXPECT_GE(result.ctrl.total_recovery_ms, 11.0 * kMsPerSecond);
+  EXPECT_LT(result.ctrl.total_recovery_ms, 30.0 * kMsPerSecond);
+}
+
+TEST(CtrlFaultRecoveryTest, PartitionStretchesRecoveryThroughRetry) {
+  ExperimentOptions options = SmallClusterOptions(10);
+  // The recovery scan starts at t=11s, inside a partition that heals at
+  // t=16s: every scan before then fails Unavailable and must back off
+  // through src/common/retry.h.
+  options.ctrl_fault_plan.CrashScheduler(10.0 * kMsPerSecond, 1.0 * kMsPerSecond);
+  options.ctrl_fault_plan.Partition(10.5 * kMsPerSecond, 5.5 * kMsPerSecond);
+
+  ExperimentResult result = RunMudi(options);
+  EXPECT_EQ(result.CompletedTasks(), 10u);
+  EXPECT_EQ(result.ctrl.scheduler_recoveries, 1u);
+  EXPECT_GE(result.ctrl.retries, 1u);
+  EXPECT_GE(result.ctrl.unavailable_reads, 1u);
+  EXPECT_GE(result.ctrl.total_recovery_ms, 6.0 * kMsPerSecond);
+}
+
+TEST(CtrlFaultRecoveryTest, ConfigsFlowThroughDegradedWatches) {
+  ExperimentOptions options = SmallClusterOptions(8);
+  options.ctrl_fault_plan.DegradeWatches(/*delay_ms=*/50.0, /*jitter_ms=*/25.0,
+                                         /*drop_prob=*/0.05);
+
+  ExperimentResult result = RunMudi(options);
+  EXPECT_EQ(result.CompletedTasks(), 8u);
+  EXPECT_GT(result.ctrl.configs_published, 0u);
+  EXPECT_GT(result.ctrl.configs_applied, 0u);
+  EXPECT_LE(result.ctrl.configs_applied, result.ctrl.configs_published);
+  // Publication accounting is closed: every config was delivered, dropped,
+  // or lost to a partition.
+  EXPECT_EQ(result.ctrl.watch_delivered + result.ctrl.watch_dropped +
+                result.ctrl.watch_lost_partition,
+            result.ctrl.configs_published);
+}
+
+TEST(CtrlFaultRecoveryTest, WatchLossReestablishesAndCatchesUp) {
+  ExperimentOptions options = SmallClusterOptions(10);
+  options.ctrl_fault_plan.DegradeWatches(50.0, 0.0, 0.0);
+  options.ctrl_fault_plan.LoseWatches(15.0 * kMsPerSecond);
+
+  ExperimentResult result = RunMudi(options);
+  EXPECT_EQ(result.CompletedTasks(), 10u);
+  EXPECT_EQ(result.ctrl.watch_losses, 1u);
+  // Config delivery kept working after re-establishment.
+  EXPECT_GT(result.ctrl.configs_applied, 0u);
+}
+
+TEST(CtrlFaultRecoveryTest, DeleteEventsFlagPreservesFailoverOutcome) {
+  // The PR-2 failover scenario must be byte-identical with tombstone delete
+  // events off (the default) and still pass with them on: nothing in the
+  // experiment watches the deleted subtrees, so only the revision counter
+  // differs.
+  ExperimentOptions options = SmallClusterOptions(10);
+  options.fault_plan.FailDevice(1, 30.0 * kMsPerSecond, 45.0 * kMsPerSecond);
+
+  ExperimentResult off = RunMudi(options);
+  ExperimentOptions with_events = options;
+  with_events.registry_delete_events = true;
+  ExperimentResult on = RunMudi(with_events);
+
+  for (const ExperimentResult* result : {&off, &on}) {
+    EXPECT_EQ(result->CompletedTasks(), 10u);
+    EXPECT_EQ(result->faults.devices_recovered, 1u);
+  }
+  EXPECT_DOUBLE_EQ(off.makespan_ms, on.makespan_ms);
+  ASSERT_EQ(off.tasks.size(), on.tasks.size());
+  for (size_t i = 0; i < off.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(off.tasks[i].completion_ms, on.tasks[i].completion_ms);
+    EXPECT_EQ(off.tasks[i].failures, on.tasks[i].failures);
+  }
+}
+
+TEST(CtrlFaultRecoveryTest, CtrlChaosRunsAreDeterministic) {
+  ExperimentOptions options = SmallClusterOptions(8);
+  options.ctrl_fault_plan.DegradeWatches(100.0, 100.0, 0.1);
+  options.ctrl_fault_plan.StaleReads(0.2, 4);
+  options.ctrl_fault_plan.Partition(10.0 * kMsPerSecond, 5.0 * kMsPerSecond);
+  options.ctrl_fault_plan.LoseWatches(20.0 * kMsPerSecond);
+  options.ctrl_fault_plan.CrashScheduler(25.0 * kMsPerSecond, 2.0 * kMsPerSecond);
+
+  ExperimentResult a = RunMudi(options);
+  ExperimentResult b = RunMudi(options);
+
+  EXPECT_DOUBLE_EQ(a.makespan_ms, b.makespan_ms);
+  EXPECT_DOUBLE_EQ(a.OverallSloViolationRate(), b.OverallSloViolationRate());
+  EXPECT_EQ(a.ctrl.configs_published, b.ctrl.configs_published);
+  EXPECT_EQ(a.ctrl.configs_applied, b.ctrl.configs_applied);
+  EXPECT_EQ(a.ctrl.watch_dropped, b.ctrl.watch_dropped);
+  EXPECT_EQ(a.ctrl.stale_reads, b.ctrl.stale_reads);
+  EXPECT_EQ(a.ctrl.retries, b.ctrl.retries);
+  EXPECT_DOUBLE_EQ(a.ctrl.total_recovery_ms, b.ctrl.total_recovery_ms);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].completion_ms, b.tasks[i].completion_ms);
+  }
 }
 
 }  // namespace

@@ -393,13 +393,78 @@ TEST(FitThreadCheckTest, NolintSuppresses) {
 }
 
 // ---------------------------------------------------------------------------
+// mudi-retry
+// ---------------------------------------------------------------------------
+
+TEST(RetryCheckTest, FlagsAdHocRetryLoops) {
+  auto findings = Lint("src/core/foo.cc",
+                       "void F() {\n"
+                       "  int attempts = 0;\n"
+                       "  while (attempts < 5) { ++attempts; }\n"
+                       "  for (int retry_count = 0; retry_count < 3; ++retry_count) {}\n"
+                       "  double backoff_ms = 50.0;\n"
+                       "  while (backoff_ms < 1000.0) { backoff_ms *= 2; }\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-retry"), 3u);
+}
+
+TEST(RetryCheckTest, FlagsNakedKvPollingInScheduleCall) {
+  auto findings = Lint("src/exp/foo.cc",
+                       "void F(Simulator& sim, KvStore& kv) {\n"
+                       "  sim.ScheduleAfter(100.0, [&] { (void)kv.CtrlGet(\"/k\"); });\n"
+                       "  sim.SchedulePeriodic(0.0, 100.0, [&] { (void)kv.CtrlList(\"/p\"); });\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-retry"), 2u);
+}
+
+TEST(RetryCheckTest, OrdinaryLoopsAndCallbacksAreClean) {
+  // Loops over non-retry counters and scheduled callbacks that only write to
+  // the store (Put) or call unrelated functions must not fire.
+  auto findings = Lint("src/core/foo.cc",
+                       "void F(Simulator& sim, KvStore& kv) {\n"
+                       "  for (int i = 0; i < 5; ++i) {}\n"
+                       "  while (kv.revision() < 10) {}\n"
+                       "  sim.ScheduleAfter(100.0, [&] { kv.Put(\"/k\", \"v\"); });\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-retry"), 0u);
+}
+
+TEST(RetryCheckTest, KvReadOutsideScheduleArgsIsClean) {
+  // Reads in straight-line code (e.g. a recovery scan) are sanctioned; only
+  // a read inside a schedule call's argument span is self-re-arming polling.
+  auto findings = Lint("src/exp/foo.cc",
+                       "Status F(KvStore& kv) {\n"
+                       "  auto rows = kv.CtrlList(\"/devices/\");\n"
+                       "  return rows.status();\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-retry"), 0u);
+}
+
+TEST(RetryCheckTest, RetryHeaderIsAllowlisted) {
+  const std::string code =
+      "void Retrier::Step() {\n"
+      "  while (attempts_ < policy_.max_attempts) { ++attempts_; }\n"
+      "}\n";
+  EXPECT_EQ(CountCheck(Lint("src/common/retry.h", code), "mudi-retry"), 0u);
+  EXPECT_EQ(CountCheck(Lint("src/common/other.h", code), "mudi-retry"), 1u);
+}
+
+TEST(RetryCheckTest, NolintSuppresses) {
+  auto findings = Lint("tests/foo_test.cc",
+                       "// NOLINTNEXTLINE(mudi-retry) exercising the lint itself\n"
+                       "void F() { for (int attempt = 0; attempt < 2; ++attempt) {} }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-retry"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-retry", /*include_suppressed=*/true), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Engine plumbing
 // ---------------------------------------------------------------------------
 
 TEST(EngineTest, CheckNamesSortedAndComplete) {
   auto names = CheckNames();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
 }
 
 TEST(EngineTest, EnabledChecksRestrictsFindings) {

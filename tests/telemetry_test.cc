@@ -131,7 +131,9 @@ TEST(TraceRecorderTest, RingBufferWraparound) {
   options.ring_capacity = 4;
   TraceRecorder recorder(options);
   for (int i = 0; i < 6; ++i) {
-    recorder.Instant("cat", "e" + std::to_string(i), /*tid=*/0, /*ts_ms=*/double(i));
+    std::string name = "e";
+    name += std::to_string(i);
+    recorder.Instant("cat", name, /*tid=*/0, /*ts_ms=*/double(i));
   }
   EXPECT_EQ(recorder.total_recorded(), 6u);
   EXPECT_EQ(recorder.dropped_events(), 2u);

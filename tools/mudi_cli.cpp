@@ -33,6 +33,7 @@ struct CliArgs {
   double compression = 800.0;
   double tick_ms = 0.0;
   bool chaos = false;
+  bool ctrl_chaos = false;
   std::string csv;
   bool util_series = false;
   std::string trace_file;
@@ -57,6 +58,9 @@ void PrintUsage() {
       "  --compression F    duration compression (default 800)\n"
       "  --tick-ms F        arrival cohort tick override (default auto)\n"
       "  --chaos            arm the standard fault schedule (StandardChaosPlan)\n"
+      "  --ctrl-chaos       arm the standard control-plane fault schedule\n"
+      "                     (StandardControlChaosPlan: degraded KvStore watches,\n"
+      "                     partitions, watch loss, scheduler crashes)\n"
       "  --util             record the utilization time series\n"
       "  --csv FILE         append a summary row to FILE (with header if new)\n"
       "  --trace FILE       write an event trace (.json = Chrome trace, else binary)\n"
@@ -118,6 +122,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->tick_ms = std::atof(v);
     } else if (flag == "--chaos") {
       args->chaos = true;
+    } else if (flag == "--ctrl-chaos") {
+      args->ctrl_chaos = true;
     } else if (flag == "--util") {
       args->util_series = true;
     } else if (flag == "--csv") {
@@ -195,6 +201,9 @@ int main(int argc, char** argv) {
     options.fault_plan =
         StandardChaosPlan(args.nodes * args.gpus, args.nodes);
   }
+  if (args.ctrl_chaos) {
+    options.ctrl_fault_plan = StandardControlChaosPlan();
+  }
   if (!args.trace_file.empty() || !args.metrics_json.empty() || !args.metrics_csv.empty()) {
     options.telemetry.enabled = true;
     options.telemetry.trace_file = args.trace_file;
@@ -262,6 +271,28 @@ int main(int argc, char** argv) {
                std::to_string(result.TotalWindowsViolatedFailure()) + " / " +
                    std::to_string(result.TotalWindowsViolatedLoad())});
     std::printf("%s", ft.ToString().c_str());
+  }
+  if (result.ctrl.any()) {
+    const ControlMetrics& cm = result.ctrl;
+    std::printf("-- control plane --\n");
+    Table ct({"metric", "value"});
+    ct.AddRow({"ctrl events injected", std::to_string(cm.events_injected)});
+    ct.AddRow({"kv partitions / watch losses", std::to_string(cm.kv_partitions) + " / " +
+                                                   std::to_string(cm.watch_losses)});
+    ct.AddRow({"scheduler crashes / recoveries", std::to_string(cm.scheduler_crashes) + " / " +
+                                                     std::to_string(cm.scheduler_recoveries)});
+    ct.AddRow({"mean recovery (s)", Table::Num(cm.MeanRecoveryMs() / kMsPerSecond, 2)});
+    ct.AddRow({"retries (sanctioned backoff)", std::to_string(cm.retries)});
+    ct.AddRow({"stale / unavailable reads",
+               std::to_string(cm.stale_reads) + " / " + std::to_string(cm.unavailable_reads)});
+    ct.AddRow({"watch delivered / dropped / lost",
+               std::to_string(cm.watch_delivered) + " / " + std::to_string(cm.watch_dropped) +
+                   " / " + std::to_string(cm.watch_lost_partition)});
+    ct.AddRow({"configs published / applied / lost",
+               std::to_string(cm.configs_published) + " / " + std::to_string(cm.configs_applied) +
+                   " / " + std::to_string(cm.configs_lost())});
+    ct.AddRow({"stale recovery-scan entries", std::to_string(cm.stale_scan_entries)});
+    std::printf("%s", ct.ToString().c_str());
   }
 
   if (!args.csv.empty()) {

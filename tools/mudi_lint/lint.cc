@@ -576,6 +576,97 @@ void CheckTimeUnits(const std::string& path, const std::vector<Token>& tokens,
 }
 
 // ---------------------------------------------------------------------------
+// mudi-retry
+// ---------------------------------------------------------------------------
+
+// Retry/backoff control flow is confined to src/common/retry.h (Retrier +
+// BackoffDelayMs: capped exponential backoff, deterministic jitter, deadline,
+// total_retries() accounting). Everywhere else, two shapes are banned:
+//   (a) a while/for whose condition mentions a retry/attempt/backoff counter
+//       — an ad-hoc retry loop with its own (unaudited) backoff policy;
+//   (b) a Simulator schedule call (ScheduleAfter/ScheduleAt/SchedulePeriodic)
+//       whose argument span performs a KvStore control-plane read
+//       (CtrlGet/CtrlList/GetRequired/List) — naked polling that re-arms
+//       itself instead of going through Retrier, so it neither backs off nor
+//       shows up in the ctrl.retries telemetry.
+
+bool IsRetryIdentifier(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower.find("retry") != std::string::npos ||
+         lower.find("retries") != std::string::npos ||
+         lower.find("attempt") != std::string::npos ||
+         lower.find("backoff") != std::string::npos;
+}
+
+const std::unordered_set<std::string>& KvReadApis() {
+  static const std::unordered_set<std::string> kSet = {
+      "CtrlGet", "CtrlList", "GetRequired", "List",
+  };
+  return kSet;
+}
+
+void CheckRetry(const std::string& path, const std::vector<Token>& tokens,
+                std::vector<Finding>* findings) {
+  if (EndsWith(path, "src/common/retry.h")) {
+    return;  // the sanctioned retry/backoff implementation
+  }
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Token::Kind::kIdentifier || tokens[i + 1].kind != Token::Kind::kPunct ||
+        tokens[i + 1].text != "(") {
+      continue;
+    }
+    bool loop_head = tok.text == "while" || tok.text == "for";
+    bool schedule_call = tok.text == "ScheduleAfter" || tok.text == "ScheduleAt" ||
+                         tok.text == "SchedulePeriodic";
+    if (!loop_head && !schedule_call) {
+      continue;
+    }
+    // Scan the balanced-paren span: for loops that is the condition (plus the
+    // init/step of a `for`, which is fine — a retry counter there is still a
+    // retry loop); for schedule calls it includes any lambda body argument.
+    int depth = 1;
+    size_t j = i + 2;
+    bool flagged = false;
+    while (j < tokens.size() && depth > 0 && !flagged) {
+      const Token& t = tokens[j];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "(") {
+          ++depth;
+        } else if (t.text == ")") {
+          --depth;
+        }
+      } else if (t.kind == Token::Kind::kIdentifier) {
+        if (loop_head && IsRetryIdentifier(t.text)) {
+          findings->push_back(
+              {path, tok.line, "mudi-retry", Severity::kError,
+               "ad-hoc retry loop ('" + t.text + "' drives a '" + tok.text +
+                   "'); route re-attempts through Retrier (src/common/retry.h) so backoff "
+                   "is capped, deterministically jittered, and counted in ctrl.retries"});
+          flagged = true;
+        } else if (schedule_call && KvReadApis().count(t.text) != 0 && j > 0 &&
+                   tokens[j - 1].kind == Token::Kind::kPunct &&
+                   (tokens[j - 1].text == "." || tokens[j - 1].text == "->") &&
+                   j + 1 < tokens.size() && tokens[j + 1].kind == Token::Kind::kPunct &&
+                   tokens[j + 1].text == "(") {
+          findings->push_back(
+              {path, t.line, "mudi-retry", Severity::kError,
+               "'" + t.text + "()' inside a " + tok.text +
+                   " argument is naked KvStore polling; use Retrier::Start "
+                   "(src/common/retry.h) so the re-read backs off and is accounted for"});
+          flagged = true;
+        }
+      }
+      ++j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // mudi-include
 // ---------------------------------------------------------------------------
 
@@ -646,7 +737,7 @@ std::string Finding::ToString() const {
 
 std::vector<std::string> CheckNames() {
   return {"mudi-determinism", "mudi-fit-thread", "mudi-float-eq", "mudi-include",
-          "mudi-status", "mudi-time-unit"};
+          "mudi-retry", "mudi-status", "mudi-time-unit"};
 }
 
 std::vector<Token> Tokenize(std::string_view content) {
@@ -717,6 +808,9 @@ std::vector<Finding> LintFile(const std::string& path, std::string_view content,
   }
   if (CheckEnabled(options, "mudi-time-unit")) {
     CheckTimeUnits(path, tokenized.tokens, &findings);
+  }
+  if (CheckEnabled(options, "mudi-retry")) {
+    CheckRetry(path, tokenized.tokens, &findings);
   }
   if (CheckEnabled(options, "mudi-include")) {
     CheckIncludeHygiene(path, tokenized, &findings);

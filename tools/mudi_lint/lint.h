@@ -28,6 +28,14 @@
 //                      named constant so the unit is visible.
 //   mudi-include       include hygiene: a .cc file includes its own header
 //                      first; headers never contain `using namespace`.
+//   mudi-retry         retry/backoff control flow outside src/common/retry.h:
+//                      a while/for condition driven by a retry/attempt/backoff
+//                      counter (an ad-hoc retry loop), or a Simulator schedule
+//                      call whose argument span performs a KvStore control
+//                      read (CtrlGet/CtrlList/GetRequired/List) — naked
+//                      polling that re-arms itself. All control-plane
+//                      re-attempts go through Retrier so backoff is capped,
+//                      deterministic, and counted in ctrl.retries.
 //
 // Suppression: append `// NOLINT(mudi-<check>)` to the offending line or put
 // `// NOLINTNEXTLINE(mudi-<check>)` on the line above, with a justification
