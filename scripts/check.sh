@@ -27,14 +27,23 @@
 #            (CtrlFault*/ControlFault*/KvStore*), retry/backoff (Retr*), and
 #            the determinism replays — under the ASan+UBSan tree. Opt-in via
 #            --chaos. Reuses build-asan when the asan stage already built it.
+#   replay   decision-trace record/replay smoke under the ASan+UBSan tree.
+#            Records a smoke run and fidelity-replays it (mudi_cli
+#            --replay-verify fails unless the replayed metrics are
+#            byte-identical and >=90% of profiler invocations were served
+#            from the trace), then counterfactual-replays the trace: the
+#            same policy must reproduce every recorded decision, and the
+#            device-only ablation's what-if trace must trace_diff cleanly
+#            against the source. Opt-in via --replay; reuses build-asan.
 #
-# Usage: scripts/check.sh [--fast | --sanitize | --tsan | --bench | --chaos ...] [build-dir]
+# Usage: scripts/check.sh [--fast | --sanitize | --tsan | --bench | --chaos | --replay ...] [build-dir]
 #   (no flags)   lint + format + build + tests + asan
 #   --fast       lint + format + build + tests (skip all sanitizer trees)
 #   --sanitize   lint + asan tree only (the pre-existing deep-memory gate)
 #   --tsan       lint + tsan tree only; combine with --sanitize to run both
 #   --bench      additionally run the bench smoke stage (any mode)
 #   --chaos      additionally run the fault suites under ASan (any mode)
+#   --replay     additionally run the record/replay smoke under ASan (any mode)
 #   build-dir    plain-tree build directory (default: build). Sanitizer trees
 #                always use build-asan / build-tsan.
 #
@@ -49,6 +58,7 @@ RUN_ASAN=1
 RUN_TSAN=0
 RUN_BENCH=0
 RUN_CHAOS=0
+RUN_REPLAY=0
 FAST_MODE=0
 EXPLICIT_MODE=0
 BUILD_DIR="build"
@@ -84,6 +94,9 @@ while [ $# -gt 0 ]; do
       ;;
     --chaos)
       RUN_CHAOS=1
+      ;;
+    --replay)
+      RUN_REPLAY=1
       ;;
     -h|--help)
       sed -n '2,34p' "$0"
@@ -328,6 +341,68 @@ if [ "$RUN_CHAOS" -eq 1 ]; then
   record "chaos" "$CHAOS_RESULT"
 else
   record "chaos" SKIP
+fi
+
+# -- replay: record/replay smoke under ASan (opt-in) --------------------------
+if [ "$RUN_REPLAY" -eq 1 ]; then
+  echo "== replay: decision-trace record/replay smoke under ASan+UBSan =="
+  REPLAY_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+  REPLAY_ENV="ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 UBSAN_OPTIONS=print_stacktrace=1"
+  REPLAY_RESULT=PASS
+  REPLAY_TRACE=$(mktemp -t mudi_replay_smoke.XXXXXX.trace)
+  WHATIF_TRACE=$(mktemp -t mudi_replay_whatif.XXXXXX.trace)
+  if cmake -B build-asan -S . \
+       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DCMAKE_CXX_FLAGS="$REPLAY_FLAGS" \
+       -DCMAKE_EXE_LINKER_FLAGS="$REPLAY_FLAGS" > /dev/null &&
+     cmake --build build-asan -j "$(nproc)" \
+       --target mudi_cli trace_diff > /dev/null; then
+    # (1) Record a smoke run, then fidelity-replay it: mudi_cli exits
+    # non-zero unless the replayed metrics are byte-identical to the
+    # recorded run AND >=90% of profiler invocations were served from the
+    # trace instead of recomputed.
+    if ! env $REPLAY_ENV build-asan/tools/mudi_cli \
+           --policy Mudi --tasks 24 --seed 7 --replay-verify "$REPLAY_TRACE"; then
+      echo "replay: record->replay fidelity check failed"
+      REPLAY_RESULT=FAIL
+    fi
+    # (2) Same-policy counterfactual: with no simulation at all, Mudi over
+    # its own trace must reproduce every recorded decision.
+    if [ "$REPLAY_RESULT" = PASS ]; then
+      WHATIF_OUT=$(env $REPLAY_ENV build-asan/tools/mudi_cli \
+                     --whatif "$REPLAY_TRACE" --policy Mudi)
+      if [ $? -ne 0 ] || ! echo "$WHATIF_OUT" | grep -q "no divergence"; then
+        echo "replay: same-policy counterfactual failed to reproduce the trace"
+        echo "$WHATIF_OUT"
+        REPLAY_RESULT=FAIL
+      fi
+    fi
+    # (3) Cross-policy counterfactual + diff: the device-only ablation
+    # writes its what-if trace, and trace_diff must align it against the
+    # source (exit 1 = diverged is expected; only exit 2 = bad input fails).
+    if [ "$REPLAY_RESULT" = PASS ]; then
+      if ! env $REPLAY_ENV build-asan/tools/mudi_cli \
+             --whatif "$REPLAY_TRACE" --policy Mudi-device-only \
+             --record "$WHATIF_TRACE" > /dev/null; then
+        echo "replay: cross-policy counterfactual run failed"
+        REPLAY_RESULT=FAIL
+      else
+        env $REPLAY_ENV build-asan/tools/trace_diff \
+          "$REPLAY_TRACE" "$WHATIF_TRACE" > /dev/null
+        if [ $? -eq 2 ]; then
+          echo "replay: trace_diff rejected the recorded/what-if trace pair"
+          REPLAY_RESULT=FAIL
+        fi
+      fi
+    fi
+  else
+    echo "replay: failed to build mudi_cli/trace_diff under ASan"
+    REPLAY_RESULT=FAIL
+  fi
+  rm -f "$REPLAY_TRACE" "$WHATIF_TRACE"
+  record "replay" "$REPLAY_RESULT"
+else
+  record "replay" SKIP
 fi
 
 summary_and_exit

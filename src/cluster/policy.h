@@ -30,6 +30,10 @@ class Telemetry;
 namespace perf {
 class PerfCollector;
 }  // namespace perf
+namespace replay {
+class DecisionRecorder;
+class ReplaySource;
+}  // namespace replay
 
 // Planning latency budget for one batch (paper Eq. 2 first constraint):
 // (W/b)·P <= SLO  ⇔  P <= SLO·b/W. The literal constraint alone permits
@@ -104,6 +108,17 @@ class SchedulingEnv {
   // counters; null when the harness runs unprofiled. Observe-only, like
   // telemetry: a profiled and an unprofiled run must be bit-identical.
   virtual perf::PerfCollector* perf() { return nullptr; }
+
+  // Decision-trace recorder (src/replay); null when the run is not being
+  // recorded. Observe-only, like telemetry and perf: a recorded run must be
+  // bit-identical to an unrecorded same-seed run. Policies use it to attach
+  // candidate sets/scores to the decision the harness opened.
+  virtual replay::DecisionRecorder* recorder() { return nullptr; }
+
+  // Recorded-observation source (src/replay); non-null only in replay mode.
+  // Policies that fit models from offline profiles (Mudi) check it in
+  // Initialize to preload recorded curves instead of re-profiling.
+  virtual replay::ReplaySource* replay() { return nullptr; }
 };
 
 class MultiplexPolicy {

@@ -114,6 +114,11 @@ void LatencyProfiler::AddMeasuredCurve(const CurveKey& key, std::vector<double> 
   curves_[curve.key] = std::move(curve);
 }
 
+void LatencyProfiler::InjectCurve(ProfiledCurve curve) {
+  std::sort(curve.key.training_types.begin(), curve.key.training_types.end());
+  curves_[curve.key] = std::move(curve);
+}
+
 namespace {
 
 std::string JoinDoubles(const std::vector<double>& values, char sep) {

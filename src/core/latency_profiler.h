@@ -76,6 +76,13 @@ class LatencyProfiler {
   void AddMeasuredCurve(const CurveKey& key, std::vector<double> fractions,
                         std::vector<double> latencies);
 
+  // Stores a curve exactly as given — no oracle measurement, no refit. The
+  // decision-trace replay path preloads recorded offline curves this way so
+  // a replayed run predicts from bit-identical models without re-profiling
+  // (total_measurements() stays 0, which is how the replay gate proves the
+  // profiler was skipped).
+  void InjectCurve(ProfiledCurve curve);
+
   const std::map<CurveKey, ProfiledCurve>& curves() const { return curves_; }
   const ProfiledCurve* FindCurve(const CurveKey& key) const;
 

@@ -141,12 +141,9 @@ void MemoryManager::RecordSwap(const SwapRecord& record) {
 }
 
 double MemoryManager::SwapSlowdownFactor(const TrainingInstance& training) {
-  if (training.mem_required_mb <= 0.0) {
-    return 1.0;
-  }
-  double swapped_frac = training.mem_swapped_mb / training.mem_required_mb;
-  // Paged UM access: up to ~2.2x slower when most state lives on the host.
-  return 1.0 + 1.5 * swapped_frac;
+  // The model itself lives in src/gpu so the decision-trace replay
+  // environments can apply it without a src/core dependency.
+  return ::mudi::SwapSlowdownFactor(training);
 }
 
 }  // namespace mudi

@@ -9,6 +9,8 @@
 #include "src/common/wallclock.h"
 #include "src/ml/fit_cache.h"
 #include "src/perf/perf_collector.h"
+#include "src/replay/decision_recorder.h"
+#include "src/replay/replay_source.h"
 #include "src/telemetry/telemetry.h"
 
 namespace mudi {
@@ -44,8 +46,42 @@ std::string MudiPolicy::name() const {
   return "Mudi";
 }
 
+void MudiPolicy::EnsureFittedFromProfiler() {
+  if (modeler_.fitted()) {
+    return;
+  }
+  modeler_.AddSamplesFromProfiler(profiler_);
+  modeler_.Fit();
+}
+
 void MudiPolicy::Initialize(SchedulingEnv& env) {
   if (initialized_) {
+    return;
+  }
+  if (replay::ReplaySource* source = env.replay()) {
+    // Replay mode: the recorded offline curves substitute for profiling and
+    // the recorded predictions substitute for the learner, so neither the
+    // oracle sweep nor the fit runs here (profiler_.total_measurements()
+    // stays 0 — the replay gate asserts on it). The learner fit is deferred
+    // to the first prediction that misses the trace, if any.
+    for (const replay::TraceCurve& recorded : source->curves()) {
+      ProfiledCurve curve;
+      curve.key.service_index = recorded.service_index;
+      curve.key.batch = recorded.batch;
+      curve.key.training_types.assign(recorded.training_types.begin(),
+                                      recorded.training_types.end());
+      curve.model.k1 = recorded.k1;
+      curve.model.k2 = recorded.k2;
+      curve.model.x0 = recorded.x0;
+      curve.model.y0 = recorded.y0;
+      curve.sample_fractions = recorded.sample_fractions;
+      curve.sample_latencies = recorded.sample_latencies;
+      profiler_.InjectCurve(std::move(curve));
+    }
+    predictor_->SetReplay(source, [this] { EnsureFittedFromProfiler(); });
+    initialized_ = true;
+    MUDI_LOG(Info) << name() << ": replaying " << profiler_.curves().size()
+                   << " recorded curves, profiling skipped";
     return;
   }
   {
@@ -67,6 +103,26 @@ void MudiPolicy::Initialize(SchedulingEnv& env) {
     // Snapshot-style, observe-only: how much of the fit the FitCache absorbed.
     env.perf()->SetCounter("mudi.fit_shards_cached", modeler_.last_fit_cached());
     env.perf()->SetCounter("mudi.fit_shards_computed", modeler_.last_fit_computed());
+  }
+  if (replay::DecisionRecorder* recorder = env.recorder()) {
+    // Dump the *offline* curve store into the trace so a replayed run can
+    // preload it. Online refreshes (AddMeasuredCurve) happen after this and
+    // are re-derived identically during a fidelity replay from the recorded
+    // probe observations, so they are deliberately not recorded.
+    for (const auto& [key, curve] : profiler_.curves()) {
+      replay::TraceCurve out;
+      out.service_index = static_cast<uint32_t>(key.service_index);
+      out.batch = key.batch;
+      out.training_types.assign(key.training_types.begin(), key.training_types.end());
+      out.k1 = curve.model.k1;
+      out.k2 = curve.model.k2;
+      out.x0 = curve.model.x0;
+      out.y0 = curve.model.y0;
+      out.sample_fractions = curve.sample_fractions;
+      out.sample_latencies = curve.sample_latencies;
+      recorder->RecordCurve(out);
+    }
+    predictor_->SetRecorder(recorder);
   }
   initialized_ = true;
   MUDI_LOG(Info) << name() << ": offline profiling done, "
@@ -126,6 +182,7 @@ void MudiPolicy::DistributeTrainingShares(SchedulingEnv& env, int device_id,
 void MudiPolicy::TuneDevice(SchedulingEnv& env, int device_id, bool on_placement,
                             int probe_task_id) {
   perf::PerfRegion tune_region(env.perf(), "mudi.tune_device");
+  tuner_.SetPerf(env.perf());
   const GpuDevice& device = env.device(device_id);
   MUDI_CHECK(device.has_inference());
   size_t service_index = device.inference().service_index;

@@ -89,6 +89,10 @@ class MudiPolicy : public MultiplexPolicy {
   // Static (tuner-disabled) configuration for Fig. 13(a).
   void ApplyStaticConfig(SchedulingEnv& env, int device_id);
   void DistributeTrainingShares(SchedulingEnv& env, int device_id, double inference_fraction);
+  // Deferred modeler fit for replay mode: a replayed run preloads recorded
+  // curves and predictions, so the (expensive) learner fit only happens if a
+  // prediction actually misses the trace.
+  void EnsureFittedFromProfiler();
 
   Options options_;
   LatencyProfiler profiler_;

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/replay/decision_recorder.h"
+#include "src/replay/replay_source.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -24,6 +26,29 @@ PiecewiseLinearModel InterferencePredictor::PredictCurve(size_t service_index,
   if (const ProfiledCurve* curve = profiler_->FindCurve(key)) {
     return curve->model;
   }
+  std::vector<uint32_t> mix32;
+  if (replay_ != nullptr || recorder_ != nullptr) {
+    mix32.reserve(training_types.size());
+    for (size_t type : training_types) {
+      mix32.push_back(static_cast<uint32_t>(type));
+    }
+  }
+  if (replay_ != nullptr) {
+    if (auto recorded =
+            replay_->TakePrediction(static_cast<uint32_t>(service_index), batch, mix32)) {
+      PiecewiseLinearModel model;
+      model.k1 = recorded->k1;
+      model.k2 = recorded->k2;
+      model.x0 = recorded->x0;
+      model.y0 = recorded->y0;
+      return model;
+    }
+    // A mix the recorded run never predicted: fall through to the live
+    // learner, fitting it lazily on this first miss.
+    if (ensure_fitted_) {
+      ensure_fitted_();
+    }
+  }
   // Unseen mix: learner over the cumulative architecture (§4.2, §5.5).
   const auto& tasks = ModelZoo::TrainingTasks();
   NetworkArchitecture cumulative;
@@ -31,7 +56,12 @@ PiecewiseLinearModel InterferencePredictor::PredictCurve(size_t service_index,
     MUDI_CHECK_LT(type, tasks.size());
     cumulative = cumulative.Plus(tasks[type].arch);
   }
-  return modeler_->Predict(service_index, cumulative, batch);
+  PiecewiseLinearModel model = modeler_->Predict(service_index, cumulative, batch);
+  if (recorder_ != nullptr) {
+    recorder_->RecordPrediction(static_cast<uint32_t>(service_index), batch, mix32, model.k1,
+                                model.k2, model.x0, model.y0);
+  }
+  return model;
 }
 
 double InterferencePredictor::InterferenceScore(
@@ -85,6 +115,10 @@ std::optional<int> DeviceSelector::Select(SchedulingEnv& env,
                                           const TrainingTaskInfo& task) const {
   double best_score = std::numeric_limits<double>::infinity();
   std::optional<int> best_device;
+  replay::DecisionRecorder* recorder = env.recorder();
+  if (recorder != nullptr && !recorder->decision_open()) {
+    recorder = nullptr;
+  }
   for (const GpuDevice& device : env.devices()) {
     if (!Eligible(env, device, task)) {
       continue;
@@ -104,6 +138,9 @@ std::optional<int> DeviceSelector::Select(SchedulingEnv& env,
     double projected = device.MemoryRequiredMb() + TrainingMemoryMb(*task.spec);
     double overflow_mb = std::max(0.0, projected - device.memory_mb());
     score *= 1.0 + overflow_mb / 10000.0;
+    if (recorder != nullptr) {
+      recorder->AddCandidate(device.id(), score);
+    }
     if (score < best_score) {
       best_score = score;
       best_device = device.id();

@@ -13,6 +13,7 @@
 #ifndef SRC_CORE_ONLINE_MULTIPLEXER_H_
 #define SRC_CORE_ONLINE_MULTIPLEXER_H_
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <utility>
@@ -25,9 +26,25 @@
 
 namespace mudi {
 
+namespace replay {
+class DecisionRecorder;
+class ReplaySource;
+}  // namespace replay
+
 class InterferencePredictor {
  public:
   InterferencePredictor(const LatencyProfiler* profiler, const InterferenceModeler* modeler);
+
+  // Decision-trace hooks (src/replay). The recorder is observe-only: every
+  // learner-backed prediction is appended to the trace. The replay source
+  // substitutes recorded predictions for live modeler calls; `ensure_fitted`
+  // is invoked before the first live fallback so a replay run can defer the
+  // expensive modeler fit until (unless) a prediction actually misses.
+  void SetRecorder(replay::DecisionRecorder* recorder) { recorder_ = recorder; }
+  void SetReplay(replay::ReplaySource* replay, std::function<void()> ensure_fitted) {
+    replay_ = replay;
+    ensure_fitted_ = std::move(ensure_fitted);
+  }
 
   // Latency curve of service `service_index` at batching size `batch` when
   // co-located with training tasks of the given type indices (sorted or
@@ -47,6 +64,9 @@ class InterferencePredictor {
  private:
   const LatencyProfiler* profiler_;
   const InterferenceModeler* modeler_;
+  replay::DecisionRecorder* recorder_ = nullptr;
+  replay::ReplaySource* replay_ = nullptr;
+  std::function<void()> ensure_fitted_;
   // Score memoization: the score is a pure function of (service, mix), and
   // cluster-wide selection evaluates the same handful of mixes across
   // hundreds of devices.

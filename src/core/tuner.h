@@ -84,6 +84,12 @@ class Tuner {
 
   const Options& options() const { return options_; }
 
+  // Routes the BO's fine-grained self-profiling regions (kernel build,
+  // Cholesky, acquisition scan) to the run's collector. Observe-only; the
+  // policy re-points it per tuning call because the collector belongs to the
+  // harness, not the tuner.
+  void SetPerf(perf::PerfCollector* perf) { options_.bo.perf = perf; }
+
  private:
   double MarginedFraction(double raw) const;
 

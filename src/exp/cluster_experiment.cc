@@ -7,6 +7,10 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/common/wallclock.h"
+#include "src/replay/decision_recorder.h"
+#include "src/replay/probe_key.h"
+#include "src/replay/replay_source.h"
 
 namespace mudi {
 namespace {
@@ -38,6 +42,50 @@ double WeightedP99(const std::vector<std::pair<double, double>>& samples) {
   }
   return sorted.back().first;
 }
+
+// RAII decision scope around one policy hook: opens the recorder's decision,
+// snapshots the state the policy can observe (all devices for cluster-wide
+// hooks, just the target for per-device ones), and measures the hook's wall
+// latency. A null recorder makes the whole scope a no-op — the timer is not
+// even started, so an unrecorded run never reads the clock here.
+class DecisionScope {
+ public:
+  enum class Snapshot { kNone, kDevice, kAll };
+
+  DecisionScope(replay::DecisionRecorder* recorder, ClusterState& cluster,
+                replay::HookKind hook, double sim_ms, Snapshot snapshot, int device_id = -1,
+                int task_id = -1, int type_index = -1)
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) {
+      return;
+    }
+    recorder_->BeginDecision(hook, sim_ms, device_id, task_id, type_index);
+    if (snapshot == Snapshot::kAll) {
+      for (const GpuDevice& dev : cluster.devices()) {
+        recorder_->AddSnapshotDevice(replay::MakeSnapshotDevice(dev));
+      }
+    } else if (snapshot == Snapshot::kDevice) {
+      recorder_->AddSnapshotDevice(
+          replay::MakeSnapshotDevice(cluster.device(static_cast<size_t>(device_id))));
+    }
+    timer_.Restart();
+  }
+
+  ~DecisionScope() {
+    if (recorder_ != nullptr) {
+      recorder_->EndDecision(timer_.ElapsedMs() * 1000.0);
+    }
+  }
+
+  DecisionScope(const DecisionScope&) = delete;
+  DecisionScope& operator=(const DecisionScope&) = delete;
+
+  replay::DecisionRecorder* recorder() { return recorder_; }
+
+ private:
+  replay::DecisionRecorder* recorder_;
+  WallTimer timer_{WallTimer::Unstarted{}};
+};
 
 }  // namespace
 
@@ -135,11 +183,22 @@ const InferenceServiceSpec& ClusterExperiment::ServiceOnDevice(int device_id) co
 }
 
 double ClusterExperiment::MeasuredQps(int device_id) {
-  return replicas_[static_cast<size_t>(device_id)].monitor.CurrentQps(sim_.Now());
+  double qps = replicas_[static_cast<size_t>(device_id)].monitor.CurrentQps(sim_.Now());
+  // Policy-facing monitor reads made inside a decision are part of the
+  // decision's observation set (harness-internal reads go straight to the
+  // monitor and are not recorded).
+  if (options_.recorder != nullptr && options_.recorder->decision_open()) {
+    options_.recorder->RecordQpsFeedback(sim_.Now(), device_id, /*is_p99=*/false, qps);
+  }
+  return qps;
 }
 
 double ClusterExperiment::MeasuredP99(int device_id) {
-  return replicas_[static_cast<size_t>(device_id)].monitor.P99LatencyMs();
+  double p99 = replicas_[static_cast<size_t>(device_id)].monitor.P99LatencyMs();
+  if (options_.recorder != nullptr && options_.recorder->decision_open()) {
+    options_.recorder->RecordQpsFeedback(sim_.Now(), device_id, /*is_p99=*/true, p99);
+  }
+  return p99;
 }
 
 std::vector<ColocatedTraining> ClusterExperiment::ActiveColocation(const GpuDevice& dev) const {
@@ -159,19 +218,47 @@ InferenceLoad ClusterExperiment::CurrentInferenceLoad(int device_id) {
   load.spec = &ServiceOnDevice(device_id);
   load.batch_size = dev.inference().batch_size;
   load.gpu_fraction = dev.inference().gpu_fraction;
-  load.qps = MeasuredQps(device_id);
+  // Direct monitor read, NOT MeasuredQps: this is harness-internal plumbing
+  // for probe construction, and the decision trace must only carry the
+  // policy's own feedback reads (every probe already embeds the QPS in its
+  // content key).
+  load.qps = replicas_[static_cast<size_t>(device_id)].monitor.CurrentQps(sim_.Now());
   return load;
 }
 
 double ClusterExperiment::ProbeInferenceLatencyMs(int device_id, int batch,
                                                   double gpu_fraction) {
   const GpuDevice& dev = device(device_id);
+  uint64_t key = 0;
+  if (options_.recorder != nullptr || options_.replay != nullptr) {
+    replay::ColocationMix mix;
+    mix.reserve(dev.trainings().size());
+    for (const auto& t : dev.trainings()) {
+      if (!t.paused) {
+        mix.emplace_back(static_cast<uint32_t>(t.type_index), t.gpu_fraction);
+      }
+    }
+    key = replay::InferenceProbeKey(static_cast<uint32_t>(dev.inference().service_index), batch,
+                                    gpu_fraction, mix, dev.EffectiveComputeScale());
+    if (options_.replay != nullptr) {
+      if (auto recorded = options_.replay->TakeObservation(key)) {
+        // Served from the trace: the oracle and probe_rng_ are untouched, so
+        // the replayed noise stream stays aligned with the recorded run.
+        return *recorded;
+      }
+    }
+  }
   auto colocated = ActiveColocation(dev);
   double lat = oracle_
                    .ObserveInferenceBatchLatency(ServiceOnDevice(device_id), batch, gpu_fraction,
                                                  colocated, probe_rng_)
                    .total_ms();
-  return lat / dev.EffectiveComputeScale();
+  lat /= dev.EffectiveComputeScale();
+  if (options_.recorder != nullptr) {
+    options_.recorder->RecordObservation(replay::ObsKind::kProbeInference, sim_.Now(), device_id,
+                                         key, lat);
+  }
+  return lat;
 }
 
 double ClusterExperiment::ProbeTrainingIterMs(int device_id, int task_id, double train_fraction,
@@ -196,8 +283,7 @@ double ClusterExperiment::ProbeTrainingIterMs(int device_id, int task_id, double
     }
   }
   double frac = train_fraction > 0.0 ? train_fraction : instance->gpu_fraction;
-  double iter = oracle_.ObserveTrainingIterationMs(spec, std::clamp(frac, 0.02, 1.0), load,
-                                                   others, probe_rng_);
+  double clamped = std::clamp(frac, 0.02, 1.0);
   // The what-if must anticipate the memory pressure of the probed inference
   // batch: a larger batch can force this task's working set to swap, and the
   // Training Agent would observe those slower (paged) iterations.
@@ -211,13 +297,47 @@ double ClusterExperiment::ProbeTrainingIterMs(int device_id, int task_id, double
     double deficit = std::max(0.0, required - dev.memory_mb());
     hypothetical.mem_swapped_mb = std::min(deficit, 0.85 * instance->mem_required_mb);
   }
-  return iter * MemoryManager::SwapSlowdownFactor(hypothetical) / dev.EffectiveComputeScale();
+  double swap_factor = MemoryManager::SwapSlowdownFactor(hypothetical);
+
+  uint64_t key = 0;
+  if (options_.recorder != nullptr || options_.replay != nullptr) {
+    replay::ColocationMix others_mix;
+    others_mix.reserve(others.size());
+    for (const auto& t : dev.trainings()) {
+      if (!t.paused && t.task_id != task_id) {
+        others_mix.emplace_back(static_cast<uint32_t>(t.type_index), t.gpu_fraction);
+      }
+    }
+    key = replay::TrainingProbeKey(
+        static_cast<uint32_t>(instance->type_index), clamped,
+        static_cast<uint32_t>(dev.inference().service_index), load.batch_size, load.gpu_fraction,
+        load.qps, others_mix, swap_factor, dev.EffectiveComputeScale());
+    if (options_.replay != nullptr) {
+      if (auto recorded = options_.replay->TakeObservation(key)) {
+        return *recorded;
+      }
+    }
+  }
+  double iter = oracle_.ObserveTrainingIterationMs(spec, clamped, load, others, probe_rng_);
+  double result = iter * swap_factor / dev.EffectiveComputeScale();
+  if (options_.recorder != nullptr) {
+    options_.recorder->RecordObservation(replay::ObsKind::kProbeTraining, sim_.Now(), device_id,
+                                         key, result);
+  }
+  return result;
 }
 
 void ClusterExperiment::ApplyInferenceConfig(int device_id, int batch, double gpu_fraction) {
   MUDI_CHECK_GT(batch, 0);
   MUDI_CHECK_GT(gpu_fraction, 0.0);
   MUDI_CHECK_LE(gpu_fraction, 1.0);
+  // Record the policy's intent at the actuation boundary (before the
+  // control-plane/no-op branches): the trace captures what was decided, not
+  // what the (possibly degraded) delivery path made of it.
+  if (options_.recorder != nullptr && options_.recorder->decision_open()) {
+    options_.recorder->AddAction(replay::ActionKind::kApplyInferenceConfig, device_id, batch,
+                                 gpu_fraction);
+  }
   if (!ctrl_enabled_) {
     ApplyInferenceConfigDirect(device_id, batch, gpu_fraction);
     return;
@@ -300,6 +420,10 @@ void ClusterExperiment::ApplyInferenceConfigDirect(int device_id, int batch,
 
 void ClusterExperiment::ApplyTrainingFraction(int device_id, int task_id, double fraction) {
   MUDI_CHECK_GT(fraction, 0.0);
+  if (options_.recorder != nullptr && options_.recorder->decision_open()) {
+    options_.recorder->AddAction(replay::ActionKind::kApplyTrainingFraction, device_id, task_id,
+                                 fraction);
+  }
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
   if (!dev.healthy()) {
     return;
@@ -312,6 +436,10 @@ void ClusterExperiment::ApplyTrainingFraction(int device_id, int task_id, double
 }
 
 void ClusterExperiment::SetTrainingPaused(int device_id, int task_id, bool paused) {
+  if (options_.recorder != nullptr && options_.recorder->decision_open()) {
+    options_.recorder->AddAction(replay::ActionKind::kSetTrainingPaused, device_id, task_id,
+                                 paused ? 1.0 : 0.0);
+  }
   GpuDevice& dev = cluster_.device(static_cast<size_t>(device_id));
   if (!dev.healthy()) {
     return;
@@ -722,6 +850,13 @@ void ClusterExperiment::OnDeviceDown(int device_id, bool permanent, TimeMs now) 
   // A crashed scheduler observes nothing: the failure shows up in its
   // recovery scan instead, and OnControlPlaneRestart drops stale caches.
   if (scheduler_up_) {
+    DecisionScope scope(options_.recorder, cluster_, replay::HookKind::kOnDeviceFailed, now,
+                        DecisionScope::Snapshot::kDevice, device_id);
+    if (scope.recorder() != nullptr) {
+      for (const auto& t : displaced) {
+        scope.recorder()->AddDisplaced(t.task_id, static_cast<uint32_t>(t.type_index));
+      }
+    }
     policy_->OnDeviceFailed(*this, device_id, displaced);
   }
   TryDispatchQueue();
@@ -761,6 +896,8 @@ void ClusterExperiment::OnDeviceUp(int device_id, TimeMs now) {
   MUDI_LOG(Info) << "device " << device_id << " recovered at t=" << now / kMsPerSecond << "s";
 
   if (scheduler_up_) {
+    DecisionScope scope(options_.recorder, cluster_, replay::HookKind::kOnDeviceRecovered, now,
+                        DecisionScope::Snapshot::kDevice, device_id);
     policy_->OnDeviceRecovered(*this, device_id);
   }
   TryDispatchQueue();
@@ -1027,7 +1164,11 @@ void ClusterExperiment::FinishSchedulerRecovery() {
   }
   // The reconstructed view may be stale: drop policy caches and force a full
   // retune sweep at the next MonitorTick (stale-trigger every replica).
-  policy_->OnControlPlaneRestart(*this);
+  {
+    DecisionScope scope(options_.recorder, cluster_, replay::HookKind::kOnControlPlaneRestart,
+                        now, DecisionScope::Snapshot::kNone);
+    policy_->OnControlPlaneRestart(*this);
+  }
   for (auto& r : replicas_) {
     r.last_trigger_ms = now - options_.periodic_retune_ms;
   }
@@ -1070,8 +1211,14 @@ void ClusterExperiment::TryDispatchQueue() {
     info.spec = &ModelZoo::TrainingTasks()[next->arrival.type_index];
     std::optional<int> choice;
     {
+      DecisionScope scope(options_.recorder, cluster_, replay::HookKind::kSelectDevice,
+                          sim_.Now(), DecisionScope::Snapshot::kAll, /*device_id=*/-1,
+                          info.task_id, static_cast<int>(info.type_index));
       perf::PerfRegion region(perf_select_stat_);
       choice = policy_->SelectDevice(*this, info);
+      if (scope.recorder() != nullptr) {
+        scope.recorder()->SetChosenDevice(choice.value_or(-1));
+      }
     }
     if (!choice.has_value()) {
       return;  // no capacity: stay queued
@@ -1147,6 +1294,9 @@ void ClusterExperiment::PlaceTask(const TrainingArrival& arrival, int device_id)
   info.type_index = arrival.type_index;
   info.spec = &spec;
   {
+    DecisionScope scope(options_.recorder, cluster_, replay::HookKind::kOnTrainingPlaced,
+                        sim_.Now(), DecisionScope::Snapshot::kDevice, device_id, info.task_id,
+                        static_cast<int>(info.type_index));
     perf::PerfRegion region(perf_place_stat_);
     policy_->OnTrainingPlaced(*this, device_id, info);
   }
@@ -1248,7 +1398,12 @@ void ClusterExperiment::OnTrainingComplete(int device_id, int task_id) {
   }
 
   RebalanceMemory(device_id);
-  policy_->OnTrainingCompleted(*this, device_id, task_id);
+  {
+    DecisionScope scope(options_.recorder, cluster_, replay::HookKind::kOnTrainingCompleted,
+                        sim_.Now(), DecisionScope::Snapshot::kDevice, device_id, task_id,
+                        static_cast<int>(record.type_index));
+    policy_->OnTrainingCompleted(*this, device_id, task_id);
+  }
   UpdateTrainingSpeeds(device_id);
   TryDispatchQueue();
 }
@@ -1281,6 +1436,8 @@ void ClusterExperiment::MonitorTick() {
     if (qps_trigger || slo_risk || has_paused || stale) {
       r.last_trigger_ms = sim_.Now();
       {
+        DecisionScope scope(options_.recorder, cluster_, replay::HookKind::kOnQpsChange,
+                            sim_.Now(), DecisionScope::Snapshot::kDevice, static_cast<int>(d));
         perf::PerfRegion region(perf_qps_stat_);
         policy_->OnQpsChange(*this, static_cast<int>(d));
       }
@@ -1383,7 +1540,23 @@ void ClusterExperiment::UtilSampleTick() {
 
 ExperimentResult ClusterExperiment::Run() {
   perf::PerfRegion run_region(perf(), "exp.run");
+  if (options_.recorder != nullptr) {
+    // Static per-device facts, once, so decision snapshots stay compact.
+    std::vector<replay::DeviceTableEntry> table;
+    table.reserve(cluster_.num_devices());
+    for (const GpuDevice& dev : cluster_.devices()) {
+      replay::DeviceTableEntry entry;
+      entry.device_id = dev.id();
+      entry.service_index = static_cast<uint32_t>(dev.inference().service_index);
+      entry.memory_mb = dev.memory_mb();
+      entry.compute_scale = dev.compute_scale();
+      table.push_back(entry);
+    }
+    options_.recorder->RecordDeviceTable(table);
+  }
   {
+    DecisionScope scope(options_.recorder, cluster_, replay::HookKind::kInitialize, sim_.Now(),
+                        DecisionScope::Snapshot::kAll);
     perf::PerfRegion region(perf(), "policy.initialize");
     policy_->Initialize(*this);
   }
@@ -1565,6 +1738,25 @@ ExperimentResult ClusterExperiment::Run() {
       served += r.served;
     }
     collector->SetCounter("exp.requests_served", static_cast<uint64_t>(served));
+  }
+
+  // End-of-run SLO attribution into the trace, so trace_diff can report
+  // outcome deltas between two recorded runs.
+  if (options_.recorder != nullptr) {
+    replay::TraceRunSummary summary;
+    summary.makespan_ms = result.makespan_ms;
+    summary.tasks_completed = result.CompletedTasks();
+    for (const auto& [name, m] : result.per_service) {
+      replay::TraceServiceSummary s;
+      s.service = name;
+      s.windows_total = m.windows_total;
+      s.windows_violated = m.windows_violated;
+      s.windows_violated_failure = m.windows_violated_failure;
+      s.served_requests = m.served_requests;
+      s.mean_latency_ms = m.mean_latency_ms;
+      summary.services.push_back(std::move(s));
+    }
+    options_.recorder->RecordRunSummary(summary);
   }
   return result;
 }

@@ -129,6 +129,18 @@ struct ExperimentOptions {
   // "policy.on_qps_change", "policy.initialize") and exports the simulator's
   // event totals at the end of Run().
   perf::PerfCollector* perf = nullptr;
+
+  // Decision-trace recorder (src/replay), not owned; null = no recording.
+  // Observe-only like perf: a recorded run must be bit-identical to an
+  // unrecorded same-seed run (determinism_test pins this too). The harness
+  // opens one decision scope per policy hook and streams every probe
+  // observation and feedback read into it.
+  replay::DecisionRecorder* recorder = nullptr;
+  // Recorded-observation source (src/replay), not owned; non-null switches
+  // the run to fidelity replay: probes and predictions are served from the
+  // trace instead of the oracle, and Mudi's Initialize preloads recorded
+  // curves instead of profiling.
+  replay::ReplaySource* replay = nullptr;
 };
 
 class ClusterExperiment : public SchedulingEnv, public FaultSink, public ControlFaultSink {
@@ -158,6 +170,8 @@ class ClusterExperiment : public SchedulingEnv, public FaultSink, public Control
   perf::PerfCollector* perf() override {
     return options_.perf != nullptr && options_.perf->enabled() ? options_.perf : nullptr;
   }
+  replay::DecisionRecorder* recorder() override { return options_.recorder; }
+  replay::ReplaySource* replay() override { return options_.replay; }
 
   // Total virtual time reached by the run (>= makespan; includes drain).
   // Bench_throughput divides this by wall time for sim-sec/wall-sec.

@@ -23,6 +23,15 @@ double TrainingMemoryMb(const TrainingTaskSpec& spec) {
          kRuntimeOverheadMb;
 }
 
+double SwapSlowdownFactor(const TrainingInstance& training) {
+  if (training.mem_required_mb <= 0.0) {
+    return 1.0;
+  }
+  double swapped_frac = training.mem_swapped_mb / training.mem_required_mb;
+  // Paged UM access: up to ~2.5x slower when most state lives on the host.
+  return 1.0 + 1.5 * swapped_frac;
+}
+
 GpuDevice::GpuDevice(int id, double memory_mb, double compute_scale)
     : id_(id), memory_mb_(memory_mb), compute_scale_(compute_scale) {
   MUDI_CHECK_GT(memory_mb, 0.0);

@@ -52,6 +52,12 @@ struct InferenceInstance {
 double InferenceMemoryMb(const InferenceServiceSpec& spec, int batch_size);
 double TrainingMemoryMb(const TrainingTaskSpec& spec);
 
+// Iteration-time slowdown factor (>= 1) for a training instance given its
+// current swap state: paged access over UM stalls compute. Lives here (not
+// in the Memory Manager) because it is a pure function of the instance that
+// both the live harness and the decision-trace replay environments apply.
+double SwapSlowdownFactor(const TrainingInstance& training);
+
 class GpuDevice {
  public:
   GpuDevice(int id, double memory_mb = ModelZoo::kGpuMemoryMb, double compute_scale = 1.0);

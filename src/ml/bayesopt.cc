@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/perf/perf_collector.h"
 
 namespace mudi {
 
@@ -39,6 +40,11 @@ BayesOptResult GpLcbOptimizer::Minimize(const Objective& objective,
   }
 
   GaussianProcess gp(options_.gp);
+  gp.SetPerf(options_.perf);
+  perf::LatencyStat* acq_stat =
+      options_.perf != nullptr && options_.perf->enabled()
+          ? &options_.perf->GetRegionStat("mudi.gp_lcb.acquisition")
+          : nullptr;
   auto to_feature = [&](double c) {
     return std::vector<double>{(c - scale_center_) / scale_half_};
   };
@@ -76,13 +82,16 @@ BayesOptResult GpLcbOptimizer::Minimize(const Objective& objective,
     // acquisition to avoid premature cycling.
     size_t pick = 0;
     double best_acq = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < feasible_candidates.size(); ++i) {
-      GpPosterior post = gp.Predict(to_feature(feasible_candidates[i]));
-      // Eq. (3): μ − β_n^{1/2}·sqrt(σ), with σ the posterior variance.
-      double acq = post.mean - beta_sqrt * std::sqrt(post.variance + 1e-12);
-      if (acq < best_acq - 1e-12 || (std::abs(acq - best_acq) <= 1e-12 && !evaluated[i])) {
-        best_acq = acq;
-        pick = i;
+    {
+      perf::PerfRegion region(acq_stat);
+      for (size_t i = 0; i < feasible_candidates.size(); ++i) {
+        GpPosterior post = gp.Predict(to_feature(feasible_candidates[i]));
+        // Eq. (3): μ − β_n^{1/2}·sqrt(σ), with σ the posterior variance.
+        double acq = post.mean - beta_sqrt * std::sqrt(post.variance + 1e-12);
+        if (acq < best_acq - 1e-12 || (std::abs(acq - best_acq) <= 1e-12 && !evaluated[i])) {
+          best_acq = acq;
+          pick = i;
+        }
       }
     }
     double cand = feasible_candidates[pick];

@@ -29,6 +29,9 @@ struct BayesOptOptions {
   // couple of iterations; the initial design guarantees coverage first.
   size_t initial_design = 6;
   GpOptions gp;
+  // Optional self-profiling sink: breaks the coarse mudi.gp_lcb region down
+  // into kernel build / Cholesky solve / acquisition scan. Observe-only.
+  perf::PerfCollector* perf = nullptr;
 };
 
 struct BayesOptResult {

@@ -1,0 +1,458 @@
+#include "src/replay/replay_run.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/wallclock.h"
+#include "src/replay/probe_key.h"
+#include "src/workload/models.h"
+
+namespace mudi {
+namespace replay {
+
+namespace {
+
+// Seed tag for the probe-miss fallback stream: a miss means the recorded run
+// never asked this exact question, so any fixed independent stream is as
+// honest as another — but it must not alias the recorded run's streams.
+constexpr uint64_t kFallbackRngTag = 0x7265706c61796673ull;  // "replayfs"
+
+std::string FormatChoiceDivergence(const TraceDecision& recorded, int whatif_choice) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "decision seq %llu (SelectDevice task %d): recorded chose device %d, "
+                "what-if chose device %d",
+                static_cast<unsigned long long>(recorded.seq), recorded.task_id,
+                recorded.chosen_device, whatif_choice);
+  return buf;
+}
+
+std::string FormatActionDivergence(const TraceDecision& recorded,
+                                   const std::vector<TraceAction>& whatif) {
+  char buf[224];
+  size_t n = std::min(recorded.actions.size(), whatif.size());
+  for (size_t i = 0; i < n; ++i) {
+    const TraceAction& a = recorded.actions[i];
+    const TraceAction& b = whatif[i];
+    if (a.kind != b.kind || a.device_id != b.device_id || a.arg != b.arg || a.value != b.value) {
+      std::snprintf(buf, sizeof(buf),
+                    "decision seq %llu (%s): action %zu differs — recorded %s(dev=%d, arg=%d, "
+                    "value=%.6g), what-if %s(dev=%d, arg=%d, value=%.6g)",
+                    static_cast<unsigned long long>(recorded.seq),
+                    HookName(static_cast<HookKind>(recorded.hook)), i,
+                    ActionName(static_cast<ActionKind>(a.kind)), a.device_id, a.arg, a.value,
+                    ActionName(static_cast<ActionKind>(b.kind)), b.device_id, b.arg, b.value);
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "decision seq %llu (%s): recorded %zu action(s), what-if %zu action(s)",
+                static_cast<unsigned long long>(recorded.seq),
+                HookName(static_cast<HookKind>(recorded.hook)), recorded.actions.size(),
+                whatif.size());
+  return buf;
+}
+
+bool SameActions(const std::vector<TraceAction>& a, const std::vector<TraceAction>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].device_id != b[i].device_id || a[i].arg != b[i].arg ||
+        a[i].value != b[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ReplayEnv::ReplayEnv(ReplaySource& source, DecisionRecorder* whatif_recorder)
+    : source_(source),
+      whatif_recorder_(whatif_recorder),
+      fallback_oracle_(source.trace().header.oracle_seed),
+      fallback_rng_(Rng(source.trace().header.seed).Fork(kFallbackRngTag)) {
+  const DecisionTrace& trace = source_.trace();
+  devices_.reserve(trace.device_table.size());
+  for (const DeviceTableEntry& entry : trace.device_table) {
+    GpuDevice dev(entry.device_id, entry.memory_mb, entry.compute_scale);
+    // Placeholder replica; the first decision's snapshot (kInitialize carries
+    // a full-cluster snapshot) overwrites batch/fraction with recorded state.
+    InferenceInstance inst;
+    inst.service_index = entry.service_index;
+    inst.batch_size = 1;
+    inst.gpu_fraction = 0.5;
+    inst.mem_required_mb =
+        InferenceMemoryMb(ModelZoo::InferenceServices()[entry.service_index], 1);
+    dev.PlaceInference(inst);
+    devices_.push_back(std::move(dev));
+  }
+  latest_qps_.assign(devices_.size(), 0.0);
+  latest_p99_.assign(devices_.size(), 0.0);
+}
+
+void ReplayEnv::AdvanceFeedback(uint64_t seq_bound) {
+  const auto& feedback = source_.trace().qps_feedback;
+  while (feedback_cursor_ < feedback.size() && feedback[feedback_cursor_].seq < seq_bound) {
+    const TraceQpsFeedback& f = feedback[feedback_cursor_];
+    if (f.device_id >= 0 && static_cast<size_t>(f.device_id) < devices_.size()) {
+      if (f.is_p99 != 0) {
+        latest_p99_[static_cast<size_t>(f.device_id)] = f.value;
+      } else {
+        latest_qps_[static_cast<size_t>(f.device_id)] = f.value;
+      }
+    }
+    ++feedback_cursor_;
+  }
+}
+
+void ReplayEnv::ApplyDecisionState(const TraceDecision& decision) {
+  now_ms_ = decision.sim_ms;
+  for (const SnapshotDevice& s : decision.snapshot) {
+    GpuDevice& dev = mutable_device(s.device_id);
+    dev.SetHealthy(s.healthy != 0);
+    dev.SetSlowdown(s.slowdown);
+    if (s.has_inference != 0) {
+      InferenceInstance inst;
+      inst.service_index = s.service_index;
+      inst.batch_size = s.inf_batch;
+      inst.gpu_fraction = s.inf_fraction;
+      inst.mem_required_mb = s.inf_mem_mb;
+      if (dev.has_inference()) {
+        dev.mutable_inference() = inst;
+      } else {
+        dev.PlaceInference(inst);
+      }
+    } else if (dev.has_inference()) {
+      dev.RemoveInference();
+    }
+    std::vector<TrainingInstance> trainings;
+    trainings.reserve(s.trainings.size());
+    for (const SnapshotTraining& t : s.trainings) {
+      TrainingInstance inst;
+      inst.task_id = t.task_id;
+      inst.type_index = t.type_index;
+      inst.gpu_fraction = t.gpu_fraction;
+      inst.mem_required_mb = t.mem_required_mb;
+      inst.mem_swapped_mb = t.mem_swapped_mb;
+      inst.paused = t.paused != 0;
+      trainings.push_back(inst);
+    }
+    dev.mutable_trainings() = std::move(trainings);
+  }
+}
+
+std::vector<TraceAction> ReplayEnv::TakeActions() {
+  std::vector<TraceAction> out = std::move(actions_);
+  actions_.clear();
+  return out;
+}
+
+const GpuDevice& ReplayEnv::device(int device_id) const {
+  MUDI_CHECK_GE(device_id, 0);
+  MUDI_CHECK_LT(static_cast<size_t>(device_id), devices_.size());
+  return devices_[static_cast<size_t>(device_id)];
+}
+
+GpuDevice& ReplayEnv::mutable_device(int device_id) {
+  MUDI_CHECK_GE(device_id, 0);
+  MUDI_CHECK_LT(static_cast<size_t>(device_id), devices_.size());
+  return devices_[static_cast<size_t>(device_id)];
+}
+
+const InferenceServiceSpec& ReplayEnv::ServiceOnDevice(int device_id) const {
+  return ModelZoo::InferenceServices()[device(device_id).inference().service_index];
+}
+
+double ReplayEnv::MeasuredQps(int device_id) {
+  double qps = latest_qps_[static_cast<size_t>(device_id)];
+  if (whatif_recorder_ != nullptr && whatif_recorder_->decision_open()) {
+    whatif_recorder_->RecordQpsFeedback(now_ms_, device_id, /*is_p99=*/false, qps);
+  }
+  return qps;
+}
+
+double ReplayEnv::MeasuredP99(int device_id) {
+  double p99 = latest_p99_[static_cast<size_t>(device_id)];
+  if (whatif_recorder_ != nullptr && whatif_recorder_->decision_open()) {
+    whatif_recorder_->RecordQpsFeedback(now_ms_, device_id, /*is_p99=*/true, p99);
+  }
+  return p99;
+}
+
+double ReplayEnv::ProbeInferenceLatencyMs(int device_id, int batch, double gpu_fraction) {
+  const GpuDevice& dev = device(device_id);
+  ColocationMix mix;
+  mix.reserve(dev.trainings().size());
+  for (const TrainingInstance& t : dev.trainings()) {
+    if (!t.paused) {
+      mix.emplace_back(static_cast<uint32_t>(t.type_index), t.gpu_fraction);
+    }
+  }
+  uint64_t key = InferenceProbeKey(static_cast<uint32_t>(dev.inference().service_index), batch,
+                                   gpu_fraction, mix, dev.EffectiveComputeScale());
+  if (auto recorded = source_.TakeObservation(key)) {
+    return *recorded;
+  }
+  // Miss: the recorded run never asked this question (the counterfactual
+  // policy diverged into unexplored configurations). Answer from a private
+  // oracle seeded like the recorded one — approximate, but ground-truth
+  // shaped, which is the best an offline what-if can do.
+  const auto& tasks = ModelZoo::TrainingTasks();
+  std::vector<ColocatedTraining> colocated;
+  colocated.reserve(mix.size());
+  for (const TrainingInstance& t : dev.trainings()) {
+    if (!t.paused) {
+      colocated.push_back(ColocatedTraining{&tasks[t.type_index], t.gpu_fraction});
+    }
+  }
+  double lat = fallback_oracle_
+                   .ObserveInferenceBatchLatency(ServiceOnDevice(device_id), batch, gpu_fraction,
+                                                 colocated, fallback_rng_)
+                   .total_ms();
+  return lat / dev.EffectiveComputeScale();
+}
+
+double ReplayEnv::ProbeTrainingIterMs(int device_id, int task_id, double train_fraction,
+                                      int inf_batch, double inf_fraction) {
+  const GpuDevice& dev = device(device_id);
+  const TrainingInstance* instance = dev.FindTraining(task_id);
+  MUDI_CHECK(instance != nullptr);
+  const auto& tasks = ModelZoo::TrainingTasks();
+  const TrainingTaskSpec& spec = tasks[instance->type_index];
+
+  InferenceLoad load;
+  load.spec = &ServiceOnDevice(device_id);
+  load.batch_size = inf_batch > 0 ? inf_batch : dev.inference().batch_size;
+  load.gpu_fraction = inf_fraction > 0.0 ? inf_fraction : dev.inference().gpu_fraction;
+  // The recorded run keyed probes on the monitor QPS at decision time, which
+  // is exactly the value the policy read as feedback inside the decision —
+  // the feedback cursor has already advanced past those reads.
+  load.qps = latest_qps_[static_cast<size_t>(device_id)];
+
+  double frac = train_fraction > 0.0 ? train_fraction : instance->gpu_fraction;
+  double clamped = std::clamp(frac, 0.02, 1.0);
+
+  // Mirror the live harness's hypothetical-swap construction exactly: the
+  // probe key embeds the swap factor, so any deviation here would turn
+  // recorded hits into misses.
+  TrainingInstance hypothetical = *instance;
+  if (inf_batch > 0) {
+    double inf_mem = InferenceMemoryMb(*load.spec, inf_batch);
+    double required = inf_mem;
+    for (const TrainingInstance& t : dev.trainings()) {
+      required += t.mem_required_mb;
+    }
+    double deficit = std::max(0.0, required - dev.memory_mb());
+    hypothetical.mem_swapped_mb = std::min(deficit, 0.85 * instance->mem_required_mb);
+  }
+  double swap_factor = SwapSlowdownFactor(hypothetical);
+
+  ColocationMix others_mix;
+  std::vector<ColocatedTraining> others;
+  for (const TrainingInstance& t : dev.trainings()) {
+    if (!t.paused && t.task_id != task_id) {
+      others_mix.emplace_back(static_cast<uint32_t>(t.type_index), t.gpu_fraction);
+      others.push_back(ColocatedTraining{&tasks[t.type_index], t.gpu_fraction});
+    }
+  }
+  uint64_t key = TrainingProbeKey(static_cast<uint32_t>(instance->type_index), clamped,
+                                  static_cast<uint32_t>(dev.inference().service_index),
+                                  load.batch_size, load.gpu_fraction, load.qps, others_mix,
+                                  swap_factor, dev.EffectiveComputeScale());
+  if (auto recorded = source_.TakeObservation(key)) {
+    return *recorded;
+  }
+  double iter = fallback_oracle_.ObserveTrainingIterationMs(spec, clamped, load, others,
+                                                            fallback_rng_);
+  return iter * swap_factor / dev.EffectiveComputeScale();
+}
+
+void ReplayEnv::RecordAction(ActionKind kind, int device_id, int arg, double value) {
+  TraceAction action;
+  action.kind = static_cast<uint8_t>(kind);
+  action.device_id = device_id;
+  action.arg = arg;
+  action.value = value;
+  actions_.push_back(action);
+  if (whatif_recorder_ != nullptr && whatif_recorder_->decision_open()) {
+    whatif_recorder_->AddAction(kind, device_id, arg, value);
+  }
+}
+
+void ReplayEnv::ApplyInferenceConfig(int device_id, int batch, double gpu_fraction) {
+  MUDI_CHECK_GT(batch, 0);
+  MUDI_CHECK_GT(gpu_fraction, 0.0);
+  MUDI_CHECK_LE(gpu_fraction, 1.0);
+  RecordAction(ActionKind::kApplyInferenceConfig, device_id, batch, gpu_fraction);
+  GpuDevice& dev = mutable_device(device_id);
+  if (!dev.healthy()) {
+    return;
+  }
+  // Counterfactual actuation is immediate: there is no clock to ride the
+  // shadow-instance reconfiguration latency on, and within one decision the
+  // live path behaves the same way (probes pass overrides explicitly).
+  InferenceInstance& inf = dev.mutable_inference();
+  inf.batch_size = batch;
+  inf.gpu_fraction = gpu_fraction;
+  inf.mem_required_mb = InferenceMemoryMb(ServiceOnDevice(device_id), batch);
+}
+
+void ReplayEnv::ApplyTrainingFraction(int device_id, int task_id, double fraction) {
+  MUDI_CHECK_GT(fraction, 0.0);
+  RecordAction(ActionKind::kApplyTrainingFraction, device_id, task_id, fraction);
+  GpuDevice& dev = mutable_device(device_id);
+  if (!dev.healthy()) {
+    return;
+  }
+  TrainingInstance* instance = dev.FindTraining(task_id);
+  MUDI_CHECK(instance != nullptr);
+  instance->gpu_fraction = fraction;
+}
+
+void ReplayEnv::SetTrainingPaused(int device_id, int task_id, bool paused) {
+  RecordAction(ActionKind::kSetTrainingPaused, device_id, task_id, paused ? 1.0 : 0.0);
+  GpuDevice& dev = mutable_device(device_id);
+  if (!dev.healthy()) {
+    return;
+  }
+  TrainingInstance* instance = dev.FindTraining(task_id);
+  MUDI_CHECK(instance != nullptr);
+  instance->paused = paused;
+}
+
+bool ReplayEnv::CanFitTraining(int device_id, const TrainingTaskSpec& spec) const {
+  const GpuDevice& dev = device(device_id);
+  return dev.MemoryRequiredMb() + TrainingMemoryMb(spec) <= dev.memory_mb();
+}
+
+StatusOr<WhatIfResult> RunWhatIf(ReplaySource& source, MultiplexPolicy& policy,
+                                 const WhatIfOptions& options) {
+  const DecisionTrace& trace = source.trace();
+  if (trace.device_table.empty()) {
+    return InvalidArgumentError("trace carries no device table; cannot reconstruct the cluster");
+  }
+  for (size_t i = 0; i < trace.device_table.size(); ++i) {
+    if (trace.device_table[i].device_id != static_cast<int32_t>(i)) {
+      return InvalidArgumentError("trace device table is not densely indexed by device id");
+    }
+  }
+  if (!trace.decisions.empty() &&
+      static_cast<HookKind>(trace.decisions.front().hook) != HookKind::kInitialize) {
+    return InvalidArgumentError("trace decision stream does not start with Initialize");
+  }
+
+  ReplayEnv env(source, options.recorder);
+  if (options.recorder != nullptr) {
+    options.recorder->RecordDeviceTable(trace.device_table);
+  }
+
+  WhatIfResult result;
+  const auto& tasks = ModelZoo::TrainingTasks();
+  for (size_t i = 0; i < trace.decisions.size(); ++i) {
+    const TraceDecision& d = trace.decisions[i];
+    uint64_t bound = i + 1 < trace.decisions.size() ? trace.decisions[i + 1].seq
+                                                    : std::numeric_limits<uint64_t>::max();
+    env.AdvanceFeedback(bound);
+    env.ApplyDecisionState(d);
+
+    DecisionRecorder* rec = options.recorder;
+    if (rec != nullptr) {
+      rec->BeginDecision(static_cast<HookKind>(d.hook), d.sim_ms, d.device_id, d.task_id,
+                         d.type_index);
+    }
+    WallTimer timer;
+    int whatif_choice = -2;  // sentinel: not a SelectDevice decision
+    switch (static_cast<HookKind>(d.hook)) {
+      case HookKind::kInitialize:
+        policy.Initialize(env);
+        break;
+      case HookKind::kSelectDevice: {
+        MUDI_CHECK_GE(d.type_index, 0);
+        TrainingTaskInfo info;
+        info.task_id = d.task_id;
+        info.type_index = static_cast<size_t>(d.type_index);
+        info.spec = &tasks[info.type_index];
+        whatif_choice = policy.SelectDevice(env, info).value_or(-1);
+        if (rec != nullptr) {
+          rec->SetChosenDevice(whatif_choice);
+        }
+        break;
+      }
+      case HookKind::kOnTrainingPlaced: {
+        MUDI_CHECK_GE(d.type_index, 0);
+        TrainingTaskInfo info;
+        info.task_id = d.task_id;
+        info.type_index = static_cast<size_t>(d.type_index);
+        info.spec = &tasks[info.type_index];
+        policy.OnTrainingPlaced(env, d.device_id, info);
+        break;
+      }
+      case HookKind::kOnTrainingCompleted:
+        policy.OnTrainingCompleted(env, d.device_id, d.task_id);
+        break;
+      case HookKind::kOnQpsChange:
+        policy.OnQpsChange(env, d.device_id);
+        break;
+      case HookKind::kOnDeviceFailed: {
+        std::vector<TrainingTaskInfo> displaced;
+        displaced.reserve(d.displaced.size());
+        for (const auto& [task_id, type_index] : d.displaced) {
+          TrainingTaskInfo info;
+          info.task_id = task_id;
+          info.type_index = type_index;
+          info.spec = &tasks[type_index];
+          displaced.push_back(info);
+          if (rec != nullptr) {
+            rec->AddDisplaced(task_id, type_index);
+          }
+        }
+        policy.OnDeviceFailed(env, d.device_id, displaced);
+        break;
+      }
+      case HookKind::kOnDeviceRecovered:
+        policy.OnDeviceRecovered(env, d.device_id);
+        break;
+      case HookKind::kOnControlPlaneRestart:
+        policy.OnControlPlaneRestart(env);
+        break;
+      default:
+        return InternalError("unknown hook kind in decision trace");
+    }
+    if (rec != nullptr) {
+      rec->EndDecision(timer.ElapsedMs() * 1000.0);
+    }
+
+    std::vector<TraceAction> whatif_actions = env.TakeActions();
+    bool diverged = false;
+    std::string detail;
+    if (whatif_choice != -2 && whatif_choice != d.chosen_device) {
+      diverged = true;
+      detail = FormatChoiceDivergence(d, whatif_choice);
+    } else if (!SameActions(d.actions, whatif_actions)) {
+      diverged = true;
+      detail = FormatActionDivergence(d, whatif_actions);
+    }
+    if (diverged) {
+      ++result.diverged_decisions;
+      if (!result.diverged) {
+        result.diverged = true;
+        result.first_divergence_seq = d.seq;
+        result.first_divergence_detail = std::move(detail);
+      }
+    }
+    ++result.decisions_replayed;
+  }
+
+  result.probe_hits = source.hits();
+  result.probe_sticky_hits = source.sticky_hits();
+  result.probe_misses = source.misses();
+  return result;
+}
+
+}  // namespace replay
+}  // namespace mudi

@@ -1,0 +1,57 @@
+#include "src/replay/replay_source.h"
+
+namespace mudi {
+namespace replay {
+
+ReplaySource::ReplaySource(DecisionTrace trace) : trace_(std::move(trace)) {
+  for (const TraceObservation& obs : trace_.observations) {
+    observations_[obs.key].values.push_back(obs.value);
+  }
+  for (const TracePrediction& p : trace_.predictions) {
+    uint64_t key = PredictionKey(p.service_index, p.batch, p.mix);
+    predictions_[key].values.push_back(PredictedModel{p.k1, p.k2, p.x0, p.y0});
+  }
+}
+
+StatusOr<ReplaySource> ReplaySource::Load(const std::string& path) {
+  StatusOr<DecisionTrace> trace = ReadDecisionTrace(path);
+  if (!trace.ok()) {
+    return trace.status();
+  }
+  return ReplaySource(std::move(*trace));
+}
+
+std::optional<double> ReplaySource::TakeObservation(uint64_t key) {
+  auto it = observations_.find(key);
+  if (it == observations_.end() || it->second.values.empty()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  Fifo<double>& fifo = it->second;
+  if (fifo.next < fifo.values.size()) {
+    ++hits_;
+    return fifo.values[fifo.next++];
+  }
+  ++sticky_hits_;
+  return fifo.values.back();
+}
+
+std::optional<PredictedModel> ReplaySource::TakePrediction(uint32_t service_index, int batch,
+                                                           const std::vector<uint32_t>& sorted_mix) {
+  uint64_t key = PredictionKey(service_index, batch, sorted_mix);
+  auto it = predictions_.find(key);
+  if (it == predictions_.end() || it->second.values.empty()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  Fifo<PredictedModel>& fifo = it->second;
+  if (fifo.next < fifo.values.size()) {
+    ++hits_;
+    return fifo.values[fifo.next++];
+  }
+  ++sticky_hits_;
+  return fifo.values.back();
+}
+
+}  // namespace replay
+}  // namespace mudi

@@ -1,0 +1,72 @@
+// ReplaySource: serves recorded oracle observations and interference-curve
+// predictions in place of live PerfOracle / profiler / modeler calls.
+//
+// Lookups are content-addressed (probe_key.h): the replaying run hashes the
+// probe inputs it *would* have sent to the oracle and asks for the recorded
+// answer. Because the same key can recur with different values over time
+// (predictions change after online curve refreshes; probes repeat at
+// different measured QPS only when QPS is itself a key input, but repeated
+// identical questions get identical noisy answers re-asked), each key keeps
+// its recorded values in FIFO order; a fidelity replay (same policy, same
+// seed) consumes them in exactly the recorded order. Once a FIFO is
+// exhausted the last value is served sticky ("sticky hits"), and a key never
+// recorded at all is a miss — the caller falls back to a live computation.
+#ifndef SRC_REPLAY_REPLAY_SOURCE_H_
+#define SRC_REPLAY_REPLAY_SOURCE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/replay/decision_trace.h"
+#include "src/replay/probe_key.h"
+
+namespace mudi {
+namespace replay {
+
+// The four parameters of a recorded piecewise-linear prediction.
+struct PredictedModel {
+  double k1 = 0.0, k2 = 0.0, x0 = 0.0, y0 = 0.0;
+};
+
+class ReplaySource {
+ public:
+  explicit ReplaySource(DecisionTrace trace);
+  static StatusOr<ReplaySource> Load(const std::string& path);
+
+  const DecisionTrace& trace() const { return trace_; }
+  const std::vector<TraceCurve>& curves() const { return trace_.curves; }
+
+  // Next recorded probe observation for `key` (keys embed the probe domain,
+  // see probe_key.h). nullopt = never recorded; the caller must compute live.
+  std::optional<double> TakeObservation(uint64_t key);
+
+  // Next recorded PredictCurve result for (service, batch, sorted mix).
+  std::optional<PredictedModel> TakePrediction(uint32_t service_index, int batch,
+                                               const std::vector<uint32_t>& sorted_mix);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t sticky_hits() const { return sticky_hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  template <typename T>
+  struct Fifo {
+    std::vector<T> values;
+    size_t next = 0;
+  };
+
+  DecisionTrace trace_;
+  std::unordered_map<uint64_t, Fifo<double>> observations_;
+  std::unordered_map<uint64_t, Fifo<PredictedModel>> predictions_;
+  uint64_t hits_ = 0;
+  uint64_t sticky_hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace replay
+}  // namespace mudi
+
+#endif  // SRC_REPLAY_REPLAY_SOURCE_H_

@@ -458,13 +458,61 @@ TEST(RetryCheckTest, NolintSuppresses) {
 }
 
 // ---------------------------------------------------------------------------
+// mudi-trace-sink
+// ---------------------------------------------------------------------------
+
+TEST(TraceSinkCheckTest, FlagsRawTraceWriterOutsideReplay) {
+  auto findings = Lint("src/exp/foo.cc",
+                       "void Dump(const TraceHeader& header) {\n"
+                       "  TraceWriter writer(header);\n"
+                       "  writer.Finish();\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-trace-sink"), 1u);
+}
+
+TEST(TraceSinkCheckTest, FlagsAdHocHeaderEncoding) {
+  auto findings = Lint("tools/foo_tool.cpp",
+                       "std::string F(const TraceHeader& h) { return EncodeTraceHeader(h); }\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-trace-sink"), 1u);
+}
+
+TEST(TraceSinkCheckTest, SanctionedSitesAreAllowlisted) {
+  const std::string code =
+      "void Recorder::Flush() {\n"
+      "  TraceWriter writer(header_);\n"
+      "  writer.Finish();\n"
+      "}\n";
+  EXPECT_EQ(CountCheck(Lint("src/replay/decision_recorder.cc", code), "mudi-trace-sink"), 0u);
+  EXPECT_EQ(CountCheck(Lint("tests/replay_test.cc", code), "mudi-trace-sink"), 0u);
+  EXPECT_EQ(CountCheck(Lint("src/core/foo.cc", code), "mudi-trace-sink"), 1u);
+}
+
+TEST(TraceSinkCheckTest, ReadSideApisAreClean) {
+  // Consumers parse and summarize traces everywhere; only emission is gated.
+  auto findings = Lint("tools/trace_summary.cpp",
+                       "void F(const std::string& path) {\n"
+                       "  auto trace = ReadDecisionTrace(path);\n"
+                       "  (void)SummarizeDecisionTrace(*trace, 5);\n"
+                       "}\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-trace-sink"), 0u);
+}
+
+TEST(TraceSinkCheckTest, NolintSuppresses) {
+  auto findings = Lint("src/exp/foo.cc",
+                       "// NOLINTNEXTLINE(mudi-trace-sink) exercising the lint itself\n"
+                       "TraceWriter writer(header);\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-trace-sink"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-trace-sink", /*include_suppressed=*/true), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Engine plumbing
 // ---------------------------------------------------------------------------
 
 TEST(EngineTest, CheckNamesSortedAndComplete) {
   auto names = CheckNames();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
 }
 
 TEST(EngineTest, EnabledChecksRestrictsFindings) {

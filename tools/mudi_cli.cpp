@@ -12,13 +12,19 @@
 #include <cstring>
 #include "src/common/float_eq.h"
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "src/common/table.h"
+#include "src/common/wallclock.h"
 #include "src/exp/cluster_experiment.h"
 #include "src/exp/presets.h"
 #include "src/perf/perf_collector.h"
 #include "src/perf/perf_report.h"
+#include "src/replay/decision_recorder.h"
+#include "src/replay/replay_run.h"
+#include "src/replay/replay_source.h"
 
 namespace {
 
@@ -41,6 +47,10 @@ struct CliArgs {
   std::string metrics_json;
   std::string metrics_csv;
   std::string perf_report;
+  std::string record_file;
+  std::string replay_file;
+  std::string replay_verify_file;
+  std::string whatif_file;
   bool help = false;
 };
 
@@ -68,7 +78,16 @@ void PrintUsage() {
       "  --metrics-json F   append a telemetry metrics JSON line to F\n"
       "  --metrics-csv F    write the telemetry snapshot time series to F\n"
       "  --perf-report F    write a src/perf self-profiling report (JSON) to F\n"
-      "                     ('-' prints to stdout); observe-only, results unchanged\n");
+      "                     ('-' prints to stdout); observe-only, results unchanged\n"
+      "  --record F         record a decision trace (mudi.decision_trace.v1) to F;\n"
+      "                     observe-only, results unchanged\n"
+      "  --replay F         fidelity replay: run the full simulation but serve curves,\n"
+      "                     probes, and predictions from the trace at F (no re-profiling)\n"
+      "  --replay-verify F  record the run to F, replay it, and assert byte-identical\n"
+      "                     metrics plus >=90%% profiler-invocation skip (exit 1 on fail)\n"
+      "  --whatif F         counterfactual replay: drive --policy over the decision\n"
+      "                     stream recorded at F with NO simulation; reports the first\n"
+      "                     divergent decision (--record writes the what-if trace)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -150,6 +169,22 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->perf_report = v;
+    } else if (flag == "--record") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->record_file = v;
+    } else if (flag == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->replay_file = v;
+    } else if (flag == "--replay-verify") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->replay_verify_file = v;
+    } else if (flag == "--whatif") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->whatif_file = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -169,6 +204,194 @@ mudi::QueuePolicy ParseQueue(const std::string& name) {
     return mudi::QueuePolicy::kFairShare;
   }
   return mudi::QueuePolicy::kFcfs;
+}
+
+mudi::replay::TraceHeader MakeTraceHeader(const mudi::ExperimentOptions& options,
+                                          const std::string& policy, const std::string& mode,
+                                          const std::string& base_policy) {
+  mudi::replay::TraceHeader header;
+  header.policy = policy;
+  header.mode = mode;
+  header.base_policy = base_policy;
+  header.seed = options.seed;
+  header.oracle_seed = options.oracle_seed;
+  header.num_devices = static_cast<uint32_t>(options.num_nodes * options.gpus_per_node);
+  header.num_services = static_cast<uint32_t>(options.num_services);
+  header.service_offset = static_cast<uint32_t>(options.service_offset);
+  return header;
+}
+
+// Every headline metric, rendered with %.17g so the string round-trips the
+// double bits exactly: equal fingerprints == byte-identical results.
+std::string MetricsFingerprint(const mudi::ExperimentResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "makespan=%.17g slo=%.17g mean_ct=%.17g p95_ct=%.17g wait=%.17g sm=%.17g "
+                "mem=%.17g swap_events=%zu swap_mb=%.17g completed=%zu",
+                r.makespan_ms, r.OverallSloViolationRate(), r.MeanCtMs(), r.P95CtMs(),
+                r.MeanWaitingMs(), r.avg_sm_util, r.avg_mem_util, r.swap_events, r.swap_total_mb,
+                r.CompletedTasks());
+  std::string out = buf;
+  for (const auto& [name, m] : r.per_service) {
+    std::snprintf(buf, sizeof(buf), " %s=%zu/%zu/%zu/%.17g/%.17g", name.c_str(),
+                  m.windows_violated, m.windows_total, m.windows_violated_failure,
+                  m.mean_latency_ms, m.served_requests);
+    out += buf;
+  }
+  return out;
+}
+
+mudi::ExperimentResult RunOnce(const mudi::ExperimentOptions& options,
+                               const std::string& policy_name) {
+  mudi::PerfOracle profiling_oracle(options.oracle_seed);
+  auto policy = mudi::MakePolicy(policy_name, profiling_oracle);
+  mudi::ClusterExperiment experiment(options, policy.get());
+  return experiment.Run();
+}
+
+// --replay-verify: record a live run, replay the trace through a fresh
+// policy, and prove (a) byte-identical headline metrics and (b) that replay
+// actually skipped the profiler (>=90% of oracle/modeler lookups served from
+// the trace — in practice 100%, since a fidelity replay asks exactly the
+// recorded questions).
+int RunReplayVerify(const mudi::ExperimentOptions& base_options, const CliArgs& args) {
+  using namespace mudi;
+  auto recorder_or = replay::DecisionRecorder::Create(
+      args.replay_verify_file, MakeTraceHeader(base_options, args.policy, "record", ""));
+  if (!recorder_or.ok()) {
+    std::fprintf(stderr, "replay-verify: %s\n", recorder_or.status().message().c_str());
+    return 1;
+  }
+  std::unique_ptr<replay::DecisionRecorder> recorder = std::move(*recorder_or);
+  ExperimentOptions record_options = base_options;
+  record_options.recorder = recorder.get();
+  ExperimentResult live = RunOnce(record_options, args.policy);
+  Status finish = recorder->Close();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "replay-verify: %s\n", finish.message().c_str());
+    return 1;
+  }
+  std::printf("recorded: %llu decisions, %llu observations -> %s\n",
+              static_cast<unsigned long long>(recorder->decisions_recorded()),
+              static_cast<unsigned long long>(recorder->observations_recorded()),
+              args.replay_verify_file.c_str());
+
+  auto source_or = replay::ReplaySource::Load(args.replay_verify_file);
+  if (!source_or.ok()) {
+    std::fprintf(stderr, "replay-verify: %s\n", source_or.status().message().c_str());
+    return 1;
+  }
+  replay::ReplaySource source = std::move(*source_or);
+  ExperimentOptions replay_options = base_options;
+  replay_options.replay = &source;
+  ExperimentResult replayed = RunOnce(replay_options, args.policy);
+
+  uint64_t lookups = source.hits() + source.sticky_hits() + source.misses();
+  double skip_rate =
+      lookups > 0 ? static_cast<double>(source.hits() + source.sticky_hits()) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  std::printf("replay: %llu trace hits, %llu sticky, %llu misses (%.1f%% profiler skip)\n",
+              static_cast<unsigned long long>(source.hits()),
+              static_cast<unsigned long long>(source.sticky_hits()),
+              static_cast<unsigned long long>(source.misses()), skip_rate * 100.0);
+
+  bool ok = true;
+  std::string live_fp = MetricsFingerprint(live);
+  std::string replay_fp = MetricsFingerprint(replayed);
+  if (live_fp != replay_fp) {
+    std::fprintf(stderr,
+                 "replay-verify: FAIL metrics diverge\n  live:   %s\n  replay: %s\n",
+                 live_fp.c_str(), replay_fp.c_str());
+    ok = false;
+  }
+  if (lookups == 0 || skip_rate < 0.9) {
+    std::fprintf(stderr, "replay-verify: FAIL profiler skip %.1f%% < 90%% (%llu lookups)\n",
+                 skip_rate * 100.0, static_cast<unsigned long long>(lookups));
+    ok = false;
+  }
+  if (ok) {
+    std::printf("replay-verify: PASS byte-identical metrics, %.1f%% profiler skip\n",
+                skip_rate * 100.0);
+  }
+  return ok ? 0 : 1;
+}
+
+// --whatif: counterfactual replay of a recorded decision stream through
+// --policy, no simulation at all.
+int RunWhatIfMode(const CliArgs& args) {
+  using namespace mudi;
+  auto source_or = replay::ReplaySource::Load(args.whatif_file);
+  if (!source_or.ok()) {
+    std::fprintf(stderr, "whatif: %s\n", source_or.status().message().c_str());
+    return 1;
+  }
+  replay::ReplaySource source = std::move(*source_or);
+  const replay::TraceHeader& header = source.trace().header;
+
+  PerfOracle profiling_oracle(header.oracle_seed);
+  auto policy = MakePolicy(args.policy, profiling_oracle);
+
+  std::unique_ptr<replay::DecisionRecorder> whatif_recorder;
+  if (!args.record_file.empty()) {
+    replay::TraceHeader out = header;
+    out.policy = policy->name();
+    out.mode = "counterfactual";
+    out.base_policy = header.policy;
+    auto rec_or = replay::DecisionRecorder::Create(args.record_file, out);
+    if (!rec_or.ok()) {
+      std::fprintf(stderr, "whatif: %s\n", rec_or.status().message().c_str());
+      return 1;
+    }
+    whatif_recorder = std::move(*rec_or);
+  }
+
+  replay::WhatIfOptions options;
+  options.recorder = whatif_recorder.get();
+  WallTimer timer;
+  auto result_or = replay::RunWhatIf(source, *policy, options);
+  double wall_ms = timer.ElapsedMs();
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "whatif: %s\n", result_or.status().message().c_str());
+    return 1;
+  }
+  const replay::WhatIfResult& result = *result_or;
+  if (whatif_recorder != nullptr) {
+    Status finish = whatif_recorder->Close();
+    if (!finish.ok()) {
+      std::fprintf(stderr, "whatif: %s\n", finish.message().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("== whatif: %s over a %s trace of %s ==\n", policy->name().c_str(),
+              header.mode.c_str(), header.policy.c_str());
+  std::printf("decisions replayed: %llu in %.1f ms (no simulation)\n",
+              static_cast<unsigned long long>(result.decisions_replayed), wall_ms);
+  uint64_t lookups = result.probe_hits + result.probe_sticky_hits + result.probe_misses;
+  if (lookups > 0) {
+    std::printf("probe lookups: %llu hits, %llu sticky, %llu misses (%.1f%% from trace)\n",
+                static_cast<unsigned long long>(result.probe_hits),
+                static_cast<unsigned long long>(result.probe_sticky_hits),
+                static_cast<unsigned long long>(result.probe_misses),
+                100.0 * static_cast<double>(result.probe_hits + result.probe_sticky_hits) /
+                    static_cast<double>(lookups));
+  }
+  if (result.diverged) {
+    std::printf("diverged at %llu of %llu decisions\nfirst divergence: %s\n",
+                static_cast<unsigned long long>(result.diverged_decisions),
+                static_cast<unsigned long long>(result.decisions_replayed),
+                result.first_divergence_detail.c_str());
+  } else {
+    std::printf("no divergence: %s reproduces every recorded decision\n",
+                policy->name().c_str());
+  }
+  if (whatif_recorder != nullptr) {
+    std::printf("what-if trace written to %s (diff with tools/trace_diff)\n",
+                args.record_file.c_str());
+  }
+  std::printf("whatif_wall_ms=%.3f\n", wall_ms);
+  return 0;
 }
 
 }  // namespace
@@ -217,10 +440,57 @@ int main(int argc, char** argv) {
     options.perf = &perf_collector;
   }
 
+  if (!args.whatif_file.empty()) {
+    return RunWhatIfMode(args);
+  }
+  if (!args.replay_verify_file.empty()) {
+    return RunReplayVerify(options, args);
+  }
+
+  std::unique_ptr<replay::DecisionRecorder> recorder;
+  if (!args.record_file.empty()) {
+    auto recorder_or = replay::DecisionRecorder::Create(
+        args.record_file, MakeTraceHeader(options, args.policy, "record", ""));
+    if (!recorder_or.ok()) {
+      std::fprintf(stderr, "record: %s\n", recorder_or.status().message().c_str());
+      return 1;
+    }
+    recorder = std::move(*recorder_or);
+    options.recorder = recorder.get();
+  }
+  std::optional<replay::ReplaySource> replay_source;
+  if (!args.replay_file.empty()) {
+    auto source_or = replay::ReplaySource::Load(args.replay_file);
+    if (!source_or.ok()) {
+      std::fprintf(stderr, "replay: %s\n", source_or.status().message().c_str());
+      return 1;
+    }
+    replay_source.emplace(std::move(*source_or));
+    options.replay = &*replay_source;
+  }
+
   PerfOracle profiling_oracle(options.oracle_seed);
   auto policy = MakePolicy(args.policy, profiling_oracle);
   ClusterExperiment experiment(options, policy.get());
   ExperimentResult result = experiment.Run();
+
+  if (recorder != nullptr) {
+    Status finish = recorder->Close();
+    if (!finish.ok()) {
+      std::fprintf(stderr, "record: %s\n", finish.message().c_str());
+      return 1;
+    }
+    std::printf("recorded: %llu decisions, %llu observations -> %s\n",
+                static_cast<unsigned long long>(recorder->decisions_recorded()),
+                static_cast<unsigned long long>(recorder->observations_recorded()),
+                args.record_file.c_str());
+  }
+  if (replay_source.has_value()) {
+    std::printf("replay: %llu trace hits, %llu sticky, %llu misses\n",
+                static_cast<unsigned long long>(replay_source->hits()),
+                static_cast<unsigned long long>(replay_source->sticky_hits()),
+                static_cast<unsigned long long>(replay_source->misses()));
+  }
 
   if (!args.perf_report.empty()) {
     perf::PerfReport report = perf::PerfReport::FromCollector(perf_collector);

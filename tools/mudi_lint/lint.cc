@@ -667,6 +667,45 @@ void CheckRetry(const std::string& path, const std::vector<Token>& tokens,
 }
 
 // ---------------------------------------------------------------------------
+// mudi-trace-sink
+// ---------------------------------------------------------------------------
+
+// Decision-trace emission is confined to src/replay/: DecisionRecorder is the
+// sanctioned sink, and the raw framing layer underneath it (TraceWriter +
+// EncodeTraceHeader) must not be driven from anywhere else. An ad-hoc writer
+// elsewhere would emit oracle observations or policy decisions that skip the
+// recorder's causal sequence numbers and header validation, producing trace
+// files that ReplaySource and trace_diff cannot align. Read-side APIs
+// (ReadDecisionTrace, SummarizeDecisionTrace, DiffTraces) are fine anywhere.
+// tests/replay_test.cc is allowlisted: it round-trips the framing on purpose.
+
+bool IsSanctionedTraceSink(const std::string& path) {
+  return path.find("src/replay/") != std::string::npos ||
+         EndsWith(path, "tests/replay_test.cc");
+}
+
+void CheckTraceSink(const std::string& path, const std::vector<Token>& tokens,
+                    std::vector<Finding>* findings) {
+  if (IsSanctionedTraceSink(path)) {
+    return;
+  }
+  for (const Token& tok : tokens) {
+    if (tok.kind != Token::Kind::kIdentifier) {
+      continue;
+    }
+    if (tok.text == "TraceWriter" || tok.text == "EncodeTraceHeader") {
+      findings->push_back(
+          {path, tok.line, "mudi-trace-sink", Severity::kError,
+           "'" + tok.text +
+               "' outside src/replay/ is ad-hoc decision-trace emission; record "
+               "oracle/policy events through DecisionRecorder "
+               "(src/replay/decision_recorder.h) so every record carries the causal "
+               "sequence number and validated mudi.decision_trace.v1 framing"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // mudi-include
 // ---------------------------------------------------------------------------
 
@@ -737,7 +776,7 @@ std::string Finding::ToString() const {
 
 std::vector<std::string> CheckNames() {
   return {"mudi-determinism", "mudi-fit-thread", "mudi-float-eq", "mudi-include",
-          "mudi-retry", "mudi-status", "mudi-time-unit"};
+          "mudi-retry", "mudi-status", "mudi-time-unit", "mudi-trace-sink"};
 }
 
 std::vector<Token> Tokenize(std::string_view content) {
@@ -811,6 +850,9 @@ std::vector<Finding> LintFile(const std::string& path, std::string_view content,
   }
   if (CheckEnabled(options, "mudi-retry")) {
     CheckRetry(path, tokenized.tokens, &findings);
+  }
+  if (CheckEnabled(options, "mudi-trace-sink")) {
+    CheckTraceSink(path, tokenized.tokens, &findings);
   }
   if (CheckEnabled(options, "mudi-include")) {
     CheckIncludeHygiene(path, tokenized, &findings);

@@ -1,0 +1,35 @@
+// trace_diff: compare two decision traces (mudi.decision_trace.v1).
+//
+// Aligns the decision streams on the causal order, reports the first
+// divergent decision (with candidate scores when the policies attached
+// them), per-hook decision-latency deltas, and SLO-attribution differences
+// from the run summaries.
+//
+// Usage: trace_diff <trace-a> <trace-b>
+// Exit status: 0 = streams identical, 1 = diverged, 2 = bad input.
+#include "src/replay/trace_diff.h"
+
+#include <cstdio>
+#include <string>
+
+#include "src/replay/decision_trace.h"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <trace-a> <trace-b>\n", argv[0]);
+    return 2;
+  }
+  mudi::StatusOr<mudi::replay::DecisionTrace> a = mudi::replay::ReadDecisionTrace(argv[1]);
+  if (!a.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], a.status().message().c_str());
+    return 2;
+  }
+  mudi::StatusOr<mudi::replay::DecisionTrace> b = mudi::replay::ReadDecisionTrace(argv[2]);
+  if (!b.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], b.status().message().c_str());
+    return 2;
+  }
+  mudi::replay::TraceDiffResult diff = mudi::replay::DiffTraces(*a, *b);
+  std::fputs(mudi::replay::FormatTraceDiff(diff).c_str(), stdout);
+  return diff.first_divergence.has_value() ? 1 : 0;
+}

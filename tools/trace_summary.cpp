@@ -1,13 +1,16 @@
 // trace_summary: summarize Mudi run artifacts.
 //
-// Two input shapes, auto-detected per file:
+// Three input shapes, auto-detected per file:
 //   * event traces (Chrome JSON or binary, written by MUDI_TRACE_FILE /
 //     --trace): prints per-device utilization, serving busy time, and
 //     decision counts;
 //   * self-profiling perf reports (mudi.perf.v1 JSON objects, written by
 //     --perf-report / PerfReport::WriteJson): prints the top-N hottest
 //     regions ranked by total_ms, so "where did this run spend its time"
-//     is one command away from any saved report.
+//     is one command away from any saved report;
+//   * decision traces (mudi.decision_trace.v1, written by mudi_cli
+//     --record): prints per-hook decision counts, the top-N devices by
+//     SelectDevice choice, record-kind totals, and replay coverage.
 //
 // Usage: trace_summary [--top N] <trace-or-report-file> [more-files...]
 #include <algorithm>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "src/perf/json_check.h"
+#include "src/replay/decision_trace.h"
 #include "src/telemetry/trace_reader.h"
 
 namespace {
@@ -121,6 +125,15 @@ int main(int argc, char** argv) {
   for (const std::string& path : paths) {
     if (paths.size() > 1) {
       std::cout << "=== " << path << " ===\n";
+    }
+    // A decision trace starts with its schema-tagged JSON header line, so
+    // the strict reader accepts only genuine mudi.decision_trace.v1 files
+    // and rejects everything else on the first line.
+    mudi::StatusOr<mudi::replay::DecisionTrace> decision_trace =
+        mudi::replay::ReadDecisionTrace(path);
+    if (decision_trace.ok()) {
+      std::fputs(mudi::replay::SummarizeDecisionTrace(*decision_trace, top_n).c_str(), stdout);
+      continue;
     }
     // A perf report is a JSON object with a "regions" member; everything
     // else falls through to the trace reader (which handles both Chrome
