@@ -11,7 +11,7 @@
 //   chaos  — 2.5 s + 1 s jitter, 30% drops, 20% stale reads (lag <= 8),
 //            a partition window, a watch-loss event, and two scheduler
 //            crashes (the second inside a second partition, so recovery
-//            must back off through src/common/retry.h)
+//            must back off through src/sim/retry.h)
 //
 // Read the table as: how much SLO attainment / goodput does each system
 // give up when its coordination layer stops being a zero-latency oracle?
@@ -99,6 +99,6 @@ int main() {
   std::printf(
       "goodput is served requests per simulated second; 'cfg pub/app/lost' counts scheduler\n"
       "config publications vs. those that reached a device agent; 'retries' are sanctioned\n"
-      "src/common/retry.h re-attempts; 'recov' is mean scheduler crash-to-recovered time.\n");
+      "src/sim/retry.h re-attempts; 'recov' is mean scheduler crash-to-recovered time.\n");
   return 0;
 }

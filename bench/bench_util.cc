@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "src/common/check.h"
+#include "src/common/env.h"
 #include "src/common/wallclock.h"
 
 namespace mudi {
@@ -58,11 +59,13 @@ StatusOr<double> ParseBenchScale(const std::string& text) {
 }
 
 double BenchScale() {
-  const char* env = std::getenv("MUDI_BENCH_SCALE");
-  if (env == nullptr) {
+  std::optional<std::string> env = GetEnv("MUDI_BENCH_SCALE");
+  if (!env.has_value()) {
     return 1.0;
   }
-  StatusOr<double> scale = ParseBenchScale(env);
+  // Set-but-empty falls through to ParseBenchScale, which rejects it: an
+  // empty override is a recipe typo, not a request for the default.
+  StatusOr<double> scale = ParseBenchScale(*env);
   if (!scale.ok()) {
     CheckFailed(__FILE__, __LINE__, scale.status().message());
   }

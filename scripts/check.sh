@@ -2,9 +2,13 @@
 # Repo health gate. Runs, in order:
 #
 #   lint     tools/mudi_lint over src/ tests/ bench/ tools/ examples/ —
-#            repo invariants
-#            (determinism, Status discipline, float equality, time units,
-#            include hygiene). Any unsuppressed finding fails.
+#            the full two-pass semantic engine (12 checks: per-file token
+#            checks plus the cross-file include-graph/layering, shared-state,
+#            sync-primitive, and hot-path-alloc passes). Any unsuppressed
+#            finding fails. The stage also emits --json and gates it through
+#            mudi_lint --validate (mudi.lint.v1 schema), and the summary
+#            table carries per-check finding counts. Runs in every mode,
+#            including --fast.
 #   format   non-fatal clang-format drift report (skipped when clang-format
 #            is not installed). Never fails the gate; it exists so future PRs
 #            converge on .clang-format instead of diverging silently.
@@ -115,11 +119,13 @@ done
 
 STAGE_NAMES=()
 STAGE_RESULTS=()
+STAGE_DETAILS=()
 FAILED=0
 
-record() {  # record <stage> <PASS|FAIL|SKIP>
+record() {  # record <stage> <PASS|FAIL|SKIP> [detail]
   STAGE_NAMES+=("$1")
   STAGE_RESULTS+=("$2")
+  STAGE_DETAILS+=("${3:-}")
   if [ "$2" = "FAIL" ]; then
     FAILED=1
   fi
@@ -128,10 +134,10 @@ record() {  # record <stage> <PASS|FAIL|SKIP>
 summary_and_exit() {
   echo
   echo "== summary =="
-  printf '%-10s %s\n' "stage" "result"
-  printf '%-10s %s\n' "-----" "------"
+  printf '%-10s %-7s %s\n' "stage" "result" "detail"
+  printf '%-10s %-7s %s\n' "-----" "------" "------"
   for i in "${!STAGE_NAMES[@]}"; do
-    printf '%-10s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+    printf '%-10s %-7s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}" "${STAGE_DETAILS[$i]}"
   done
   if [ "$FAILED" -ne 0 ]; then
     echo "CHECK FAILED"
@@ -191,17 +197,38 @@ run_tree() {
 }
 
 # -- lint ---------------------------------------------------------------------
-echo "== lint =="
+echo "== lint (two-pass semantic engine) =="
 if cmake -B "$BUILD_DIR" -S . > /dev/null &&
    cmake --build "$BUILD_DIR" -j "$(nproc)" --target mudi_lint > /dev/null; then
-  if "$BUILD_DIR"/tools/mudi_lint --root .; then
-    record "lint" PASS
+  LINT_LOG=$(mktemp -t mudi_lint.XXXXXX.log)
+  LINT_JSON=$(mktemp -t mudi_lint.XXXXXX.json)
+  "$BUILD_DIR"/tools/mudi_lint --root . | tee "$LINT_LOG"
+  LINT_RC=${PIPESTATUS[0]}
+  # Per-check counts for the summary table, from the text-mode footer
+  # ("mudi_lint:   <check>  N unsuppressed, M suppressed" — only checks with
+  # at least one finding appear; a silent footer means the repo is fully clean).
+  LINT_DETAIL=$(awk '/unsuppressed, .* suppressed$/ { printf "%s%s:%s/%s", sep, $2, $3, $5; sep=" " }' \
+    "$LINT_LOG")
+  [ -n "$LINT_DETAIL" ] && LINT_DETAIL="findings (unsup/sup): $LINT_DETAIL"
+  # Schema gate: the --json artifact must validate as mudi.lint.v1, whether
+  # or not the findings pass — a malformed report is its own failure.
+  if ! "$BUILD_DIR"/tools/mudi_lint --root . --json > "$LINT_JSON" 2>/dev/null; then
+    :  # non-zero just mirrors unsuppressed findings; the validate call gates shape
+  fi
+  if ! "$BUILD_DIR"/tools/mudi_lint --validate "$LINT_JSON"; then
+    echo "lint: --json output failed mudi.lint.v1 schema validation"
+    LINT_RC=1
+    LINT_DETAIL="${LINT_DETAIL:+$LINT_DETAIL; }json schema invalid"
+  fi
+  rm -f "$LINT_LOG" "$LINT_JSON"
+  if [ "$LINT_RC" -eq 0 ]; then
+    record "lint" PASS "12 checks, 0 unsuppressed${LINT_DETAIL:+; $LINT_DETAIL}"
   else
-    record "lint" FAIL
+    record "lint" FAIL "$LINT_DETAIL"
   fi
 else
   echo "lint: failed to build tools/mudi_lint"
-  record "lint" FAIL
+  record "lint" FAIL "mudi_lint build failed"
 fi
 if [ "$FAILED" -ne 0 ]; then
   summary_and_exit

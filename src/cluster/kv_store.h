@@ -21,7 +21,7 @@
 //  * Get/GetRequired/List — the omniscient harness/test view; never degraded.
 //  * CtrlGet/CtrlList — the control-plane view the scheduler must use while
 //    a fault plan is armed; subject to partitions and stale reads, and
-//    routed through src/common/retry.h by callers.
+//    routed through src/sim/retry.h by callers.
 #ifndef SRC_CLUSTER_KV_STORE_H_
 #define SRC_CLUSTER_KV_STORE_H_
 

@@ -31,8 +31,8 @@ namespace perf {
 class PerfCollector;
 }  // namespace perf
 namespace replay {
-class DecisionRecorder;
-class ReplaySource;
+class DecisionSink;
+class PredictionReplay;
 }  // namespace replay
 
 // Planning latency budget for one batch (paper Eq. 2 first constraint):
@@ -109,16 +109,18 @@ class SchedulingEnv {
   // telemetry: a profiled and an unprofiled run must be bit-identical.
   virtual perf::PerfCollector* perf() { return nullptr; }
 
-  // Decision-trace recorder (src/replay); null when the run is not being
-  // recorded. Observe-only, like telemetry and perf: a recorded run must be
+  // Decision-trace sink (src/cluster/replay_hooks.h, implemented by
+  // replay::DecisionRecorder); null when the run is not being recorded.
+  // Observe-only, like telemetry and perf: a recorded run must be
   // bit-identical to an unrecorded same-seed run. Policies use it to attach
   // candidate sets/scores to the decision the harness opened.
-  virtual replay::DecisionRecorder* recorder() { return nullptr; }
+  virtual replay::DecisionSink* recorder() { return nullptr; }
 
-  // Recorded-observation source (src/replay); non-null only in replay mode.
-  // Policies that fit models from offline profiles (Mudi) check it in
-  // Initialize to preload recorded curves instead of re-profiling.
-  virtual replay::ReplaySource* replay() { return nullptr; }
+  // Recorded-observation source (replay_hooks.h, implemented by
+  // replay::ReplaySource); non-null only in replay mode. Policies that fit
+  // models from offline profiles (Mudi) check it in Initialize to preload
+  // recorded curves instead of re-profiling.
+  virtual replay::PredictionReplay* replay() { return nullptr; }
 };
 
 class MultiplexPolicy {

@@ -1,0 +1,78 @@
+// Record/replay hook interfaces, defined at the policy layer.
+//
+// The decision-trace machinery lives in src/replay (above src/core in the
+// layer order, because replay_run drives whole experiments). The policy side
+// — MudiPolicy preloading recorded curves, InterferencePredictor substituting
+// recorded predictions, DeviceSelector attaching candidate scores — must not
+// include src/replay headers (mudi-layering would reject the up-layer edge).
+// These narrow interfaces invert that dependency: src/core talks to them,
+// and src/replay's DecisionRecorder / ReplaySource implement them.
+//
+// The data types (TraceCurve, PredictedModel) live here too: they are the
+// policy<->trace exchange format, deliberately free of src/core types so the
+// trace reader stays independent of the policy implementation.
+#ifndef SRC_CLUSTER_REPLAY_HOOKS_H_
+#define SRC_CLUSTER_REPLAY_HOOKS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mudi {
+namespace replay {
+
+// One offline-profiled latency curve (LatencyProfiler::ProfiledCurve,
+// re-expressed without a src/core dependency). Serialized into the decision
+// trace as a kCurve record (src/replay/decision_trace.h).
+struct TraceCurve {
+  uint32_t service_index = 0;
+  int32_t batch = 0;
+  std::vector<uint32_t> training_types;  // sorted
+  double k1 = 0.0, k2 = 0.0, x0 = 0.0, y0 = 0.0;
+  std::vector<double> sample_fractions;
+  std::vector<double> sample_latencies;
+};
+
+// The four parameters of a recorded piecewise-linear prediction.
+struct PredictedModel {
+  double k1 = 0.0, k2 = 0.0, x0 = 0.0, y0 = 0.0;
+};
+
+// Replay-mode source of recorded policy inputs. Implemented by
+// replay::ReplaySource; consumed by MudiPolicy::Initialize (curve preload)
+// and InterferencePredictor::PredictCurve (recorded predictions).
+class PredictionReplay {
+ public:
+  virtual ~PredictionReplay() = default;
+
+  // Every offline-profiled curve the recorded run dumped at Initialize.
+  virtual const std::vector<TraceCurve>& curves() const = 0;
+
+  // Next recorded PredictCurve result for (service, batch, sorted mix);
+  // nullopt when the mix was never recorded (caller computes live).
+  virtual std::optional<PredictedModel> TakePrediction(
+      uint32_t service_index, int batch, const std::vector<uint32_t>& sorted_mix) = 0;
+};
+
+// Record-mode sink for policy-side trace records. Implemented by
+// replay::DecisionRecorder. Observe-only by contract: attaching a sink must
+// not perturb a single simulated event.
+class DecisionSink {
+ public:
+  virtual ~DecisionSink() = default;
+
+  // True while the harness holds a decision scope open; candidate scores are
+  // only meaningful inside one.
+  virtual bool decision_open() const = 0;
+
+  virtual void RecordCurve(const TraceCurve& curve) = 0;
+  virtual void RecordPrediction(uint32_t service_index, int batch,
+                                const std::vector<uint32_t>& sorted_mix, double k1,
+                                double k2, double x0, double y0) = 0;
+  virtual void AddCandidate(int device_id, double score) = 0;
+};
+
+}  // namespace replay
+}  // namespace mudi
+
+#endif  // SRC_CLUSTER_REPLAY_HOOKS_H_

@@ -4,10 +4,16 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/common/thread_annotations.h"
+
 namespace mudi {
 
 namespace {
 
+// Log-level filter only — never read by simulation logic, so a shard that
+// disagrees with its siblings can change verbosity but never a result bit.
+MUDI_SHARD_SHARED("log verbosity only; never feeds back into results");
+MUDI_GUARDED_STATE("relaxed level reads/writes; no ordering required");
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelTag(LogLevel level) {

@@ -69,7 +69,7 @@ inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
 }
 // A transiently unreachable dependency (e.g. a partitioned KvStore); the
-// caller may retry through src/common/retry.h.
+// caller may retry through src/sim/retry.h.
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
 }

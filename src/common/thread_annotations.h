@@ -1,0 +1,35 @@
+// Shard-audit annotations for shared mutable state.
+//
+// The sharded, conservative-PDES simulator (ROADMAP) can only keep seeded
+// runs bit-identical if every piece of process-shared mutable state is known
+// to the shard-boundary audit. These macros are that audit's input: mudi_lint
+// (mudi-global-state, mudi-sync-primitive) rejects any namespace-scope /
+// class-static / function-static mutable object or synchronization primitive
+// in src/ that does not carry one, and each annotation must say *why* the
+// state is safe to share (or how it will be partitioned).
+//
+//   MUDI_SHARD_SHARED("why")   on (or up to two lines above) a mutable
+//                              global / class-static / static-local
+//                              declaration: this object is deliberately
+//                              process-shared; the string records why that
+//                              is compatible with sharding.
+//   MUDI_GUARDED_STATE("why")  on (or up to two lines above) a
+//                              std::mutex / std::atomic / condition_variable
+//                              declaration: what the primitive guards and
+//                              why the protocol survives a sharded run.
+//
+// Both expand to a static_assert, so they are valid at namespace, class, and
+// function scope, cost nothing at runtime (the 0-alloc / determinism proofs
+// are unaffected), and reject an empty justification at compile time.
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#define MUDI_SHARD_SHARED(why)                                            \
+  static_assert(sizeof("" why) > 1,                                       \
+                "MUDI_SHARD_SHARED requires a non-empty justification")
+
+#define MUDI_GUARDED_STATE(why)                                           \
+  static_assert(sizeof("" why) > 1,                                       \
+                "MUDI_GUARDED_STATE requires a non-empty justification")
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

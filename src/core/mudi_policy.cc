@@ -4,13 +4,12 @@
 #include <cmath>
 #include <limits>
 
+#include "src/cluster/replay_hooks.h"
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/wallclock.h"
 #include "src/ml/fit_cache.h"
 #include "src/perf/perf_collector.h"
-#include "src/replay/decision_recorder.h"
-#include "src/replay/replay_source.h"
 #include "src/telemetry/telemetry.h"
 
 namespace mudi {
@@ -58,7 +57,7 @@ void MudiPolicy::Initialize(SchedulingEnv& env) {
   if (initialized_) {
     return;
   }
-  if (replay::ReplaySource* source = env.replay()) {
+  if (replay::PredictionReplay* source = env.replay()) {
     // Replay mode: the recorded offline curves substitute for profiling and
     // the recorded predictions substitute for the learner, so neither the
     // oracle sweep nor the fit runs here (profiler_.total_measurements()
@@ -104,7 +103,7 @@ void MudiPolicy::Initialize(SchedulingEnv& env) {
     env.perf()->SetCounter("mudi.fit_shards_cached", modeler_.last_fit_cached());
     env.perf()->SetCounter("mudi.fit_shards_computed", modeler_.last_fit_computed());
   }
-  if (replay::DecisionRecorder* recorder = env.recorder()) {
+  if (replay::DecisionSink* recorder = env.recorder()) {
     // Dump the *offline* curve store into the trace so a replayed run can
     // preload it. Online refreshes (AddMeasuredCurve) happen after this and
     // are re-derived identically during a fidelity replay from the recorded

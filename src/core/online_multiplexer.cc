@@ -4,9 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/cluster/replay_hooks.h"
 #include "src/common/check.h"
-#include "src/replay/decision_recorder.h"
-#include "src/replay/replay_source.h"
 #include "src/workload/models.h"
 
 namespace mudi {
@@ -115,7 +114,7 @@ std::optional<int> DeviceSelector::Select(SchedulingEnv& env,
                                           const TrainingTaskInfo& task) const {
   double best_score = std::numeric_limits<double>::infinity();
   std::optional<int> best_device;
-  replay::DecisionRecorder* recorder = env.recorder();
+  replay::DecisionSink* recorder = env.recorder();
   if (recorder != nullptr && !recorder->decision_open()) {
     recorder = nullptr;
   }

@@ -27,21 +27,23 @@
 namespace mudi {
 
 namespace replay {
-class DecisionRecorder;
-class ReplaySource;
+class DecisionSink;
+class PredictionReplay;
 }  // namespace replay
 
 class InterferencePredictor {
  public:
   InterferencePredictor(const LatencyProfiler* profiler, const InterferenceModeler* modeler);
 
-  // Decision-trace hooks (src/replay). The recorder is observe-only: every
-  // learner-backed prediction is appended to the trace. The replay source
-  // substitutes recorded predictions for live modeler calls; `ensure_fitted`
-  // is invoked before the first live fallback so a replay run can defer the
-  // expensive modeler fit until (unless) a prediction actually misses.
-  void SetRecorder(replay::DecisionRecorder* recorder) { recorder_ = recorder; }
-  void SetReplay(replay::ReplaySource* replay, std::function<void()> ensure_fitted) {
+  // Decision-trace hooks (src/cluster/replay_hooks.h interfaces; the
+  // concrete recorder/source live in src/replay, above this layer). The sink
+  // is observe-only: every learner-backed prediction is appended to the
+  // trace. The replay source substitutes recorded predictions for live
+  // modeler calls; `ensure_fitted` is invoked before the first live fallback
+  // so a replay run can defer the expensive modeler fit until (unless) a
+  // prediction actually misses.
+  void SetRecorder(replay::DecisionSink* recorder) { recorder_ = recorder; }
+  void SetReplay(replay::PredictionReplay* replay, std::function<void()> ensure_fitted) {
     replay_ = replay;
     ensure_fitted_ = std::move(ensure_fitted);
   }
@@ -64,8 +66,8 @@ class InterferencePredictor {
  private:
   const LatencyProfiler* profiler_;
   const InterferenceModeler* modeler_;
-  replay::DecisionRecorder* recorder_ = nullptr;
-  replay::ReplaySource* replay_ = nullptr;
+  replay::DecisionSink* recorder_ = nullptr;
+  replay::PredictionReplay* replay_ = nullptr;
   std::function<void()> ensure_fitted_;
   // Score memoization: the score is a pure function of (service, mix), and
   // cluster-wide selection evaluates the same handful of mixes across

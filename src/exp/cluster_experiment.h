@@ -26,7 +26,7 @@
 #include "src/cluster/policy.h"
 #include "src/cluster/task_queue.h"
 #include "src/common/rng.h"
-#include "src/common/retry.h"
+#include "src/sim/retry.h"
 #include "src/core/memory_manager.h"
 #include "src/exp/metrics.h"
 #include "src/fault/control_fault_injector.h"
@@ -35,6 +35,8 @@
 #include "src/fault/fault_plan.h"
 #include "src/gpu/perf_oracle.h"
 #include "src/perf/perf_collector.h"
+#include "src/replay/decision_recorder.h"
+#include "src/replay/replay_source.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/telemetry.h"
 #include "src/workload/request_generator.h"

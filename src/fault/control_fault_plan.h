@@ -27,7 +27,7 @@ enum class ControlFaultKind {
   kKvPartition,
   // Every registered watch dies at `at_ms` (the etcd-connection-drop
   // analogue), killing in-flight deliveries too; consumers must re-establish
-  // through src/common/retry.h and catch up with a control-plane read.
+  // through src/sim/retry.h and catch up with a control-plane read.
   kWatchLoss,
   // The scheduler/coordinator process crashes at `at_ms` and restarts
   // `duration_ms` later, then reconstructs its view from a KvStore scan

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/thread_annotations.h"
+
 namespace mudi {
 namespace {
 
@@ -44,6 +46,9 @@ FitFingerprint FingerprintSamples(const std::vector<std::vector<double>>& x,
 }
 
 FitCache& FitCache::Global() {
+  // Content-addressed: a hit returns the same bits a recompute would, so
+  // cross-shard sharing (or not sharing) of the cache is result-invisible.
+  MUDI_SHARD_SHARED("content-addressed memo; hits are bit-identical to recompute");
   static FitCache* cache = new FitCache();
   return *cache;
 }

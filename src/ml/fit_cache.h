@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/ml/regressor.h"
 
 namespace mudi {
@@ -62,6 +63,9 @@ class FitCache {
   size_t size() const;
 
  private:
+  // Guards entries_/hits_/misses_ against concurrent FitPool shards; the map
+  // is content-addressed, so lock order never influences fitted values.
+  MUDI_GUARDED_STATE("protects the memo map during parallel fit shards");
   mutable std::mutex mu_;
   std::map<FitFingerprint, std::shared_ptr<const CachedFit>> entries_;
   uint64_t hits_ = 0;

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/env.h"
+#include "src/common/thread_annotations.h"
 
 namespace mudi {
 
@@ -25,10 +27,10 @@ class FitPool {
   // concurrency clamped to 8); an explicit positive value is taken verbatim
   // (oversubscription is fine — shards are CPU-bound and independent).
   static size_t ConfiguredThreads() {
-    const char* env = std::getenv("MUDI_FIT_THREADS");
-    if (env != nullptr && *env != '\0') {
+    std::optional<std::string> env = GetEnv("MUDI_FIT_THREADS");
+    if (env.has_value() && !env->empty()) {
       char* end = nullptr;
-      long parsed = std::strtol(env, &end, 10);
+      long parsed = std::strtol(env->c_str(), &end, 10);
       // A malformed MUDI_FIT_THREADS is a hard error: silently falling back
       // to some thread count would mask a typo in a reproducibility recipe.
       MUDI_CHECK(end != nullptr && *end == '\0' && parsed >= 0);
@@ -61,6 +63,9 @@ class FitPool {
       }
       return;
     }
+    // Work-stealing shard counter, local to one ParallelFor call. It orders
+    // nothing the results depend on (each shard writes only its own slot).
+    MUDI_GUARDED_STATE("hands out shard indices; result slots are disjoint");
     std::atomic<size_t> next{0};
     auto drain = [&]() {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {

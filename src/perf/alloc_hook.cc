@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "src/common/thread_annotations.h"
 #include "src/perf/mem_probe.h"
 
 namespace {
@@ -26,6 +27,9 @@ using mudi::perf::alloc_hook_internal::g_hook_linked;
 struct HookMarker {
   HookMarker() { g_hook_linked.store(true, std::memory_order_relaxed); }
 };
+// Static-init side effect only: flips g_hook_linked once at startup so the
+// probe can report whether counting operators are present in this binary.
+MUDI_SHARD_SHARED("write-once link marker; set before main, never mutated after");
 HookMarker g_hook_marker;
 
 void CountAlloc(std::size_t size) {

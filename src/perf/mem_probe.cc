@@ -3,13 +3,25 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/common/thread_annotations.h"
+
 namespace mudi {
 namespace perf {
 
 namespace alloc_hook_internal {
+// Observe-only allocation tally (see mem_probe.h): counters feed perf
+// reports, never simulation decisions, so per-shard divergence is harmless.
+MUDI_SHARD_SHARED("observe-only perf counters; never read by simulation logic");
+MUDI_GUARDED_STATE("relaxed monotonic counters; no cross-counter ordering");
 std::atomic<uint64_t> g_allocations{0};
+MUDI_SHARD_SHARED("observe-only perf counters; never read by simulation logic");
+MUDI_GUARDED_STATE("relaxed monotonic counters; no cross-counter ordering");
 std::atomic<uint64_t> g_deallocations{0};
+MUDI_SHARD_SHARED("observe-only perf counters; never read by simulation logic");
+MUDI_GUARDED_STATE("relaxed monotonic counters; no cross-counter ordering");
 std::atomic<uint64_t> g_bytes_allocated{0};
+MUDI_SHARD_SHARED("write-once link marker; set during static init, read-only after");
+MUDI_GUARDED_STATE("write-once link marker set during static init");
 std::atomic<bool> g_hook_linked{false};
 }  // namespace alloc_hook_internal
 

@@ -13,6 +13,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/thread_annotations.h"
+
 namespace mudi {
 namespace perf {
 
@@ -41,9 +43,13 @@ namespace alloc_hook_internal {
 // Defined in mem_probe.cc (always present); incremented only by the
 // replacement operators in alloc_hook.cc when that library is linked.
 // Atomics because allocation can happen on any thread (gtest, sanitizers).
+MUDI_GUARDED_STATE("relaxed monotonic counters; no cross-counter ordering");
 extern std::atomic<uint64_t> g_allocations;
+MUDI_GUARDED_STATE("relaxed monotonic counters; no cross-counter ordering");
 extern std::atomic<uint64_t> g_deallocations;
+MUDI_GUARDED_STATE("relaxed monotonic counters; no cross-counter ordering");
 extern std::atomic<uint64_t> g_bytes_allocated;
+MUDI_GUARDED_STATE("write-once link marker set during static init");
 extern std::atomic<bool> g_hook_linked;
 }  // namespace alloc_hook_internal
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/replay_hooks.h"
 #include "src/common/status.h"
 #include "src/gpu/gpu_device.h"
 #include "src/replay/decision_trace.h"
@@ -31,7 +32,10 @@ namespace replay {
 // Full decision-time state of one device, built from the live GpuDevice.
 SnapshotDevice MakeSnapshotDevice(const GpuDevice& dev);
 
-class DecisionRecorder {
+// Implements DecisionSink (src/cluster/replay_hooks.h) so the policy layer
+// can record curves, predictions, and candidate scores without an up-layer
+// include of this header.
+class DecisionRecorder : public DecisionSink {
  public:
   // Opens `path` for writing and emits the header line. Fails if the file
   // cannot be created.
@@ -44,7 +48,7 @@ class DecisionRecorder {
 
   // --- run-static records ----------------------------------------------------
   void RecordDeviceTable(const std::vector<DeviceTableEntry>& table);
-  void RecordCurve(const TraceCurve& curve);
+  void RecordCurve(const TraceCurve& curve) override;
   void RecordRunSummary(const TraceRunSummary& summary);
 
   // --- decision lifecycle ----------------------------------------------------
@@ -52,10 +56,10 @@ class DecisionRecorder {
   // decision's causal sequence number.
   uint64_t BeginDecision(HookKind hook, double sim_ms, int device_id = -1, int task_id = -1,
                          int type_index = -1);
-  bool decision_open() const { return decision_open_; }
+  bool decision_open() const override { return decision_open_; }
 
   void AddSnapshotDevice(const SnapshotDevice& dev);
-  void AddCandidate(int device_id, double score);
+  void AddCandidate(int device_id, double score) override;
   void SetChosenDevice(int device_id);
   void AddDisplaced(int task_id, uint32_t type_index);
   // Actions the policy took through the SchedulingEnv during this decision.
@@ -67,7 +71,7 @@ class DecisionRecorder {
   // --- streamed records (valid inside or outside a decision scope) -----------
   void RecordObservation(ObsKind kind, double sim_ms, int device_id, uint64_t key, double value);
   void RecordPrediction(uint32_t service_index, int batch, const std::vector<uint32_t>& sorted_mix,
-                        double k1, double k2, double x0, double y0);
+                        double k1, double k2, double x0, double y0) override;
   void RecordQpsFeedback(double sim_ms, int device_id, bool is_p99, double value);
 
   // Writes the end-of-trace marker and closes the file. Idempotent; the

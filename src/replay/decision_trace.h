@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/replay_hooks.h"
 #include "src/common/status.h"
 #include "src/perf/json_check.h"
 
@@ -96,16 +97,9 @@ struct DeviceTableEntry {
   double compute_scale = 1.0;
 };
 
-// One offline-profiled latency curve (LatencyProfiler::ProfiledCurve,
-// re-expressed without a src/core dependency).
-struct TraceCurve {
-  uint32_t service_index = 0;
-  int32_t batch = 0;
-  std::vector<uint32_t> training_types;  // sorted
-  double k1 = 0.0, k2 = 0.0, x0 = 0.0, y0 = 0.0;
-  std::vector<double> sample_fractions;
-  std::vector<double> sample_latencies;
-};
+// TraceCurve (the kCurve payload) is defined in src/cluster/replay_hooks.h —
+// it is the policy<->trace exchange type, shared with the DecisionSink /
+// PredictionReplay interfaces that src/core records into and replays from.
 
 // One InterferencePredictor::PredictCurve result. The same key can recur
 // with a different model after an online curve refresh, so consumers keep

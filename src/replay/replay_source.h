@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cluster/replay_hooks.h"
 #include "src/common/status.h"
 #include "src/replay/decision_trace.h"
 #include "src/replay/probe_key.h"
@@ -26,26 +27,25 @@
 namespace mudi {
 namespace replay {
 
-// The four parameters of a recorded piecewise-linear prediction.
-struct PredictedModel {
-  double k1 = 0.0, k2 = 0.0, x0 = 0.0, y0 = 0.0;
-};
-
-class ReplaySource {
+// PredictedModel is defined in src/cluster/replay_hooks.h alongside the
+// PredictionReplay interface this class implements — the policy layer
+// consumes recorded predictions without a src/replay dependency.
+class ReplaySource : public PredictionReplay {
  public:
   explicit ReplaySource(DecisionTrace trace);
   static StatusOr<ReplaySource> Load(const std::string& path);
 
   const DecisionTrace& trace() const { return trace_; }
-  const std::vector<TraceCurve>& curves() const { return trace_.curves; }
+  const std::vector<TraceCurve>& curves() const override { return trace_.curves; }
 
   // Next recorded probe observation for `key` (keys embed the probe domain,
   // see probe_key.h). nullopt = never recorded; the caller must compute live.
   std::optional<double> TakeObservation(uint64_t key);
 
   // Next recorded PredictCurve result for (service, batch, sorted mix).
-  std::optional<PredictedModel> TakePrediction(uint32_t service_index, int batch,
-                                               const std::vector<uint32_t>& sorted_mix);
+  std::optional<PredictedModel> TakePrediction(
+      uint32_t service_index, int batch,
+      const std::vector<uint32_t>& sorted_mix) override;
 
   uint64_t hits() const { return hits_; }
   uint64_t sticky_hits() const { return sticky_hits_; }

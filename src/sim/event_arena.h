@@ -35,6 +35,9 @@ class EventArena {
   EventArena(const EventArena&) = delete;
   EventArena& operator=(const EventArena&) = delete;
 
+  // MUDI_HOT_PATH  Allocate/Recycle run once per scheduled event; after
+  // warm-up every Allocate is served from the free list with zero heap
+  // traffic (perf_test pins the 0-alloc steady state).
   // Returns a slot whose Event is default-initialized (cb empty).
   Slot Allocate() {
     if (!free_.empty()) {
@@ -43,6 +46,9 @@ class EventArena {
       return slot;
     }
     if (next_fresh_ == slabs_.size() * kSlabSize) {
+      // Slab growth happens only while the live-event high-water mark is
+      // still rising, never at steady state.
+      // NOLINTNEXTLINE(mudi-hot-path-alloc): one-way high-water-mark growth
       slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
     }
     return next_fresh_++;
@@ -53,8 +59,12 @@ class EventArena {
   void Recycle(Slot slot) {
     Event& ev = (*this)[slot];
     ev.cb = nullptr;
+    // free_ only grows to the high-water mark of live events, then its
+    // capacity is reused forever.
+    // NOLINTNEXTLINE(mudi-hot-path-alloc): one-way high-water-mark growth
     free_.push_back(slot);
   }
+  // MUDI_HOT_PATH_END
 
   Event& operator[](Slot slot) {
     MUDI_CHECK_LT(slot, next_fresh_);

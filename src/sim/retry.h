@@ -12,8 +12,8 @@
 // mudi_lint's `mudi-retry` check bans ad-hoc retry loops and naked
 // re-ScheduleAfter polling of the KvStore everywhere outside this file, so
 // backoff parameters and retry telemetry stay in one auditable place.
-#ifndef SRC_COMMON_RETRY_H_
-#define SRC_COMMON_RETRY_H_
+#ifndef SRC_SIM_RETRY_H_
+#define SRC_SIM_RETRY_H_
 
 #include <cstdint>
 #include <functional>
@@ -174,4 +174,4 @@ class Retrier {
 
 }  // namespace mudi
 
-#endif  // SRC_COMMON_RETRY_H_
+#endif  // SRC_SIM_RETRY_H_

@@ -32,8 +32,14 @@ void Simulator::ExportPerfCounters(perf::PerfCollector* collector) const {
   collector->SetCounter("sim.arena_slabs", arena_.slabs());
 }
 
+// MUDI_HOT_PATH  SetState/Push/Step run once (or more) per simulated event;
+// steady state is allocation-free (perf_test's alloc-hook proof). The two
+// NOLINTed growth sites below are one-way high-water-mark expansions.
 void Simulator::SetState(EventId id, EventState s) {
   if (id >= state_.size()) {
+    // The state vector grows to the peak event-id once (ids are reused via
+    // the free list), then never again.
+    // NOLINTNEXTLINE(mudi-hot-path-alloc): one-way high-water-mark growth
     state_.resize(static_cast<size_t>(id) + 1, static_cast<uint8_t>(EventState::kDead));
   }
   state_[id] = static_cast<uint8_t>(s);
@@ -145,6 +151,7 @@ bool Simulator::Step() {
   cb();
   return true;
 }
+// MUDI_HOT_PATH_END
 
 void Simulator::RunUntil(TimeMs t) {
   MUDI_CHECK_GE(t, now_);

@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "src/common/env.h"
 #include "src/common/logging.h"
+#include "src/common/thread_annotations.h"
 
 namespace mudi {
 
@@ -27,21 +29,21 @@ void WriteJsonEscapedLabel(std::ostream& os, const std::string& s) {
 }  // namespace
 
 void TelemetryOptions::ApplyEnvOverrides() {
-  if (const char* v = std::getenv("MUDI_TRACE_FILE"); v != nullptr && *v != '\0') {
+  if (auto v = GetEnv("MUDI_TRACE_FILE"); v.has_value() && !v->empty()) {
     enabled = true;
     tracing = true;
-    trace_file = v;
+    trace_file = *v;
   }
-  if (const char* v = std::getenv("MUDI_TRACE_RING"); v != nullptr && *v != '\0') {
-    trace_ring_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  if (auto v = GetEnv("MUDI_TRACE_RING"); v.has_value() && !v->empty()) {
+    trace_ring_capacity = static_cast<size_t>(std::strtoull(v->c_str(), nullptr, 10));
   }
-  if (const char* v = std::getenv("MUDI_TELEMETRY_JSON"); v != nullptr && *v != '\0') {
+  if (auto v = GetEnv("MUDI_TELEMETRY_JSON"); v.has_value() && !v->empty()) {
     enabled = true;
-    metrics_json = v;
+    metrics_json = *v;
   }
-  if (const char* v = std::getenv("MUDI_METRICS_CSV"); v != nullptr && *v != '\0') {
+  if (auto v = GetEnv("MUDI_METRICS_CSV"); v.has_value() && !v->empty()) {
     enabled = true;
-    metrics_csv = v;
+    metrics_csv = *v;
   }
 }
 
@@ -51,6 +53,9 @@ Telemetry::Telemetry(TelemetryOptions options)
       trace_(telemetry::TraceRecorder::Options{options_.trace_ring_capacity}) {}
 
 Telemetry& Telemetry::Global() {
+  // Process-wide singleton, leaked on purpose (no shutdown-order hazards). A
+  // sharded run gives each shard its own process and thus its own instance.
+  MUDI_SHARD_SHARED("per-process singleton; shards run in separate processes");
   static Telemetry* instance = [] {
     TelemetryOptions options;
     options.enabled = true;

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "src/common/retry.h"
+#include "src/sim/retry.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"

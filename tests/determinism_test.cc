@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/common/env.h"
 #include "src/exp/cluster_experiment.h"
 #include "src/exp/presets.h"
 #include "src/fault/fault_plan.h"
@@ -287,8 +288,7 @@ INSTANTIATE_TEST_SUITE_P(AllSystems, CombinedChaosDeterminismTest,
 TEST(FitThreadDeterminismTest, MudiBitIdenticalAcrossFitThreadCounts) {
   ExperimentOptions options = SmallOptions(/*seed=*/41);
 
-  const char* saved = std::getenv("MUDI_FIT_THREADS");
-  std::string saved_value = saved != nullptr ? saved : "";
+  std::optional<std::string> saved = GetEnv("MUDI_FIT_THREADS");
 
   ExperimentResult results[3];
   const char* thread_counts[3] = {"1", "2", "8"};
@@ -298,8 +298,8 @@ TEST(FitThreadDeterminismTest, MudiBitIdenticalAcrossFitThreadCounts) {
     results[i] = RunOnce("Mudi", options);
   }
 
-  if (saved != nullptr) {
-    setenv("MUDI_FIT_THREADS", saved_value.c_str(), /*overwrite=*/1);
+  if (saved.has_value()) {
+    setenv("MUDI_FIT_THREADS", saved->c_str(), /*overwrite=*/1);
   } else {
     unsetenv("MUDI_FIT_THREADS");
   }

@@ -573,7 +573,7 @@ TEST(CtrlFaultRecoveryTest, PartitionStretchesRecoveryThroughRetry) {
   ExperimentOptions options = SmallClusterOptions(10);
   // The recovery scan starts at t=11s, inside a partition that heals at
   // t=16s: every scan before then fails Unavailable and must back off
-  // through src/common/retry.h.
+  // through src/sim/retry.h.
   options.ctrl_fault_plan.CrashScheduler(10.0 * kMsPerSecond, 1.0 * kMsPerSecond);
   options.ctrl_fault_plan.Partition(10.5 * kMsPerSecond, 5.5 * kMsPerSecond);
 

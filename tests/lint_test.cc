@@ -445,7 +445,7 @@ TEST(RetryCheckTest, RetryHeaderIsAllowlisted) {
       "void Retrier::Step() {\n"
       "  while (attempts_ < policy_.max_attempts) { ++attempts_; }\n"
       "}\n";
-  EXPECT_EQ(CountCheck(Lint("src/common/retry.h", code), "mudi-retry"), 0u);
+  EXPECT_EQ(CountCheck(Lint("src/sim/retry.h", code), "mudi-retry"), 0u);
   EXPECT_EQ(CountCheck(Lint("src/common/other.h", code), "mudi-retry"), 1u);
 }
 
@@ -506,13 +506,389 @@ TEST(TraceSinkCheckTest, NolintSuppresses) {
 }
 
 // ---------------------------------------------------------------------------
+// mudi-determinism: raw getenv
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismCheckTest, FlagsRawGetenv) {
+  auto findings = Lint("src/core/foo.cc",
+                       "const char* v = std::getenv(\"MUDI_X\");\n"
+                       "const char* w = getenv(\"MUDI_Y\");\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 2u);
+}
+
+TEST(DeterminismCheckTest, EnvHeaderIsAllowlistedForGetenv) {
+  std::string code = "inline const char* Raw(const char* n) { return std::getenv(n); }\n";
+  EXPECT_EQ(CountCheck(Lint("src/common/env.h", code), "mudi-determinism"), 0u);
+  EXPECT_EQ(CountCheck(Lint("src/core/foo.cc", code), "mudi-determinism"), 1u);
+}
+
+TEST(DeterminismCheckTest, GetEnvWrapperIsClean) {
+  auto findings = Lint("src/core/foo.cc",
+                       "auto v = GetEnv(\"MUDI_X\");\n");
+  EXPECT_EQ(CountCheck(findings, "mudi-determinism"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Repo-model helpers
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> LintRepo(const std::vector<std::pair<std::string, std::string>>& files,
+                              Options options = {}) {
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const auto& [path, code] : files) {
+    models.push_back(AnalyzeFile(path, code));
+  }
+  return LintRepoModel(BuildRepoModel(std::move(models)), options);
+}
+
+// ---------------------------------------------------------------------------
+// mudi-layering
+// ---------------------------------------------------------------------------
+
+TEST(LayeringCheckTest, FlagsUpLayerInclude) {
+  auto findings = LintRepo({
+      {"src/sim/simulator.cc", "#include \"src/core/mudi_policy.h\"\n"},
+      {"src/core/mudi_policy.h", "int x;\n"},
+  });
+  EXPECT_EQ(CountCheck(findings, "mudi-layering"), 1u);
+}
+
+TEST(LayeringCheckTest, DownLayerAndSameLayerAreClean) {
+  auto findings = LintRepo({
+      {"src/core/mudi_policy.cc", "#include \"src/sim/simulator.h\"\n"
+                                  "#include \"src/cluster/policy.h\"\n"},
+      {"src/sim/simulator.h", "int x;\n"},
+      {"src/cluster/policy.h", "int y;\n"},
+  });
+  EXPECT_EQ(CountCheck(findings, "mudi-layering"), 0u);
+}
+
+TEST(LayeringCheckTest, TestsAndToolsAreLayerExempt) {
+  // Files outside src/ may include anything (tests drive every layer).
+  auto findings = LintRepo({
+      {"tests/foo_test.cc", "#include \"src/exp/cluster_experiment.h\"\n"
+                            "#include \"src/common/check.h\"\n"},
+      {"src/exp/cluster_experiment.h", "int x;\n"},
+      {"src/common/check.h", "int y;\n"},
+  });
+  EXPECT_EQ(CountCheck(findings, "mudi-layering"), 0u);
+}
+
+TEST(LayeringCheckTest, FlagsUnknownSrcDirectory) {
+  auto findings = LintRepo({{"src/mystery/foo.cc", "int x;\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-layering"), 1u);
+}
+
+TEST(LayeringCheckTest, FlagsIncludeCycle) {
+  auto findings = LintRepo({
+      {"src/sim/a.h", "#include \"src/sim/b.h\"\n"},
+      {"src/sim/b.h", "#include \"src/sim/a.h\"\n"},
+  });
+  // One finding per cycle, anchored at the lexicographically first member.
+  EXPECT_EQ(CountCheck(findings, "mudi-layering"), 1u);
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.check == "mudi-layering" && f.file == "src/sim/a.h") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LayeringCheckTest, AcyclicGraphIsClean) {
+  auto findings = LintRepo({
+      {"src/sim/a.h", "#include \"src/sim/b.h\"\n"},
+      {"src/sim/b.h", "#include \"src/common/c.h\"\n"},
+      {"src/common/c.h", "int x;\n"},
+  });
+  EXPECT_EQ(CountCheck(findings, "mudi-layering"), 0u);
+}
+
+TEST(LayeringCheckTest, NolintSuppresses) {
+  auto findings = LintRepo({
+      {"src/sim/simulator.cc",
+       "// NOLINTNEXTLINE(mudi-layering)\n#include \"src/core/mudi_policy.h\"\n"},
+      {"src/core/mudi_policy.h", "int x;\n"},
+  });
+  EXPECT_EQ(CountCheck(findings, "mudi-layering"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-layering", /*include_suppressed=*/true), 1u);
+}
+
+TEST(LayeringCheckTest, LayerMapCoversEverySrcDirectory) {
+  EXPECT_EQ(LayerOf("common"), 0);
+  EXPECT_LT(LayerOf("sim"), LayerOf("core"));
+  EXPECT_LT(LayerOf("core"), LayerOf("replay"));
+  EXPECT_LT(LayerOf("replay"), LayerOf("exp"));
+  EXPECT_EQ(LayerOf("mystery"), -1);
+  EXPECT_FALSE(LayerMap().empty());
+}
+
+// ---------------------------------------------------------------------------
+// mudi-global-state
+// ---------------------------------------------------------------------------
+
+TEST(GlobalStateCheckTest, FlagsUnannotatedMutableGlobal) {
+  auto findings = LintRepo({{"src/core/foo.cc", "namespace mudi {\nint g_count = 0;\n}\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-global-state"), 1u);
+}
+
+TEST(GlobalStateCheckTest, AnnotatedGlobalIsClean) {
+  auto findings = LintRepo({{"src/core/foo.cc",
+                             "namespace mudi {\n"
+                             "MUDI_SHARD_SHARED(\"test justification\");\n"
+                             "int g_count = 0;\n"
+                             "}\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-global-state"), 0u);
+}
+
+TEST(GlobalStateCheckTest, ConstGlobalsAreClean) {
+  auto findings = LintRepo({{"src/core/foo.cc",
+                             "namespace mudi {\n"
+                             "const int kLimit = 4;\n"
+                             "constexpr double kScale = 0.5;\n"
+                             "}\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-global-state"), 0u);
+}
+
+TEST(GlobalStateCheckTest, FlagsStaticLocal) {
+  auto findings = LintRepo({{"src/core/foo.cc",
+                             "int F() {\n"
+                             "  static int calls = 0;\n"
+                             "  return ++calls;\n"
+                             "}\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-global-state"), 1u);
+}
+
+TEST(GlobalStateCheckTest, LocalsAndMembersAreClean) {
+  auto findings = LintRepo({{"src/core/foo.cc",
+                             "class C {\n int member_ = 0;\n};\n"
+                             "int F() {\n int local = 0;\n return local;\n}\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-global-state"), 0u);
+}
+
+TEST(GlobalStateCheckTest, TestFilesAreExempt) {
+  auto findings = LintRepo({{"tests/foo_test.cc", "int g_count = 0;\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-global-state"), 0u);
+}
+
+TEST(GlobalStateCheckTest, NolintSuppresses) {
+  auto findings = LintRepo({{"src/core/foo.cc",
+                             "int g_count = 0;  // NOLINT(mudi-global-state)\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-global-state"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-global-state", /*include_suppressed=*/true), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// mudi-sync-primitive
+// ---------------------------------------------------------------------------
+
+TEST(SyncPrimitiveCheckTest, FlagsMutexOutsideAllowlist) {
+  auto findings = LintRepo({{"src/core/foo.h",
+                             "class C {\n std::mutex mu_;\n};\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-sync-primitive"), 1u);
+}
+
+TEST(SyncPrimitiveCheckTest, AnnotatedDeclarationInAllowlistedFileIsClean) {
+  auto findings = LintRepo({{"src/ml/fit_cache.h",
+                             "class C {\n"
+                             " MUDI_GUARDED_STATE(\"test justification\");\n"
+                             " std::mutex mu_;\n"
+                             "};\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-sync-primitive"), 0u);
+}
+
+TEST(SyncPrimitiveCheckTest, UnannotatedDeclarationInAllowlistedFileFires) {
+  auto findings = LintRepo({{"src/ml/fit_cache.h",
+                             "class C {\n std::mutex mu_;\n};\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-sync-primitive"), 1u);
+}
+
+TEST(SyncPrimitiveCheckTest, AnnotationDoesNotExcuseDisallowedFile) {
+  // The allowlist is the audit: an annotation elsewhere still fires.
+  auto findings = LintRepo({{"src/core/foo.h",
+                             "MUDI_GUARDED_STATE(\"not enough\");\n"
+                             "std::atomic<int> g{0};\n"}});
+  EXPECT_GE(CountCheck(findings, "mudi-sync-primitive"), 1u);
+}
+
+TEST(SyncPrimitiveCheckTest, NolintSuppresses) {
+  auto findings = LintRepo({{"src/core/foo.h",
+                             "// NOLINTNEXTLINE(mudi-sync-primitive)\n"
+                             "std::atomic<int> g{0};\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-sync-primitive"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-sync-primitive", /*include_suppressed=*/true), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// mudi-hot-path-alloc
+// ---------------------------------------------------------------------------
+
+TEST(HotPathAllocCheckTest, FlagsAllocIdiomsInsideRegion) {
+  auto findings = LintRepo({{"src/sim/foo.cc",
+                             "// MUDI_HOT_PATH\n"
+                             "void F(std::vector<int>& v) {\n"
+                             "  v.push_back(1);\n"
+                             "  auto p = std::make_unique<int>(2);\n"
+                             "}\n"
+                             "// MUDI_HOT_PATH_END\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-hot-path-alloc"), 2u);
+}
+
+TEST(HotPathAllocCheckTest, CodeOutsideRegionIsClean) {
+  auto findings = LintRepo({{"src/sim/foo.cc",
+                             "void F(std::vector<int>& v) { v.push_back(1); }\n"
+                             "// MUDI_HOT_PATH\n"
+                             "int G() { return 1; }\n"
+                             "// MUDI_HOT_PATH_END\n"
+                             "void H(std::vector<int>& v) { v.push_back(2); }\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-hot-path-alloc"), 0u);
+}
+
+TEST(HotPathAllocCheckTest, UnclosedRegionRunsToEndOfFile) {
+  auto findings = LintRepo({{"src/sim/foo.cc",
+                             "// MUDI_HOT_PATH\n"
+                             "void F(std::vector<int>& v) { v.push_back(1); }\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-hot-path-alloc"), 1u);
+}
+
+TEST(HotPathAllocCheckTest, ProseMentionDoesNotOpenRegion) {
+  // Only a comment whose first word is the marker opens a region; prose
+  // that merely mentions MUDI_HOT_PATH must not.
+  auto findings = LintRepo({{"src/sim/foo.cc",
+                             "// this function is near a MUDI_HOT_PATH region\n"
+                             "void F(std::vector<int>& v) { v.push_back(1); }\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-hot-path-alloc"), 0u);
+}
+
+TEST(HotPathAllocCheckTest, NolintSuppresses) {
+  auto findings = LintRepo({{"src/sim/foo.cc",
+                             "// MUDI_HOT_PATH\n"
+                             "void F(std::vector<int>& v) {\n"
+                             "  // NOLINTNEXTLINE(mudi-hot-path-alloc): warm-up growth\n"
+                             "  v.push_back(1);\n"
+                             "}\n"
+                             "// MUDI_HOT_PATH_END\n"}});
+  EXPECT_EQ(CountCheck(findings, "mudi-hot-path-alloc"), 0u);
+  EXPECT_EQ(CountCheck(findings, "mudi-hot-path-alloc", /*include_suppressed=*/true), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer: annotation macros
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, AnnotationMacrosInsideTemplatesStayTokens) {
+  // Regression: the annotation identifiers must survive tokenization inside
+  // template-heavy declarations so HasAnnotationNear sees them.
+  auto model = AnalyzeFile("src/core/foo.h",
+                           "template <typename T>\n"
+                           "class Holder {\n"
+                           " MUDI_GUARDED_STATE(\"guards map<K, V> access\");\n"
+                           " std::mutex mu_;\n"
+                           " std::map<int, std::vector<T>> data_;\n"
+                           "};\n");
+  ASSERT_EQ(model.sync_uses.size(), 1u);
+  EXPECT_TRUE(model.sync_uses[0].annotated);
+  EXPECT_EQ(model.sync_uses[0].kind, FileModel::SyncUse::Kind::kDeclaration);
+}
+
+// ---------------------------------------------------------------------------
+// --fix: own-header-first
+// ---------------------------------------------------------------------------
+
+TEST(FixOwnHeaderFirstTest, MovesOwnHeaderToFront) {
+  std::string code =
+      "// File comment.\n"
+      "#include <vector>\n"
+      "#include \"src/core/other.h\"\n"
+      "#include \"src/core/foo.h\"\n"
+      "\n"
+      "int x;\n";
+  auto fix = FixOwnHeaderFirst("src/core/foo.cc", code);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->moved_include, "src/core/foo.h");
+  // The own header is now the first include.
+  size_t own = fix->fixed_content.find("#include \"src/core/foo.h\"");
+  size_t vec = fix->fixed_content.find("#include <vector>");
+  ASSERT_NE(own, std::string::npos);
+  ASSERT_NE(vec, std::string::npos);
+  EXPECT_LT(own, vec);
+}
+
+TEST(FixOwnHeaderFirstTest, FixIsIdempotent) {
+  std::string code =
+      "#include <vector>\n"
+      "#include \"src/core/foo.h\"\n";
+  auto fix = FixOwnHeaderFirst("src/core/foo.cc", code);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_FALSE(FixOwnHeaderFirst("src/core/foo.cc", fix->fixed_content).has_value());
+}
+
+TEST(FixOwnHeaderFirstTest, RoundTripSatisfiesIncludeCheck) {
+  std::string code =
+      "#include <vector>\n"
+      "#include \"src/core/foo.h\"\n"
+      "int x;\n";
+  EXPECT_EQ(CountCheck(Lint("src/core/foo.cc", code), "mudi-include"), 1u);
+  auto fix = FixOwnHeaderFirst("src/core/foo.cc", code);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(CountCheck(Lint("src/core/foo.cc", fix->fixed_content), "mudi-include"), 0u);
+}
+
+TEST(FixOwnHeaderFirstTest, HeadersAndHeaderlessFilesAreUntouched) {
+  EXPECT_FALSE(FixOwnHeaderFirst("src/core/foo.h",
+                                 "#include <vector>\n#include \"src/core/foo.h\"\n")
+                   .has_value());
+  EXPECT_FALSE(FixOwnHeaderFirst("src/core/foo.cc", "#include <vector>\nint x;\n").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// --json schema gate
+// ---------------------------------------------------------------------------
+
+std::string ValidLintJson() {
+  std::string checks;
+  for (const auto& name : CheckNames()) {
+    if (!checks.empty()) {
+      checks += ",";
+    }
+    checks += "{\"name\":\"" + name + "\",\"unsuppressed\":0,\"suppressed\":0}";
+  }
+  return "{\"schema\":\"mudi.lint.v1\",\"files_scanned\":3,\"checks\":[" + checks +
+         "],\"findings\":[],\"suppressed\":0,\"unsuppressed\":0}";
+}
+
+TEST(LintJsonTest, ValidDocumentPasses) {
+  EXPECT_TRUE(ValidateLintJson(ValidLintJson()).ok());
+}
+
+TEST(LintJsonTest, WrongSchemaTagFails) {
+  std::string doc = ValidLintJson();
+  size_t pos = doc.find("mudi.lint.v1");
+  doc.replace(pos, 12, "mudi.lint.v2");
+  EXPECT_FALSE(ValidateLintJson(doc).ok());
+}
+
+TEST(LintJsonTest, TotalsMustMatchFindings) {
+  std::string doc = ValidLintJson();
+  size_t pos = doc.rfind("\"unsuppressed\":0");
+  doc.replace(pos, 16, "\"unsuppressed\":1");
+  EXPECT_FALSE(ValidateLintJson(doc).ok());
+}
+
+TEST(LintJsonTest, MalformedJsonFails) {
+  EXPECT_FALSE(ValidateLintJson("{not json").ok());
+  EXPECT_FALSE(ValidateLintJson("[]").ok());
+}
+
+// ---------------------------------------------------------------------------
 // Engine plumbing
 // ---------------------------------------------------------------------------
 
 TEST(EngineTest, CheckNamesSortedAndComplete) {
   auto names = CheckNames();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 12u);
 }
 
 TEST(EngineTest, EnabledChecksRestrictsFindings) {
